@@ -1,0 +1,213 @@
+// Command cexplorer-cli runs community queries from the command line —
+// the library without the browser. Subcommands:
+//
+//	search  -edges g.txt [-attrs a.txt] -q NAME|ID -k 4 [-algo ACQ] [-keywords "w1 w2"]
+//	detect  -edges g.txt [-attrs a.txt] [-algo CODICIL] [-min 3]
+//	analyze -edges g.txt [-attrs a.txt] -q NAME|ID -k 4
+//	index   -edges g.txt [-attrs a.txt] -out index.clt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "search":
+		runSearch(args)
+	case "detect":
+		runDetect(args)
+	case "analyze":
+		runAnalyze(args)
+	case "index":
+		runIndex(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index} [flags]")
+	os.Exit(2)
+}
+
+func loadGraph(edges, attrs string) *graph.Graph {
+	if edges == "" {
+		fmt.Fprintln(os.Stderr, "missing -edges")
+		os.Exit(2)
+	}
+	ef, err := os.Open(edges)
+	fatal(err)
+	defer ef.Close()
+	var g *graph.Graph
+	if attrs == "" {
+		g, err = graph.LoadEdgeList(ef)
+	} else {
+		var af *os.File
+		af, err = os.Open(attrs)
+		fatal(err)
+		defer af.Close()
+		g, err = graph.LoadAttributed(ef, af)
+	}
+	fatal(err)
+	return g
+}
+
+func resolveVertex(g *graph.Graph, s string) int32 {
+	if v, ok := g.VertexByName(s); ok {
+		return v
+	}
+	id, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || id < 0 || int(id) >= g.N() {
+		fmt.Fprintf(os.Stderr, "unknown vertex %q\n", s)
+		os.Exit(2)
+	}
+	return int32(id)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runSearch(args []string) {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	edges := fs.String("edges", "", "edge-list file")
+	attrs := fs.String("attrs", "", "attribute file")
+	q := fs.String("q", "", "query vertex (name or id)")
+	k := fs.Int("k", 2, "minimum degree")
+	algo := fs.String("algo", "ACQ", "CS algorithm (ACQ, Global, Local, KTruss)")
+	keywords := fs.String("keywords", "", "space-separated query keywords")
+	fatal(fs.Parse(args))
+
+	g := loadGraph(*edges, *attrs)
+	exp := api.NewExplorer()
+	_, err := exp.AddGraph("g", g)
+	fatal(err)
+	v := resolveVertex(g, *q)
+	comms, err := exp.Search("g", *algo, api.Query{
+		Vertices: []int32{v}, K: *k, Keywords: strings.Fields(*keywords),
+	})
+	fatal(err)
+	if len(comms) == 0 {
+		fmt.Printf("no community for %q at k=%d\n", *q, *k)
+		return
+	}
+	for i, c := range comms {
+		fmt.Printf("community %d (%s): %d vertices\n", i+1, c.Method, len(c.Vertices))
+		if len(c.SharedKeywords) > 0 {
+			fmt.Printf("  shared keywords: %s\n", strings.Join(c.SharedKeywords, ", "))
+		}
+		if len(c.Theme) > 0 {
+			fmt.Printf("  theme: %s\n", strings.Join(c.Theme, ", "))
+		}
+		names := make([]string, 0, len(c.Vertices))
+		for _, v := range c.Vertices {
+			names = append(names, g.Name(v))
+		}
+		fmt.Printf("  members: %s\n", strings.Join(names, ", "))
+	}
+}
+
+func runDetect(args []string) {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	edges := fs.String("edges", "", "edge-list file")
+	attrs := fs.String("attrs", "", "attribute file")
+	algo := fs.String("algo", "CODICIL", "CD algorithm")
+	minSize := fs.Int("min", 3, "minimum community size to print")
+	fatal(fs.Parse(args))
+
+	g := loadGraph(*edges, *attrs)
+	exp := api.NewExplorer()
+	_, err := exp.AddGraph("g", g)
+	fatal(err)
+	comms, err := exp.Detect("g", *algo)
+	fatal(err)
+	printed := 0
+	for _, c := range comms {
+		if len(c.Vertices) < *minSize {
+			continue
+		}
+		printed++
+		fmt.Printf("community %d: %d vertices, theme: %s\n",
+			printed, len(c.Vertices), strings.Join(c.Theme, ", "))
+	}
+	fmt.Printf("%d communities total (%d of size ≥ %d)\n", len(comms), printed, *minSize)
+}
+
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	edges := fs.String("edges", "", "edge-list file")
+	attrs := fs.String("attrs", "", "attribute file")
+	q := fs.String("q", "", "query vertex (name or id)")
+	k := fs.Int("k", 2, "minimum degree")
+	fatal(fs.Parse(args))
+
+	g := loadGraph(*edges, *attrs)
+	exp := api.NewExplorer()
+	_, err := exp.AddGraph("g", g)
+	fatal(err)
+	v := resolveVertex(g, *q)
+	fmt.Printf("%-8s %12s %9s %7s %7s %7s %7s\n",
+		"Method", "Communities", "Vertices", "Edges", "Degree", "CPJ", "CMF")
+	for _, algo := range []string{"Global", "Local", "ACQ"} {
+		comms, err := exp.Search("g", algo, api.Query{Vertices: []int32{v}, K: *k})
+		if err != nil {
+			fmt.Printf("%-8s error: %v\n", algo, err)
+			continue
+		}
+		var nv, ne, nd, cpj, cmf float64
+		for _, c := range comms {
+			a, err := exp.Analyze("g", c, v)
+			if err != nil {
+				continue
+			}
+			nv += float64(a.Stats.Vertices)
+			ne += float64(a.Stats.Edges)
+			nd += a.Stats.AvgDegree
+			cpj += a.CPJ
+			cmf += a.CMF
+		}
+		if n := float64(len(comms)); n > 0 {
+			nv /= n
+			ne /= n
+			nd /= n
+			cpj /= n
+			cmf /= n
+		}
+		fmt.Printf("%-8s %12d %9.1f %7.1f %7.1f %7.3f %7.3f\n",
+			algo, len(comms), nv, ne, nd, cpj, cmf)
+	}
+}
+
+func runIndex(args []string) {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	edges := fs.String("edges", "", "edge-list file")
+	attrs := fs.String("attrs", "", "attribute file")
+	out := fs.String("out", "index.clt", "output index file")
+	fatal(fs.Parse(args))
+
+	g := loadGraph(*edges, *attrs)
+	tr := cltree.Build(g)
+	f, err := os.Create(*out)
+	fatal(err)
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	fatal(err)
+	fmt.Printf("CL-tree: %d nodes, depth %d, %d bytes on disk (%d in memory)\n",
+		tr.NumNodes(), tr.Depth(), n, tr.Bytes())
+}

@@ -1,0 +1,40 @@
+// Package cexplorer is an open-source reproduction of "C-Explorer: Browsing
+// Communities in Large Graphs" (Fang, Cheng, Luo, Hu, Huang — PVLDB 10(12),
+// VLDB 2017): an online, interactive community-retrieval platform for large
+// attributed graphs.
+//
+// # What it does
+//
+// C-Explorer answers community search (CS) queries — "give me the community
+// of this vertex" — over graphs whose vertices carry keywords. Its engine is
+// the ACQ query (Fang et al., PVLDB 2016): the returned community is a
+// connected subgraph containing the query vertex q in which every member has
+// at least k neighbors inside the community (structure cohesiveness) and all
+// members share a maximum-size subset of q's keywords (keyword
+// cohesiveness). Queries run against the CL-tree index, a linear-space
+// organization of the graph's nested k-core hierarchy with per-node inverted
+// keyword lists.
+//
+// Alongside ACQ, the platform ships the CS baselines Global (Sozio &
+// Gionis), Local (Cui et al.), k-truss community search (Huang et al.), and
+// the content+link community-detection method CODICIL (Ruan et al.), plus an
+// analysis module (CPJ/CMF quality metrics, statistics), force-directed
+// layout, and a browser/server front end.
+//
+// # Quick start
+//
+//	g := cexplorer.Figure5()                    // the paper's example graph
+//	eng := cexplorer.NewEngine(cexplorer.BuildIndex(g))
+//	q, _ := g.VertexByName("A")
+//	comms, _ := eng.Search(q, 2, nil, cexplorer.Dec)
+//	// comms[0].Vertices == {A, C, D}, sharing keywords {x, y}
+//
+// Or drive everything through the Figure-4 API:
+//
+//	exp := cexplorer.NewExplorer()
+//	exp.AddGraph("dblp", cexplorer.GenerateDBLP(cexplorer.DefaultDBLPConfig()).Graph)
+//	comms, _ := exp.Search("dblp", "ACQ", cexplorer.Query{Vertices: []int32{0}, K: 4})
+//
+// See the examples/ directory for runnable walkthroughs of Figures 1, 2,
+// and 6, and cmd/cexplorer for the web server.
+package cexplorer

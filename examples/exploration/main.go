@@ -1,0 +1,101 @@
+// Exploration walks the demonstration scenario of Figures 1 and 2: search
+// for "jim gray" on the DBLP-like graph with degree ≥ 4, display the
+// community and its theme, open a member's profile, and continue exploring
+// from that member — the paper's §4 "Community exploration".
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cexplorer"
+)
+
+func main() {
+	fmt.Println("generating DBLP-like network...")
+	d := cexplorer.GenerateDBLP(cexplorer.DefaultDBLPConfig())
+	g := d.Graph
+
+	idx := cexplorer.BuildIndex(g)
+	eng := cexplorer.NewEngine(idx)
+
+	// Figure 1: the user types "jim gray" and degree ≥ 4.
+	q, ok := g.VertexByName("jim gray")
+	if !ok {
+		log.Fatal("jim gray not in graph")
+	}
+	k := int32(4)
+	fmt.Printf("\nName: %q   Structure: degree ≥ %d\n", g.Name(q), k)
+	fmt.Printf("Keywords of %s: %s\n", g.Name(q),
+		strings.Join(g.KeywordStrings(q), "  "))
+
+	comms, err := eng.Search(q, k, nil, cexplorer.Dec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(comms) == 0 {
+		log.Fatalf("no community at k=%d", k)
+	}
+	fmt.Printf("\nCommunities: %d\n", len(comms))
+	c := comms[0]
+	fmt.Printf("Community 1: %d members, theme: %s\n",
+		len(c.Vertices), strings.Join(cexplorer.Theme(g, c.Vertices, 5), ", "))
+	if len(c.SharedKeywords) > 0 {
+		fmt.Printf("All members share: %s\n",
+			strings.Join(g.Vocab().Words(c.SharedKeywords), ", "))
+	}
+	show := c.Vertices
+	if len(show) > 8 {
+		show = show[:8]
+	}
+	for _, v := range show {
+		fmt.Printf("  - %s\n", g.Name(v))
+	}
+
+	// Figure 2: click a member to see the profile.
+	var member int32 = -1
+	for _, v := range c.Vertices {
+		if v != q {
+			if _, ok := d.Profiles[v]; ok {
+				member = v
+				break
+			}
+		}
+	}
+	if member < 0 {
+		member = q // no other member has a profile record; show the query's
+	}
+	if member >= 0 {
+		p := d.Profiles[member]
+		fmt.Printf("\n--- Author Profile ---\n")
+		fmt.Printf("Name: %s\n", p.Name)
+		fmt.Printf("Areas: %s\n", strings.Join(p.Areas, "; "))
+		fmt.Printf("Institutes: %s\n", strings.Join(p.Institutes, "; "))
+		fmt.Printf("Research interests: %s\n", strings.Join(p.Interests, "; "))
+
+		// "The user can continue to examine Michael's community."
+		follow, err := eng.Search(member, k, nil, cexplorer.Dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(follow) > 0 {
+			fmt.Printf("\nExplore %s's community: %d members, theme: %s\n",
+				p.Name, len(follow[0].Vertices),
+				strings.Join(cexplorer.Theme(g, follow[0].Vertices, 5), ", "))
+		}
+	}
+
+	// The display step: compute the layout the browser would draw.
+	exp := cexplorer.NewExplorer()
+	if _, err := exp.AddGraph("dblp", g); err != nil {
+		log.Fatal(err)
+	}
+	pl, err := exp.Display("dblp", cexplorer.APICommunity{Vertices: c.Vertices},
+		cexplorer.LayoutOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlayout: %d positioned vertices, %d edges (ready for the canvas)\n",
+		len(pl.Points), len(pl.Edges))
+}

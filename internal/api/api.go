@@ -1,0 +1,476 @@
+// Package api implements the developer API of Figure 4 — the CExplorer
+// interface with its five functions (upload, search, detect, analyze,
+// display) — together with the pluggable CS/CD algorithm registries that
+// let users "plug in their own CR solution on C-Explorer through a simple
+// application programmer interface".
+package api
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/codicil"
+	"cexplorer/internal/core"
+	"cexplorer/internal/csearch"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+	"cexplorer/internal/ktruss"
+	"cexplorer/internal/layout"
+	"cexplorer/internal/metrics"
+)
+
+// Query is the search request: the query vertices (by ID), the minimum
+// degree, and optional keywords (strings, matched against the graph
+// vocabulary).
+type Query struct {
+	Vertices []int32
+	K        int
+	Keywords []string
+	// Algorithm-specific free-form parameters.
+	Params map[string]string
+}
+
+// Community is the algorithm-independent result record shown in the UI.
+type Community struct {
+	Method         string   `json:"method"`
+	Vertices       []int32  `json:"vertices"`
+	SharedKeywords []string `json:"sharedKeywords,omitempty"`
+	Theme          []string `json:"theme,omitempty"`
+}
+
+// CSAlgorithm is a pluggable community-search algorithm (query-based,
+// online — Global, Local, ACQ, k-truss, or user-provided).
+type CSAlgorithm interface {
+	Name() string
+	Search(ds *Dataset, q Query) ([]Community, error)
+}
+
+// CDAlgorithm is a pluggable community-detection algorithm (whole-graph,
+// offline — CODICIL or user-provided).
+type CDAlgorithm interface {
+	Name() string
+	Detect(ds *Dataset) ([]Community, error)
+}
+
+// Dataset bundles a graph with its lazily built indexes. All methods are
+// safe for concurrent use.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph
+
+	mu      sync.Mutex
+	tree    *cltree.Tree
+	coreNum []int32
+	truss   *ktruss.Decomposition
+}
+
+// NewDataset wraps a graph.
+func NewDataset(name string, g *graph.Graph) *Dataset {
+	return &Dataset{Name: name, Graph: g}
+}
+
+// Tree returns the CL-tree, building it on first use.
+func (d *Dataset) Tree() *cltree.Tree {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tree == nil {
+		d.tree = cltree.Build(d.Graph)
+	}
+	return d.tree
+}
+
+// CoreNumbers returns the core decomposition, computing it on first use.
+func (d *Dataset) CoreNumbers() []int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.coreNum == nil {
+		d.coreNum = kcore.Decompose(d.Graph)
+	}
+	return d.coreNum
+}
+
+// Truss returns the truss decomposition, computing it on first use.
+func (d *Dataset) Truss() *ktruss.Decomposition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.truss == nil {
+		d.truss = ktruss.Decompose(d.Graph)
+	}
+	return d.truss
+}
+
+// --- built-in CS algorithms ---
+
+// ACQAlgorithm runs the ACQ engine (default: Dec).
+type ACQAlgorithm struct {
+	Variant core.Algorithm
+}
+
+// Name implements CSAlgorithm.
+func (a *ACQAlgorithm) Name() string {
+	if a.Variant == core.Dec {
+		return "ACQ"
+	}
+	return "ACQ-" + a.Variant.String()
+}
+
+// Search implements CSAlgorithm.
+func (a *ACQAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+	if len(q.Vertices) == 0 {
+		return nil, fmt.Errorf("acq: no query vertex")
+	}
+	eng := core.NewEngine(ds.Tree())
+	var S []int32
+	if len(q.Keywords) > 0 {
+		for _, w := range q.Keywords {
+			if id, ok := ds.Graph.Vocab().ID(w); ok {
+				S = append(S, id)
+			}
+		}
+		sort.Slice(S, func(i, j int) bool { return S[i] < S[j] })
+		if len(S) == 0 {
+			// None of the requested keywords exist; keep S empty but
+			// non-nil so the engine does not default to W(q).
+			S = []int32{}
+		}
+	}
+	var (
+		res []core.Community
+		err error
+	)
+	if len(q.Vertices) == 1 {
+		res, err = eng.Search(q.Vertices[0], int32(q.K), S, a.Variant)
+	} else {
+		res, err = eng.SearchMulti(q.Vertices, int32(q.K), S)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Community, 0, len(res))
+	for _, c := range res {
+		out = append(out, Community{
+			Method:         a.Name(),
+			Vertices:       c.Vertices,
+			SharedKeywords: ds.Graph.Vocab().Words(c.SharedKeywords),
+			Theme:          metrics.Theme(ds.Graph, c.Vertices, 5),
+		})
+	}
+	return out, nil
+}
+
+// GlobalAlgorithm is the Sozio–Gionis baseline.
+type GlobalAlgorithm struct{}
+
+// Name implements CSAlgorithm.
+func (GlobalAlgorithm) Name() string { return "Global" }
+
+// Search implements CSAlgorithm.
+func (GlobalAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+	if len(q.Vertices) == 0 {
+		return nil, fmt.Errorf("global: no query vertex")
+	}
+	r := csearch.Global(ds.Graph, ds.CoreNumbers(), q.Vertices[0], int32(q.K))
+	if r == nil {
+		return nil, nil
+	}
+	return []Community{{
+		Method:   "Global",
+		Vertices: r.Vertices,
+		Theme:    metrics.Theme(ds.Graph, r.Vertices, 5),
+	}}, nil
+}
+
+// LocalAlgorithm is the Cui et al. baseline.
+type LocalAlgorithm struct {
+	Budget int
+}
+
+// Name implements CSAlgorithm.
+func (LocalAlgorithm) Name() string { return "Local" }
+
+// Search implements CSAlgorithm.
+func (l LocalAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+	if len(q.Vertices) == 0 {
+		return nil, fmt.Errorf("local: no query vertex")
+	}
+	r := csearch.Local(ds.Graph, q.Vertices[0], int32(q.K), csearch.LocalOptions{Budget: l.Budget})
+	if r == nil {
+		return nil, nil
+	}
+	return []Community{{
+		Method:   "Local",
+		Vertices: r.Vertices,
+		Theme:    metrics.Theme(ds.Graph, r.Vertices, 5),
+	}}, nil
+}
+
+// KTrussAlgorithm is the Huang et al. k-truss community search.
+type KTrussAlgorithm struct{}
+
+// Name implements CSAlgorithm.
+func (KTrussAlgorithm) Name() string { return "KTruss" }
+
+// Search implements CSAlgorithm.
+func (KTrussAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+	if len(q.Vertices) == 0 {
+		return nil, fmt.Errorf("ktruss: no query vertex")
+	}
+	k := int32(q.K)
+	if k < 2 {
+		k = 2
+	}
+	comms := ds.Truss().Communities(q.Vertices[0], k)
+	out := make([]Community, 0, len(comms))
+	for _, vs := range comms {
+		out = append(out, Community{
+			Method:   "KTruss",
+			Vertices: vs,
+			Theme:    metrics.Theme(ds.Graph, vs, 5),
+		})
+	}
+	return out, nil
+}
+
+// --- built-in CD algorithm ---
+
+// CODICILAlgorithm wraps the CODICIL pipeline as a CD plugin.
+type CODICILAlgorithm struct {
+	Opts codicil.Options
+}
+
+// Name implements CDAlgorithm.
+func (CODICILAlgorithm) Name() string { return "CODICIL" }
+
+// Detect implements CDAlgorithm.
+func (c CODICILAlgorithm) Detect(ds *Dataset) ([]Community, error) {
+	r := codicil.Detect(ds.Graph, c.Opts)
+	comms := r.Partition.Communities()
+	out := make([]Community, 0, len(comms))
+	for _, vs := range comms {
+		out = append(out, Community{
+			Method:   "CODICIL",
+			Vertices: vs,
+			Theme:    metrics.Theme(ds.Graph, vs, 5),
+		})
+	}
+	return out, nil
+}
+
+// --- the CExplorer interface of Figure 4 ---
+
+// Explorer is the Go rendering of the paper's Java interface:
+//
+//	public interface CExplorer {
+//	    public void upload(String filePath);
+//	    public List<Community> search(CSAlgorithm algo, Query query);
+//	    public List<Community> detect(CDAlgorithm algo);
+//	    public void analyze(Community community);
+//	    public void display(Community community);
+//	}
+//
+// plus registration hooks for user algorithms.
+type Explorer struct {
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+	cs       map[string]CSAlgorithm
+	cd       map[string]CDAlgorithm
+}
+
+// NewExplorer returns an Explorer with the built-in algorithms registered
+// (ACQ, Global, Local, KTruss; CODICIL).
+func NewExplorer() *Explorer {
+	e := &Explorer{
+		datasets: make(map[string]*Dataset),
+		cs:       make(map[string]CSAlgorithm),
+		cd:       make(map[string]CDAlgorithm),
+	}
+	e.RegisterCS(&ACQAlgorithm{Variant: core.Dec})
+	e.RegisterCS(GlobalAlgorithm{})
+	e.RegisterCS(LocalAlgorithm{})
+	e.RegisterCS(KTrussAlgorithm{})
+	e.RegisterCD(CODICILAlgorithm{})
+	return e
+}
+
+// RegisterCS installs a community-search plugin (replacing any with the
+// same name).
+func (e *Explorer) RegisterCS(a CSAlgorithm) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cs[a.Name()] = a
+}
+
+// RegisterCD installs a community-detection plugin.
+func (e *Explorer) RegisterCD(a CDAlgorithm) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cd[a.Name()] = a
+}
+
+// CSAlgorithms lists registered CS algorithm names, sorted.
+func (e *Explorer) CSAlgorithms() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.cs))
+	for n := range e.cs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CDAlgorithms lists registered CD algorithm names, sorted.
+func (e *Explorer) CDAlgorithms() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.cd))
+	for n := range e.cd {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Upload ingests a graph in the JSON wire format under the given name
+// (Figure 4's upload; the file-path variant lives in cmd/cexplorer-cli).
+func (e *Explorer) Upload(name string, r io.Reader) (*Dataset, error) {
+	g, err := graph.LoadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return e.AddGraph(name, g)
+}
+
+// AddGraph registers an in-memory graph as a dataset.
+func (e *Explorer) AddGraph(name string, g *graph.Graph) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("upload: empty dataset name")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("upload: %w", err)
+	}
+	ds := NewDataset(name, g)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.datasets[name] = ds
+	return ds, nil
+}
+
+// Dataset returns a registered dataset.
+func (e *Explorer) Dataset(name string) (*Dataset, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.datasets[name]
+	return d, ok
+}
+
+// Datasets lists registered dataset names, sorted.
+func (e *Explorer) Datasets() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.datasets))
+	for n := range e.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Search runs a registered CS algorithm (Figure 4's search).
+func (e *Explorer) Search(dataset, algo string, q Query) ([]Community, error) {
+	ds, ok := e.Dataset(dataset)
+	if !ok {
+		return nil, fmt.Errorf("search: unknown dataset %q", dataset)
+	}
+	e.mu.RLock()
+	a, ok := e.cs[algo]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("search: unknown CS algorithm %q", algo)
+	}
+	return a.Search(ds, q)
+}
+
+// Detect runs a registered CD algorithm (Figure 4's detect).
+func (e *Explorer) Detect(dataset, algo string) ([]Community, error) {
+	ds, ok := e.Dataset(dataset)
+	if !ok {
+		return nil, fmt.Errorf("detect: unknown dataset %q", dataset)
+	}
+	e.mu.RLock()
+	a, ok := e.cd[algo]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("detect: unknown CD algorithm %q", algo)
+	}
+	return a.Detect(ds)
+}
+
+// Analysis is the report the analyze function produces for one community —
+// the quality metrics and statistics panel of Figure 6(a).
+type Analysis struct {
+	Method string                 `json:"method"`
+	CPJ    float64                `json:"cpj"`
+	CMF    float64                `json:"cmf"`
+	Stats  metrics.CommunityStats `json:"stats"`
+	Theme  []string               `json:"theme"`
+}
+
+// Analyze computes quality metrics for a community against query vertex q
+// (Figure 4's analyze).
+func (e *Explorer) Analyze(dataset string, c Community, q int32) (*Analysis, error) {
+	ds, ok := e.Dataset(dataset)
+	if !ok {
+		return nil, fmt.Errorf("analyze: unknown dataset %q", dataset)
+	}
+	if q < 0 || int(q) >= ds.Graph.N() {
+		return nil, fmt.Errorf("analyze: query vertex %d out of range", q)
+	}
+	return &Analysis{
+		Method: c.Method,
+		CPJ:    metrics.CPJ(ds.Graph, c.Vertices),
+		CMF:    metrics.CMF(ds.Graph, c.Vertices, q),
+		Stats:  metrics.Stats(ds.Graph, c.Vertices),
+		Theme:  metrics.Theme(ds.Graph, c.Vertices, 8),
+	}, nil
+}
+
+// Placement is display's output: positions keyed to the community's
+// vertices plus the induced edges, ready for the browser canvas.
+type Placement struct {
+	Vertices []int32        `json:"vertices"`
+	Names    []string       `json:"names"`
+	Points   []layout.Point `json:"points"`
+	Edges    [][2]int32     `json:"edges"` // indexes into Vertices
+}
+
+// Display computes the community layout (Figure 4's display).
+func (e *Explorer) Display(dataset string, c Community, opts layout.Options) (*Placement, error) {
+	ds, ok := e.Dataset(dataset)
+	if !ok {
+		return nil, fmt.Errorf("display: unknown dataset %q", dataset)
+	}
+	sub := ds.Graph.Induce(c.Vertices)
+	el := layout.EdgeList{Count: sub.N()}
+	for l := int32(0); l < int32(sub.N()); l++ {
+		for _, u := range sub.Neighbors(l) {
+			if l < u {
+				el.Pairs = append(el.Pairs, [2]int32{l, u})
+			}
+		}
+	}
+	pts := layout.FruchtermanReingold(el, opts)
+	names := make([]string, sub.N())
+	for i, v := range sub.Vertices {
+		names[i] = ds.Graph.Name(v)
+	}
+	return &Placement{
+		Vertices: sub.Vertices,
+		Names:    names,
+		Points:   pts,
+		Edges:    el.Pairs,
+	}, nil
+}

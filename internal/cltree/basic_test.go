@@ -1,0 +1,95 @@
+package cltree
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cexplorer/internal/gen"
+)
+
+// pathSignature returns, for every vertex, the chain of (core, vertices)
+// node identities from its node up to the root. Two CL-trees are the same
+// tree (up to child ordering) iff all path signatures match.
+func pathSignature(t *Tree) map[int32]string {
+	sig := make(map[int32]string, t.g.N())
+	nodeKey := func(n *Node) string {
+		vs := append([]int32(nil), n.Vertices...)
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		return fmt.Sprintf("%d:%v", n.Core, vs)
+	}
+	for v := int32(0); v < int32(t.g.N()); v++ {
+		key := ""
+		for n := t.NodeOf(v); n != nil; n = n.Parent {
+			key += nodeKey(n) + "|"
+		}
+		sig[v] = key
+	}
+	return sig
+}
+
+func TestBuildBasicMatchesBuildFigure5(t *testing.T) {
+	g := gen.Figure5()
+	a := Build(g)
+	b := BuildBasic(g)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.Depth() != b.Depth() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d", a.NumNodes(), a.Depth(), b.NumNodes(), b.Depth())
+	}
+	if !reflect.DeepEqual(pathSignature(a), pathSignature(b)) {
+		t.Fatal("trees differ")
+	}
+}
+
+// TestBuildBasicMatchesBuildRandom: the O(m·α) bottom-up construction and
+// the O(k·m) top-down construction must produce identical trees on random
+// attributed graphs — the central index-construction equivalence.
+func TestBuildBasicMatchesBuildRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAttributedGraph(rng, 2+rng.Intn(80))
+		a := Build(g)
+		b := BuildBasic(g)
+		if b.Validate() != nil {
+			return false
+		}
+		if a.NumNodes() != b.NumNodes() {
+			return false
+		}
+		return reflect.DeepEqual(pathSignature(a), pathSignature(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildBasicQueriesAgree: ACQ anchors agree between the constructions.
+func TestBuildBasicQueriesAgree(t *testing.T) {
+	g := gen.GenerateDBLP(gen.SmallDBLPConfig()).Graph
+	a := Build(g)
+	b := BuildBasic(g)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		q := int32(rng.Intn(g.N()))
+		k := int32(rng.Intn(6))
+		na, nb := a.Anchor(q, k), b.Anchor(q, k)
+		if (na == nil) != (nb == nil) {
+			t.Fatalf("anchor presence differs at q=%d k=%d", q, k)
+		}
+		if na == nil {
+			continue
+		}
+		va := a.SubtreeVertices(na, nil)
+		vb := b.SubtreeVertices(nb, nil)
+		sort.Slice(va, func(i, j int) bool { return va[i] < va[j] })
+		sort.Slice(vb, func(i, j int) bool { return vb[i] < vb[j] })
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("anchor subtree differs at q=%d k=%d", q, k)
+		}
+	}
+}

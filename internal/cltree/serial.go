@@ -1,0 +1,157 @@
+package cltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cexplorer/internal/graph"
+)
+
+// Binary index format ("Indexing module" of Figure 3 — the offline-built
+// index the server loads at startup):
+//
+//	magic "CLT1" | n:int32 | nodeCount:int32 | preorder nodes
+//	node := core:int32 | |vertices|:int32 | vertices... | |children|:int32
+//
+// Inverted lists and core numbers are derived data: they are rebuilt from
+// the graph on load, which costs one keyword scan and keeps files small.
+
+var magic = [4]byte{'C', 'L', 'T', '1'}
+
+// WriteTo serializes the tree structure.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := [2]int32{int32(t.g.N()), int32(t.nodes)}
+	if err := binary.Write(cw, binary.LittleEndian, hdr[:]); err != nil {
+		return cw.n, err
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if err := binary.Write(cw, binary.LittleEndian, n.Core); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, int32(len(n.Vertices))); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, n.Vertices); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, int32(len(n.Children))); err != nil {
+			return err
+		}
+		for _, ch := range n.Children {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// Read deserializes an index for g (the same graph it was built from; vertex
+// count is checked, deeper mismatches surface in Validate).
+func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("cltree: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("cltree: bad magic %q", m)
+	}
+	var hdr [2]int32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, err
+	}
+	if int(hdr[0]) != g.N() {
+		return nil, fmt.Errorf("cltree: index built for n=%d, graph has n=%d", hdr[0], g.N())
+	}
+	nodeBudget := int(hdr[1])
+	t := &Tree{
+		g:      g,
+		nodeOf: make([]*Node, g.N()),
+		core:   make([]int32, g.N()),
+	}
+	var read func() (*Node, error)
+	read = func() (*Node, error) {
+		if nodeBudget <= 0 {
+			return nil, fmt.Errorf("cltree: more nodes than header declared")
+		}
+		nodeBudget--
+		n := &Node{}
+		if err := binary.Read(br, binary.LittleEndian, &n.Core); err != nil {
+			return nil, err
+		}
+		var nv int32
+		if err := binary.Read(br, binary.LittleEndian, &nv); err != nil {
+			return nil, err
+		}
+		if nv < 0 || int(nv) > g.N() {
+			return nil, fmt.Errorf("cltree: corrupt vertex count %d", nv)
+		}
+		n.Vertices = make([]int32, nv)
+		if err := binary.Read(br, binary.LittleEndian, n.Vertices); err != nil {
+			return nil, err
+		}
+		for _, v := range n.Vertices {
+			if v < 0 || int(v) >= g.N() {
+				return nil, fmt.Errorf("cltree: corrupt vertex id %d", v)
+			}
+			t.nodeOf[v] = n
+			t.core[v] = n.Core
+		}
+		var nch int32
+		if err := binary.Read(br, binary.LittleEndian, &nch); err != nil {
+			return nil, err
+		}
+		if nch < 0 || int(nch) > g.N() {
+			return nil, fmt.Errorf("cltree: corrupt child count %d", nch)
+		}
+		t.nodes++
+		for i := int32(0); i < nch; i++ {
+			ch, err := read()
+			if err != nil {
+				return nil, err
+			}
+			ch.Parent = n
+			n.Children = append(n.Children, ch)
+		}
+		return n, nil
+	}
+	root, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if nodeBudget != 0 {
+		return nil, fmt.Errorf("cltree: header declared %d extra nodes", nodeBudget)
+	}
+	t.root = root
+	for v := 0; v < g.N(); v++ {
+		if t.nodeOf[v] == nil {
+			return nil, fmt.Errorf("cltree: vertex %d missing from index", v)
+		}
+	}
+	t.buildInverted()
+	return t, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+)
+
+// twoCliques builds two K5s joined by a single bridge edge — the canonical
+// two-community graph.
+func twoCliques(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10, 21)
+	b.AddVertexIDs(9)
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+5, v+5)
+		}
+	}
+	b.AddEdge(4, 5)
+	return b.MustBuild()
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := twoCliques(t)
+	p := Louvain(g, 1)
+	if p.Count != 2 {
+		t.Fatalf("communities = %d, want 2 (labels %v)", p.Count, p.Labels)
+	}
+	for v := int32(1); v < 5; v++ {
+		if p.Labels[v] != p.Labels[0] {
+			t.Fatalf("clique 1 split: %v", p.Labels)
+		}
+	}
+	for v := int32(6); v < 10; v++ {
+		if p.Labels[v] != p.Labels[5] {
+			t.Fatalf("clique 2 split: %v", p.Labels)
+		}
+	}
+	if p.Labels[0] == p.Labels[5] {
+		t.Fatalf("cliques merged: %v", p.Labels)
+	}
+	if q := Modularity(g, p); q < 0.3 {
+		t.Fatalf("modularity %f too low", q)
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g, _ := gen.PlantedPartition(150, 5, 0.3, 0.01, 9)
+	p1 := Louvain(g, 7)
+	p2 := Louvain(g, 7)
+	for v := range p1.Labels {
+		if p1.Labels[v] != p2.Labels[v] {
+			t.Fatal("Louvain not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestLouvainRecoversPlantedPartition(t *testing.T) {
+	g, truth := gen.PlantedPartition(200, 4, 0.35, 0.005, 3)
+	p := Louvain(g, 1)
+	// Each planted block should map (almost) entirely to one label.
+	for _, blk := range truth {
+		counts := map[int32]int{}
+		for _, v := range blk {
+			counts[p.Labels[v]]++
+		}
+		bestCnt := 0
+		for _, c := range counts {
+			if c > bestCnt {
+				bestCnt = c
+			}
+		}
+		if float64(bestCnt) < 0.9*float64(len(blk)) {
+			t.Fatalf("planted block recovered only %d/%d", bestCnt, len(blk))
+		}
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	g := twoCliques(t)
+	p := LabelPropagation(g, 0, 5)
+	if p.Labels[0] != p.Labels[4] || p.Labels[5] != p.Labels[9] {
+		t.Fatalf("cliques split: %v", p.Labels)
+	}
+	if p.Count < 1 || p.Count > 3 {
+		t.Fatalf("count = %d", p.Count)
+	}
+}
+
+func TestGirvanNewmanTwoCliques(t *testing.T) {
+	g := twoCliques(t)
+	p := GirvanNewman(g, 0)
+	if p.Count != 2 {
+		t.Fatalf("GN communities = %d (labels %v)", p.Count, p.Labels)
+	}
+	if p.Labels[0] == p.Labels[9] {
+		t.Fatalf("GN merged cliques: %v", p.Labels)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g := twoCliques(t)
+	// Singleton partition has negative-ish modularity; all-in-one has 0.
+	single := &Partition{Labels: make([]int32, g.N()), Count: 1}
+	if q := Modularity(g, single); q > 1e-9 || q < -0.5 {
+		t.Fatalf("all-in-one modularity = %f", q)
+	}
+	each := &Partition{Labels: make([]int32, g.N()), Count: g.N()}
+	for i := range each.Labels {
+		each.Labels[i] = int32(i)
+	}
+	if q := Modularity(g, each); q >= 0 {
+		t.Fatalf("singletons modularity = %f, want < 0", q)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	g := twoCliques(t)
+	// One clique: only the bridge crosses. vol = 2*10+1 = 21, cut = 1.
+	c := Conductance(g, []int32{0, 1, 2, 3, 4})
+	if c > 0.1 {
+		t.Fatalf("clique conductance = %f", c)
+	}
+	// A random straddling set has high conductance.
+	c2 := Conductance(g, []int32{0, 5})
+	if c2 <= c {
+		t.Fatalf("straddling set conductance %f should exceed %f", c2, c)
+	}
+	if got := Conductance(g, nil); got != 1 {
+		t.Fatalf("empty set conductance = %f", got)
+	}
+}
+
+// TestPartitionHelpers checks Communities/CommunityOf consistency.
+func TestPartitionHelpers(t *testing.T) {
+	g := twoCliques(t)
+	p := Louvain(g, 1)
+	comms := p.Communities()
+	total := 0
+	for _, c := range comms {
+		total += len(c)
+	}
+	if total != g.N() {
+		t.Fatalf("communities cover %d of %d vertices", total, g.N())
+	}
+	c0 := p.CommunityOf(0)
+	found := false
+	for _, v := range c0 {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("CommunityOf(0) missing 0")
+	}
+}
+
+// TestLouvainPartitionIsValid: labels dense, count correct, on random
+// graphs; and modularity of the result is ≥ modularity of singletons.
+func TestLouvainPartitionIsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		b := graph.NewBuilder(n, 0)
+		b.AddVertexIDs(int32(n - 1))
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		p := Louvain(g, seed)
+		if len(p.Labels) != n {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, l := range p.Labels {
+			if l < 0 || int(l) >= p.Count {
+				return false
+			}
+			seen[l] = true
+		}
+		if len(seen) != p.Count {
+			return false
+		}
+		singles := &Partition{Labels: make([]int32, n), Count: n}
+		for i := range singles.Labels {
+			singles.Labels[i] = int32(i)
+		}
+		return Modularity(g, p) >= Modularity(g, singles)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedGraphAggregationConservesWeight(t *testing.T) {
+	edges := []WEdge{{0, 1, 2}, {1, 2, 1}, {2, 0, 1}, {2, 3, 0.5}, {3, 3, 1}}
+	wg := NewWeighted(4, edges)
+	if wg.total != 5.5 {
+		t.Fatalf("total = %f", wg.total)
+	}
+	labels := []int32{0, 0, 0, 1}
+	agg := aggregate(wg, labels, 2)
+	if agg.total != wg.total {
+		t.Fatalf("aggregate total = %f, want %f", agg.total, wg.total)
+	}
+	// Intra weights 2+1+1=4 collapse into community 0's self-loop.
+	if agg.selfLoop[0] != 4 {
+		t.Fatalf("selfLoop[0] = %f", agg.selfLoop[0])
+	}
+	if agg.selfLoop[1] != 1 {
+		t.Fatalf("selfLoop[1] = %f", agg.selfLoop[1])
+	}
+}

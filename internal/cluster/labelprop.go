@@ -1,0 +1,58 @@
+package cluster
+
+import "math/rand"
+
+// LabelPropagation runs synchronous-update label propagation with
+// deterministic seeded tie-breaking: every vertex adopts the most frequent
+// label among its neighbors (smallest label on ties), for at most maxIters
+// rounds or until stable. It is the fast alternative clusterer CODICIL can
+// use in place of Louvain.
+func LabelPropagation(g interface {
+	N() int
+	Neighbors(int32) []int32
+}, maxIters int, seed int64) *Partition {
+	n := g.N()
+	if maxIters <= 0 {
+		maxIters = 32
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	counts := make(map[int32]int)
+	order := rng.Perm(n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := 0
+		for _, vi := range order {
+			v := int32(vi)
+			nbrs := g.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, u := range nbrs {
+				counts[labels[u]]++
+			}
+			best := labels[v]
+			bestCnt := counts[best]
+			for l, c := range counts {
+				if c > bestCnt || (c == bestCnt && l < best) {
+					best, bestCnt = l, c
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	p := &Partition{Labels: labels}
+	p.normalize()
+	return p
+}

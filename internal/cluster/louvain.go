@@ -1,0 +1,203 @@
+package cluster
+
+import "math/rand"
+
+// WeightedGraph is the internal multigraph representation Louvain iterates
+// on (phase-2 aggregation produces weighted self-loops and parallel-edge
+// sums).
+type WeightedGraph struct {
+	n        int
+	adj      [][]wedge
+	selfLoop []float64
+	total    float64 // total edge weight (undirected, self-loops counted once)
+}
+
+type wedge struct {
+	to int32
+	w  float64
+}
+
+// NewWeightedFromGraph lifts an unweighted graph.
+func NewWeightedFromGraph(g interface {
+	N() int
+	Neighbors(int32) []int32
+}) *WeightedGraph {
+	wg := &WeightedGraph{n: g.N(), adj: make([][]wedge, g.N()), selfLoop: make([]float64, g.N())}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			wg.adj[v] = append(wg.adj[v], wedge{to: u, w: 1})
+			if int32(v) < u {
+				wg.total++
+			}
+		}
+	}
+	return wg
+}
+
+// NewWeighted builds a weighted graph from explicit edges (u,v,w); used by
+// CODICIL's sparsified similarity graph.
+func NewWeighted(n int, edges []WEdge) *WeightedGraph {
+	wg := &WeightedGraph{n: n, adj: make([][]wedge, n), selfLoop: make([]float64, n)}
+	for _, e := range edges {
+		if e.U == e.V {
+			wg.selfLoop[e.U] += e.W
+			wg.total += e.W
+			continue
+		}
+		wg.adj[e.U] = append(wg.adj[e.U], wedge{to: e.V, w: e.W})
+		wg.adj[e.V] = append(wg.adj[e.V], wedge{to: e.U, w: e.W})
+		wg.total += e.W
+	}
+	return wg
+}
+
+// WEdge is a weighted undirected edge.
+type WEdge struct {
+	U, V int32
+	W    float64
+}
+
+// Louvain runs the Louvain method: local moving + aggregation until
+// modularity stops improving. Deterministic in seed (vertex visit order is
+// shuffled per pass with the seeded rng).
+func Louvain(g interface {
+	N() int
+	Neighbors(int32) []int32
+}, seed int64) *Partition {
+	return LouvainWeighted(NewWeightedFromGraph(g), seed)
+}
+
+// LouvainWeighted is Louvain on an explicit weighted graph.
+func LouvainWeighted(wg *WeightedGraph, seed int64) *Partition {
+	rng := rand.New(rand.NewSource(seed))
+	n := wg.n
+	// vertexComm[v] = community of original vertex v, maintained across
+	// levels via the mapping chain.
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = int32(i)
+	}
+
+	cur := wg
+	for level := 0; level < 32; level++ {
+		labels, improved := localMoving(cur, rng)
+		if !improved && level > 0 {
+			break
+		}
+		// Compact labels.
+		remap := make(map[int32]int32)
+		for _, l := range labels {
+			if _, ok := remap[l]; !ok {
+				remap[l] = int32(len(remap))
+			}
+		}
+		for i, l := range labels {
+			labels[i] = remap[l]
+		}
+		nc := len(remap)
+		// Update the original-vertex assignment.
+		for v := 0; v < n; v++ {
+			assign[v] = labels[assign[v]]
+		}
+		if nc == cur.n || !improved {
+			break
+		}
+		cur = aggregate(cur, labels, nc)
+	}
+	p := &Partition{Labels: assign}
+	p.normalize()
+	return p
+}
+
+// localMoving is Louvain phase 1: move vertices to the neighboring
+// community with maximal modularity gain until no move improves.
+func localMoving(wg *WeightedGraph, rng *rand.Rand) (labels []int32, improved bool) {
+	n := wg.n
+	labels = make([]int32, n)
+	commTot := make([]float64, n) // Σ degree weight per community
+	degW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = int32(v)
+		d := 2 * wg.selfLoop[v]
+		for _, e := range wg.adj[v] {
+			d += e.w
+		}
+		degW[v] = d
+		commTot[v] = d
+	}
+	m2 := 2 * wg.total
+	if m2 == 0 {
+		return labels, false
+	}
+
+	order := rng.Perm(n)
+	neighW := make(map[int32]float64)
+	for pass := 0; pass < 64; pass++ {
+		moves := 0
+		for _, vi := range order {
+			v := int32(vi)
+			// Weights to neighboring communities.
+			for k := range neighW {
+				delete(neighW, k)
+			}
+			for _, e := range wg.adj[v] {
+				neighW[labels[e.to]] += e.w
+			}
+			old := labels[v]
+			commTot[old] -= degW[v]
+			best, bestGain := old, neighW[old]-commTot[old]*degW[v]/m2
+			for c, w := range neighW {
+				gain := w - commTot[c]*degW[v]/m2
+				switch {
+				case gain > bestGain+1e-12:
+					best, bestGain = c, gain
+				case gain > bestGain-1e-12 && c < best:
+					// Deterministic tie-break (map iteration order varies).
+					best, bestGain = c, gain
+				}
+			}
+			labels[v] = best
+			commTot[best] += degW[v]
+			if best != old {
+				moves++
+				improved = true
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	return labels, improved
+}
+
+// aggregate is Louvain phase 2: collapse communities into super-vertices.
+func aggregate(wg *WeightedGraph, labels []int32, nc int) *WeightedGraph {
+	out := &WeightedGraph{n: nc, adj: make([][]wedge, nc), selfLoop: make([]float64, nc)}
+	acc := make(map[int64]float64)
+	for v := 0; v < wg.n; v++ {
+		cv := labels[v]
+		out.selfLoop[cv] += wg.selfLoop[v]
+		for _, e := range wg.adj[v] {
+			cu := labels[e.to]
+			if cv == cu {
+				if int32(v) < e.to {
+					out.selfLoop[cv] += e.w
+				}
+				continue
+			}
+			if cv < cu {
+				acc[int64(cv)<<32|int64(cu)] += e.w
+			}
+		}
+	}
+	for key, w := range acc {
+		u, v := int32(key>>32), int32(key&0xffffffff)
+		out.adj[u] = append(out.adj[u], wedge{to: v, w: w})
+		out.adj[v] = append(out.adj[v], wedge{to: u, w: w})
+		out.total += w
+	}
+	for c := 0; c < nc; c++ {
+		out.total += out.selfLoop[c]
+	}
+	return out
+}

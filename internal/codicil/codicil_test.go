@@ -1,0 +1,132 @@
+package codicil
+
+import (
+	"testing"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+)
+
+// attributedCliques: two K5s with distinct vocabularies joined by a bridge.
+func attributedCliques(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10, 21)
+	for i := 0; i < 5; i++ {
+		b.AddVertex("", "database", "transaction", "query")
+	}
+	for i := 0; i < 5; i++ {
+		b.AddVertex("", "vision", "image", "segmentation")
+	}
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+5, v+5)
+		}
+	}
+	b.AddEdge(4, 5)
+	return b.MustBuild()
+}
+
+func TestDetectTwoTopicCliques(t *testing.T) {
+	g := attributedCliques(t)
+	r := Detect(g, Options{Seed: 1, ContentK: 3})
+	if r.Partition.Count < 2 {
+		t.Fatalf("partition count = %d, want ≥ 2", r.Partition.Count)
+	}
+	// The two topic groups must not share a community.
+	if r.Partition.Labels[0] == r.Partition.Labels[9] {
+		t.Fatalf("topics merged: %v", r.Partition.Labels)
+	}
+	for v := int32(1); v < 5; v++ {
+		if r.Partition.Labels[v] != r.Partition.Labels[0] {
+			t.Fatalf("db clique split: %v", r.Partition.Labels)
+		}
+	}
+	comm := r.CommunityOf(0)
+	if len(comm) != 5 {
+		t.Fatalf("CommunityOf(0) = %v", comm)
+	}
+	if r.ContentEdges == 0 || r.UnionEdges < g.M() || r.SparsifiedEdges == 0 {
+		t.Fatalf("pipeline stats: %+v", r)
+	}
+}
+
+// TestContentOverridesWeakStructure: content similarity must pull together
+// same-topic vertices that structure alone would separate. Two stars with
+// the same vocabulary and no connecting edge end up bridged by content
+// edges, so label propagation over the union can see cross-star pairs.
+func TestContentEdgesCreated(t *testing.T) {
+	b := graph.NewBuilder(6, 4)
+	for i := 0; i < 6; i++ {
+		b.AddVertex("", "streaming", "window", "operator")
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.MustBuild()
+	edges := contentEdges(g, func() Options { o := Options{ContentK: 2}; o.fill(g.N()); return o }())
+	if len(edges) == 0 {
+		t.Fatal("no content edges for identical vocabularies")
+	}
+	crossFound := false
+	for _, e := range edges {
+		if (e.u < 3) != (e.v < 3) {
+			crossFound = true
+		}
+	}
+	if !crossFound {
+		t.Fatal("content edges never cross the structural gap")
+	}
+}
+
+func TestSparsificationReducesEdges(t *testing.T) {
+	g := gen.GenerateDBLP(gen.SmallDBLPConfig()).Graph
+	full := Detect(g, Options{Seed: 1, NoSparsify: true})
+	sparse := Detect(g, Options{Seed: 1})
+	if sparse.SparsifiedEdges >= full.SparsifiedEdges {
+		t.Fatalf("sparsify kept %d ≥ %d edges", sparse.SparsifiedEdges, full.SparsifiedEdges)
+	}
+	if sparse.Partition.Count < 2 {
+		t.Fatalf("sparse partition degenerate: %d", sparse.Partition.Count)
+	}
+}
+
+func TestDetectLabelPropagationVariant(t *testing.T) {
+	g := attributedCliques(t)
+	r := Detect(g, Options{Seed: 3, UseLabelLP: true})
+	if len(r.Partition.Labels) != g.N() {
+		t.Fatal("bad partition size")
+	}
+	if r.Partition.Labels[0] == r.Partition.Labels[9] {
+		t.Fatalf("LP variant merged topics: %v", r.Partition.Labels)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	g := gen.GenerateDBLP(gen.SmallDBLPConfig()).Graph
+	a := Detect(g, Options{Seed: 42})
+	b := Detect(g, Options{Seed: 42})
+	for v := range a.Partition.Labels {
+		if a.Partition.Labels[v] != b.Partition.Labels[v] {
+			t.Fatal("CODICIL not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestTFIDFCosine(t *testing.T) {
+	b := graph.NewBuilder(3, 0)
+	b.AddVertex("", "a", "b")
+	b.AddVertex("", "a", "b")
+	b.AddVertex("", "c")
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	tf := newTFIDF(g, g.N())
+	if sim := tf.cosine(0, 1); sim < 0.999 {
+		t.Fatalf("identical sets cosine = %f", sim)
+	}
+	if sim := tf.cosine(0, 2); sim != 0 {
+		t.Fatalf("disjoint sets cosine = %f", sim)
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/ds"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+)
+
+func figure5Engine(t testing.TB) *Engine {
+	t.Helper()
+	g := gen.Figure5()
+	return NewEngine(cltree.Build(g))
+}
+
+// TestPaperWorkedExample is experiment E1: "If q=A, k=2 and S={w,x,y}, then
+// the output of the ACQ query is the subgraph of three vertices {A, C, D},
+// and all the vertices share two keywords x and y."
+func TestPaperWorkedExample(t *testing.T) {
+	e := figure5Engine(t)
+	g := e.Graph()
+	S := mustIDs(t, g, "w", "x", "y")
+	for _, algo := range []Algorithm{Dec, IncS, IncT, Basic} {
+		got, err := e.Search(gen.Figure5VertexID("A"), 2, S, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("%v: %d answers, want 1: %+v", algo, len(got), got)
+		}
+		wantV := []int32{0, 2, 3} // A, C, D
+		if !reflect.DeepEqual(got[0].Vertices, wantV) {
+			t.Fatalf("%v: vertices = %v, want %v", algo, got[0].Vertices, wantV)
+		}
+		wantL := mustIDs(t, g, "x", "y")
+		if !reflect.DeepEqual(got[0].SharedKeywords, wantL) {
+			t.Fatalf("%v: L = %v, want %v", algo, got[0].SharedKeywords, wantL)
+		}
+	}
+}
+
+func mustIDs(t testing.TB, g *graph.Graph, words ...string) []int32 {
+	t.Helper()
+	ids := make([]int32, 0, len(words))
+	for _, w := range words {
+		id, ok := g.Vocab().ID(w)
+		if !ok {
+			t.Fatalf("keyword %q not in vocab", w)
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestSearchDefaultsToQueryKeywords(t *testing.T) {
+	e := figure5Engine(t)
+	// nil S must behave as S = W(A) = {w,x,y}.
+	got, err := e.Search(0, 2, nil, Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].SharedKeywords) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSearchEnforcesSSubsetOfWq(t *testing.T) {
+	e := figure5Engine(t)
+	g := e.Graph()
+	// z ∉ W(A): including it must not change the answer.
+	S := mustIDs(t, g, "w", "x", "y", "z")
+	got, err := e.Search(0, 2, S, Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].SharedKeywords) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestKeywordlessFallback(t *testing.T) {
+	e := figure5Engine(t)
+	// q=B, k=3, S={x}: B's 3-core is the K4 but D,A,C,B all have x... B does
+	// have x, so {x} admits the K4. Use q=H, k=1, S=∅ candidates: H,I share
+	// no keyword (H:{y,z}, I:{x}) so the fallback returns the plain 1-core
+	// component {H,I} with empty L.
+	g := e.Graph()
+	got, err := e.Search(gen.Figure5VertexID("H"), 1, nil, Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("answers = %+v", got)
+	}
+	if len(got[0].SharedKeywords) != 0 {
+		t.Fatalf("L = %v, want empty", g.Vocab().Words(got[0].SharedKeywords))
+	}
+	if !reflect.DeepEqual(got[0].Vertices, []int32{7, 8}) {
+		t.Fatalf("vertices = %v", got[0].Vertices)
+	}
+}
+
+func TestNoCommunity(t *testing.T) {
+	e := figure5Engine(t)
+	// J is isolated: k=1 yields nothing.
+	got, err := e.Search(gen.Figure5VertexID("J"), 1, nil, Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("J at k=1 = %+v", got)
+	}
+	// F has core 1: k=2 yields nothing.
+	if got, _ := e.Search(gen.Figure5VertexID("F"), 2, nil, Dec); got != nil {
+		t.Fatalf("F at k=2 = %+v", got)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	e := figure5Engine(t)
+	if _, err := e.Search(-1, 1, nil, Dec); err == nil {
+		t.Fatal("negative q accepted")
+	}
+	if _, err := e.Search(999, 1, nil, Dec); err == nil {
+		t.Fatal("out-of-range q accepted")
+	}
+	if _, err := e.Search(0, -1, nil, Dec); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := e.Search(0, 1, nil, Algorithm(99)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestMultiVertex(t *testing.T) {
+	e := figure5Engine(t)
+	g := e.Graph()
+	// Q={A,D}, k=2: A and D share keywords {x,y}; answer {A,C,D} as before.
+	got, err := e.SearchMulti([]int32{0, 3}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Vertices, []int32{0, 2, 3}) {
+		t.Fatalf("multi answer = %+v", got)
+	}
+	if !reflect.DeepEqual(got[0].SharedKeywords, mustIDs(t, g, "x", "y")) {
+		t.Fatalf("multi L = %v", got[0].SharedKeywords)
+	}
+	// Q={A,H}: different components → nil.
+	if got, _ := e.SearchMulti([]int32{0, 7}, 1, nil); got != nil {
+		t.Fatalf("disconnected multi = %+v", got)
+	}
+	// Single-vertex degenerate case routes to Search.
+	got, err = e.SearchMulti([]int32{0, 0}, 2, nil)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("degenerate multi: %v %+v", err, got)
+	}
+	// Errors.
+	if _, err := e.SearchMulti(nil, 1, nil); err == nil {
+		t.Fatal("empty Q accepted")
+	}
+	if _, err := e.SearchMulti([]int32{0, 88}, 1, nil); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	e := figure5Engine(t)
+	if _, err := e.Search(0, 2, nil, Dec); err != nil {
+		t.Fatal(err)
+	}
+	st := e.LastStats()
+	if st.Verifications == 0 || st.UniverseSize == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+// --- cross-algorithm equivalence against an independent oracle ---
+
+// oracleACQ answers Problem 1 by exhaustive enumeration with its own naive
+// peeling (sharing no code with the engine beyond the graph type).
+func oracleACQ(g *graph.Graph, q int32, k int32, S []int32) []Community {
+	var best []Community
+	bestSize := 0
+	for mask := 1; mask < 1<<len(S); mask++ {
+		var T []int32
+		for i, w := range S {
+			if mask&(1<<i) != 0 {
+				T = append(T, w)
+			}
+		}
+		if len(T) < bestSize {
+			continue
+		}
+		comp := oracleVerify(g, q, k, T)
+		if comp == nil {
+			continue
+		}
+		sub := g.Induce(comp)
+		L := sub.SharedKeywords(S)
+		if len(L) > bestSize {
+			bestSize = len(L)
+			best = nil
+		}
+		if len(L) == bestSize {
+			best = append(best, Community{Vertices: sub.Vertices, SharedKeywords: L})
+		}
+	}
+	return dedupAnswers(best)
+}
+
+func oracleVerify(g *graph.Graph, q int32, k int32, T []int32) []int32 {
+	in := make(map[int32]bool)
+	for v := int32(0); v < int32(g.N()); v++ {
+		if ds.ContainsAllSorted(g.Keywords(v), T) {
+			in[v] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := range in {
+			d := 0
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					d++
+				}
+			}
+			if int32(d) < k {
+				delete(in, v)
+				changed = true
+			}
+		}
+	}
+	if !in[q] {
+		return nil
+	}
+	// BFS component of q.
+	comp := []int32{q}
+	seen := map[int32]bool{q: true}
+	for head := 0; head < len(comp); head++ {
+		for _, u := range g.Neighbors(comp[head]) {
+			if in[u] && !seen[u] {
+				seen[u] = true
+				comp = append(comp, u)
+			}
+		}
+	}
+	return comp
+}
+
+func randomAttributed(rng *rand.Rand, n int) *graph.Graph {
+	words := []string{"a", "b", "c", "d", "e"}
+	b := graph.NewBuilder(n, 0)
+	for i := 0; i < n; i++ {
+		nk := 1 + rng.Intn(4)
+		kws := make([]string, 0, nk)
+		for j := 0; j < nk; j++ {
+			kws = append(kws, words[rng.Intn(len(words))])
+		}
+		b.AddVertex("", kws...)
+	}
+	m := 2 + rng.Intn(4*n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+func canonicalize(answers []Community) []Community {
+	sortAnswers(answers)
+	return answers
+}
+
+// TestAlgorithmsAgreeWithOracle is the central correctness property: Dec,
+// Inc-S, Inc-T and Basic must all return exactly the oracle's communities
+// (same maximal keyword sets, same maximal vertex sets) on random graphs.
+func TestAlgorithmsAgreeWithOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAttributed(rng, 4+rng.Intn(22))
+		tr := cltree.Build(g)
+		e := NewEngine(tr)
+		for trial := 0; trial < 6; trial++ {
+			q := int32(rng.Intn(g.N()))
+			k := int32(1 + rng.Intn(3))
+			S := g.Keywords(q)
+			if tr.CoreNumbers()[q] < k {
+				if got, _ := e.Search(q, k, nil, Dec); got != nil {
+					return false
+				}
+				continue
+			}
+			want := canonicalize(oracleACQ(g, q, k, S))
+			for _, algo := range []Algorithm{Dec, IncS, IncT, Basic} {
+				got, err := e.Search(q, k, nil, algo)
+				if err != nil {
+					return false
+				}
+				if len(want) == 0 {
+					// Oracle found no keyword-sharing AC; engine must return
+					// the keywordless fallback (plain k-core component).
+					if len(got) != 1 || len(got[0].SharedKeywords) != 0 {
+						return false
+					}
+					continue
+				}
+				got = canonicalize(got)
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnswerInvariants checks Problem 1's three properties on every answer
+// over random graphs: connectivity (with q), structure cohesiveness
+// (min degree ≥ k), and keyword cohesiveness (every member ⊇ L, L ⊆ S).
+func TestAnswerInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAttributed(rng, 4+rng.Intn(40))
+		e := NewEngine(cltree.Build(g))
+		for trial := 0; trial < 8; trial++ {
+			q := int32(rng.Intn(g.N()))
+			k := int32(1 + rng.Intn(3))
+			answers, err := e.Search(q, k, nil, Dec)
+			if err != nil {
+				return false
+			}
+			for _, a := range answers {
+				sub := g.Induce(a.Vertices)
+				if _, ok := sub.LocalID(q); !ok {
+					return false
+				}
+				if !sub.IsConnected() {
+					return false
+				}
+				if int32(sub.MinDegree()) < k {
+					return false
+				}
+				for _, v := range a.Vertices {
+					if !ds.ContainsAllSorted(g.Keywords(v), a.SharedKeywords) {
+						return false
+					}
+				}
+				if !ds.ContainsAllSorted(g.Keywords(q), a.SharedKeywords) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiVertexInvariants: multi-vertex answers contain every query
+// vertex and satisfy the same cohesiveness properties.
+func TestMultiVertexInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomAttributed(rng, 6+rng.Intn(30))
+		e := NewEngine(cltree.Build(g))
+		for trial := 0; trial < 5; trial++ {
+			qs := []int32{int32(rng.Intn(g.N())), int32(rng.Intn(g.N()))}
+			k := int32(1 + rng.Intn(2))
+			answers, err := e.SearchMulti(qs, k, nil)
+			if err != nil {
+				return false
+			}
+			for _, a := range answers {
+				sub := g.Induce(a.Vertices)
+				for _, q := range qs {
+					if _, ok := sub.LocalID(q); !ok {
+						return false
+					}
+				}
+				if !sub.IsConnected() || int32(sub.MinDegree()) < k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecFasterThanBasicWorkload sanity-checks the work ordering the paper
+// claims (E5 shape): on a DBLP-like graph Dec performs far fewer
+// verifications than Basic's exhaustive enumeration.
+func TestDecWorkBelowBasic(t *testing.T) {
+	d := gen.GenerateDBLP(gen.SmallDBLPConfig())
+	e := NewEngine(cltree.Build(d.Graph))
+	q, ok := d.Graph.VertexByName("jim gray")
+	if !ok {
+		t.Fatal("no jim gray")
+	}
+	S := d.Graph.Keywords(q)
+	if len(S) > 10 {
+		S = S[:10]
+	}
+	if _, err := e.Search(q, 4, S, Dec); err != nil {
+		t.Fatal(err)
+	}
+	decWork := e.LastStats().CandidateSets
+	if _, err := e.Search(q, 4, S, Basic); err != nil {
+		t.Fatal(err)
+	}
+	basicWork := e.LastStats().CandidateSets
+	if decWork >= basicWork {
+		t.Fatalf("Dec generated %d candidate sets, Basic %d: expected Dec ≪ Basic", decWork, basicWork)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for algo, want := range map[Algorithm]string{
+		Dec: "Dec", IncS: "Inc-S", IncT: "Inc-T", Basic: "Basic",
+	} {
+		if algo.String() != want {
+			t.Fatalf("%d.String() = %q", algo, algo.String())
+		}
+	}
+	if Algorithm(42).String() == "" {
+		t.Fatal("unknown algorithm should still print")
+	}
+}

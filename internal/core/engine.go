@@ -1,0 +1,319 @@
+// Package core implements the ACQ query engine — the primary contribution
+// of the paper (Problem 1, §3.2): given an attributed graph G, a query
+// vertex q, a minimum degree k, and a keyword set S ⊆ W(q), return the
+// connected subgraphs containing q whose vertices all have degree ≥ k inside
+// the subgraph and share a maximum-size keyword subset L ⊆ S.
+//
+// Four query algorithms are provided, as in the paper:
+//
+//   - Basic: subset enumeration without the index ("impractical,
+//     especially when there are many keywords in S").
+//   - Inc-S: incremental (small → large candidate keyword sets),
+//     space-efficient — stores only the admissible keyword sets.
+//   - Inc-T: incremental, time-efficient — caches each admissible set's
+//     partial community and refines it for the set's supersets.
+//   - Dec: decremental (large → small), the system default ("Since Dec is
+//     generally faster than Inc-S and Inc-T, we choose Dec for the system").
+//
+// All three indexed algorithms restrict work to the CL-tree anchor subtree
+// of (q,k) — the connected k-core component containing q — and exploit the
+// anti-monotonicity of admissibility: if T admits an AC then so does every
+// subset of T.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/ds"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+)
+
+// Algorithm selects an ACQ query algorithm.
+type Algorithm int
+
+// The query algorithms of the paper, §3.2.
+const (
+	Dec Algorithm = iota // decremental; system default
+	IncS
+	IncT
+	Basic // no index; exponential
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Dec:
+		return "Dec"
+	case IncS:
+		return "Inc-S"
+	case IncT:
+		return "Inc-T"
+	case Basic:
+		return "Basic"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Community is one attributed community (AC): a connected subgraph
+// containing the query vertex/vertices with minimum internal degree ≥ k
+// whose members all carry SharedKeywords.
+type Community struct {
+	Vertices       []int32 // ascending
+	SharedKeywords []int32 // L(Gq, S), ascending interned keyword IDs
+}
+
+// Stats reports work done by the last query, for the E5 experiment and the
+// Analysis panel.
+type Stats struct {
+	Verifications int // candidate keyword sets verified by peeling
+	CandidateSets int // candidate keyword sets generated
+	UniverseSize  int // vertices in the CL-tree anchor subtree
+}
+
+// Engine executes ACQ queries against one CL-tree index. An Engine is not
+// safe for concurrent use (it carries per-query scratch); create one per
+// goroutine — they can share the same *cltree.Tree.
+type Engine struct {
+	tree   *cltree.Tree
+	g      *graph.Graph
+	peeler *kcore.Peeler
+	stats  Stats
+}
+
+// NewEngine returns an engine over the given index.
+func NewEngine(tree *cltree.Tree) *Engine {
+	return &Engine{tree: tree, g: tree.Graph(), peeler: kcore.NewPeeler(tree.Graph())}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Tree returns the underlying CL-tree index.
+func (e *Engine) Tree() *cltree.Tree { return e.tree }
+
+// LastStats returns work counters from the most recent Search call.
+func (e *Engine) LastStats() Stats { return e.stats }
+
+// Search runs an ACQ query. S lists the query keywords (interned IDs); a
+// nil S means "all of W(q)" as the C-Explorer UI defaults to. The result
+// holds every community of maximum shared-keyword size; when no keyword
+// admits a community but the connected k-core containing q exists, that
+// k-core is returned with an empty SharedKeywords (the keywordless answer).
+// A nil result means q has no community at this k.
+func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Community, error) {
+	if q < 0 || int(q) >= e.g.N() {
+		return nil, fmt.Errorf("acq: query vertex %d out of range", q)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("acq: negative k")
+	}
+	e.stats = Stats{}
+
+	// Problem 1 requires S ⊆ W(q); intersect to enforce.
+	if S == nil {
+		S = e.g.Keywords(q)
+	} else {
+		S = ds.IntersectSorted(sortedCopy(S), e.g.Keywords(q))
+	}
+
+	qc := newQueryContext(e, q, k)
+	if qc == nil {
+		return nil, nil // core(q) < k: no community at all
+	}
+	e.stats.UniverseSize = len(qc.universe)
+
+	var answers []Community
+	switch algo {
+	case Basic:
+		answers = e.searchBasic(qc, S)
+	case IncS:
+		answers = e.searchIncS(qc, S)
+	case IncT:
+		answers = e.searchIncT(qc, S)
+	case Dec:
+		answers = e.searchDec(qc, S)
+	default:
+		return nil, fmt.Errorf("acq: unknown algorithm %v", algo)
+	}
+
+	if len(answers) == 0 {
+		// Keywordless fallback: the connected k-core containing q.
+		comp := e.peeler.ConnectedKCoreContaining(qc.universe, k, q)
+		if comp == nil {
+			return nil, nil
+		}
+		answers = []Community{{Vertices: sortedCopy(comp)}}
+	}
+	sortAnswers(answers)
+	return answers, nil
+}
+
+// queryContext carries the per-query candidate universe: the CL-tree anchor
+// subtree for (q,k) and lazily materialized per-keyword vertex lists.
+type queryContext struct {
+	e        *Engine
+	q        int32
+	k        int32
+	universe []int32           // ascending
+	kwLists  map[int32][]int32 // keyword -> ascending universe vertices carrying it
+	anchor   *cltree.Node
+	multi    []int32 // non-nil for multi-vertex queries: all must be in the AC
+}
+
+func newQueryContext(e *Engine, q, k int32) *queryContext {
+	anchor := e.tree.Anchor(q, k)
+	if anchor == nil {
+		return nil
+	}
+	universe := e.tree.SubtreeVertices(anchor, nil)
+	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
+	return &queryContext{
+		e:        e,
+		q:        q,
+		k:        k,
+		universe: universe,
+		kwLists:  make(map[int32][]int32),
+		anchor:   anchor,
+	}
+}
+
+// keywordVertices returns the ascending list of universe vertices carrying
+// w, materializing it from the CL-tree inverted lists on first use.
+func (qc *queryContext) keywordVertices(w int32) []int32 {
+	if lst, ok := qc.kwLists[w]; ok {
+		return lst
+	}
+	lst := qc.e.tree.SubtreeKeywordVertices(qc.anchor, w, nil)
+	sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	qc.kwLists[w] = lst
+	return lst
+}
+
+// candidates returns the ascending vertex list {v ∈ universe : T ⊆ W(v)},
+// or nil if any query vertex is excluded (then no AC for T can exist).
+func (qc *queryContext) candidates(T []int32) []int32 {
+	if len(T) == 0 {
+		return qc.universe
+	}
+	cur := qc.keywordVertices(T[0])
+	for _, w := range T[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = ds.IntersectSorted(cur, qc.keywordVertices(w))
+	}
+	for _, q := range qc.queryVertices() {
+		if !ds.ContainsSorted(cur, q) {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (qc *queryContext) queryVertices() []int32 {
+	if qc.multi != nil {
+		return qc.multi
+	}
+	return []int32{qc.q}
+}
+
+// peelContaining runs the k-core peel over cand and returns the component
+// holding every query vertex (nil if any is evicted or separated).
+func (qc *queryContext) peelContaining(cand []int32) []int32 {
+	if qc.multi != nil {
+		return qc.e.peeler.ConnectedKCoreContainingAll(cand, qc.k, qc.multi)
+	}
+	return qc.e.peeler.ConnectedKCoreContaining(cand, qc.k, qc.q)
+}
+
+// verify checks whether keyword set T admits an AC: it computes the k-core
+// of the subgraph induced by T's candidates and returns the connected
+// component containing the query vertices (nil if none). The returned
+// vertices are in BFS order.
+func (qc *queryContext) verify(T []int32) []int32 {
+	qc.e.stats.Verifications++
+	cand := qc.candidates(T)
+	if len(cand) < int(qc.k)+1 {
+		return nil
+	}
+	return qc.peelContaining(cand)
+}
+
+// refineVerify re-peels an already-known parent community restricted to the
+// vertices carrying one extra keyword — the Inc-T sharing step. parent must
+// be the AC for some T' with the refined set being T' ∪ {w}.
+func (qc *queryContext) refineVerify(parent []int32, w int32) []int32 {
+	qc.e.stats.Verifications++
+	cand := ds.IntersectSorted(sortedCopy(parent), qc.keywordVertices(w))
+	if len(cand) < int(qc.k)+1 {
+		return nil
+	}
+	return qc.peelContaining(cand)
+}
+
+// finish converts a verified vertex set into a Community, recomputing the
+// exact shared keyword set L(Gq,S) for reporting.
+func (qc *queryContext) finish(vertices []int32, S []int32) Community {
+	vs := sortedCopy(vertices)
+	sub := qc.e.g.Induce(vs)
+	return Community{Vertices: vs, SharedKeywords: sub.SharedKeywords(S)}
+}
+
+// filterAdmissibleKeywords verifies every singleton {w}, w ∈ S, and returns
+// the admissible keywords with their communities. Anti-monotonicity makes
+// this a complete filter: a keyword whose singleton fails appears in no
+// admissible set.
+func (qc *queryContext) filterAdmissibleKeywords(S []int32) ([]int32, map[int32][]int32) {
+	admissible := make([]int32, 0, len(S))
+	comms := make(map[int32][]int32, len(S))
+	for _, w := range S {
+		if comp := qc.verify([]int32{w}); comp != nil {
+			admissible = append(admissible, w)
+			comms[w] = comp
+		}
+	}
+	return admissible, comms
+}
+
+func sortedCopy(s []int32) []int32 {
+	out := make([]int32, len(s))
+	copy(out, s)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortAnswers(answers []Community) {
+	for _, a := range answers {
+		sort.Slice(a.Vertices, func(i, j int) bool { return a.Vertices[i] < a.Vertices[j] })
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i].SharedKeywords, answers[j].SharedKeywords
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		// Equal keyword sets cannot happen for distinct answers; order by
+		// first vertex for stability anyway.
+		if len(answers[i].Vertices) > 0 && len(answers[j].Vertices) > 0 {
+			return answers[i].Vertices[0] < answers[j].Vertices[0]
+		}
+		return false
+	})
+}
+
+// setKey builds a map key for a keyword set (ascending IDs).
+func setKey(T []int32) string {
+	b := make([]byte, 0, 4*len(T))
+	for _, w := range T {
+		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return string(b)
+}

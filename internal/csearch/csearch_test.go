@@ -1,0 +1,187 @@
+package csearch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+)
+
+func TestGlobalFigure5(t *testing.T) {
+	g := gen.Figure5()
+	core := kcore.Decompose(g)
+	// Global(A, 3) = the K4.
+	r := Global(g, core, 0, 3)
+	if r == nil || !reflect.DeepEqual(r.Vertices, []int32{0, 1, 2, 3}) {
+		t.Fatalf("Global(A,3) = %+v", r)
+	}
+	if r.MinDegree != 3 {
+		t.Fatalf("min degree = %d", r.MinDegree)
+	}
+	// Global(A, 2) = {A,B,C,D,E}.
+	r = Global(g, core, 0, 2)
+	if r == nil || len(r.Vertices) != 5 {
+		t.Fatalf("Global(A,2) = %+v", r)
+	}
+	// Unreachable k.
+	if r = Global(g, core, 0, 4); r != nil {
+		t.Fatalf("Global(A,4) = %+v", r)
+	}
+	// nil core path.
+	if r = Global(g, nil, 0, 3); r == nil || r.Visited != g.N() {
+		t.Fatalf("Global with nil core = %+v", r)
+	}
+	// Bad args.
+	if Global(g, core, -1, 1) != nil || Global(g, core, 0, -1) != nil {
+		t.Fatal("bad args accepted")
+	}
+}
+
+func TestGlobalMax(t *testing.T) {
+	g := gen.Figure5()
+	core := kcore.Decompose(g)
+	// A's best achievable min degree is 3 (the K4).
+	r := GlobalMax(g, core, 0)
+	if r == nil || r.MinDegree != 3 || len(r.Vertices) != 4 {
+		t.Fatalf("GlobalMax(A) = %+v", r)
+	}
+	// F's best is 1 (its component of the 1-core).
+	r = GlobalMax(g, nil, 5)
+	if r == nil || r.MinDegree != 1 {
+		t.Fatalf("GlobalMax(F) = %+v", r)
+	}
+	if GlobalMax(g, core, -1) != nil {
+		t.Fatal("bad q accepted")
+	}
+}
+
+func TestLocalFigure5(t *testing.T) {
+	g := gen.Figure5()
+	r := Local(g, 0, 2, LocalOptions{})
+	if r == nil {
+		t.Fatal("Local(A,2) found nothing")
+	}
+	if r.MinDegree < 2 {
+		t.Fatalf("min degree = %d", r.MinDegree)
+	}
+	// Must contain q.
+	found := false
+	for _, v := range r.Vertices {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("community does not contain q")
+	}
+	// Local should not exceed Global here.
+	core := kcore.Decompose(g)
+	gr := Global(g, core, 0, 2)
+	if len(r.Vertices) > len(gr.Vertices) {
+		t.Fatalf("Local (%d) larger than Global (%d)", len(r.Vertices), len(gr.Vertices))
+	}
+	// Impossible k.
+	if Local(g, 0, 5, LocalOptions{}) != nil {
+		t.Fatal("Local(A,5) should fail")
+	}
+	if Local(g, -1, 1, LocalOptions{}) != nil {
+		t.Fatal("bad q accepted")
+	}
+}
+
+// TestLocalInvariants: any Local community is connected, contains q, and
+// has min degree ≥ k, on random graphs.
+func TestLocalInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		b := graph.NewBuilder(n, 0)
+		b.AddVertexIDs(int32(n - 1))
+		for i := 0; i < 4*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		for trial := 0; trial < 6; trial++ {
+			q := int32(rng.Intn(n))
+			k := int32(1 + rng.Intn(3))
+			r := Local(g, q, k, LocalOptions{})
+			if r == nil {
+				continue
+			}
+			sub := g.Induce(r.Vertices)
+			if _, ok := sub.LocalID(q); !ok {
+				return false
+			}
+			if !sub.IsConnected() || int32(sub.MinDegree()) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalFindsWhenGlobalDoes: with an unbounded budget, Local must
+// succeed whenever the connected k-core containing q exists (completeness
+// at full budget).
+func TestLocalFindsWhenGlobalDoes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		b := graph.NewBuilder(n, 0)
+		b.AddVertexIDs(int32(n - 1))
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		core := kcore.Decompose(g)
+		for trial := 0; trial < 6; trial++ {
+			q := int32(rng.Intn(n))
+			k := int32(1 + rng.Intn(3))
+			gr := Global(g, core, q, k)
+			lr := Local(g, q, k, LocalOptions{Budget: n + 1})
+			if (gr == nil) != (lr == nil) {
+				return false
+			}
+			if gr != nil && len(lr.Vertices) > len(gr.Vertices) {
+				return false // Local must be ⊆ the maximal k-core community
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalSmallerThanGlobalOnDBLP reproduces the qualitative Figure 6(a)
+// relationship: on the DBLP-like graph, Local's community for a hub query
+// is much smaller than Global's, while touching fewer vertices.
+func TestLocalSmallerThanGlobalOnDBLP(t *testing.T) {
+	d := gen.GenerateDBLP(gen.SmallDBLPConfig())
+	g := d.Graph
+	core := kcore.Decompose(g)
+	q, ok := g.VertexByName("jim gray")
+	if !ok {
+		t.Fatal("no jim gray")
+	}
+	k := int32(4)
+	if core[q] < k {
+		t.Skipf("core(jim gray)=%d < %d in small config", core[q], k)
+	}
+	gr := Global(g, core, q, k)
+	lr := Local(g, q, k, LocalOptions{})
+	if gr == nil || lr == nil {
+		t.Fatalf("global=%v local=%v", gr, lr)
+	}
+	if len(lr.Vertices) >= len(gr.Vertices) {
+		t.Fatalf("Local %d ≥ Global %d: expected Local ≪ Global (paper Fig 6a: 50 vs 305)",
+			len(lr.Vertices), len(gr.Vertices))
+	}
+}

@@ -1,0 +1,87 @@
+// Package csearch implements the non-attributed community-search baselines
+// that C-Explorer ships alongside ACQ (§2, §3): Global [Sozio & Gionis,
+// SIGKDD'10] and Local [Cui et al., SIGMOD'14]. Both use minimum degree as
+// the structure-cohesiveness measure, as the paper notes.
+package csearch
+
+import (
+	"sort"
+
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+)
+
+// GlobalResult reports a Global search outcome.
+type GlobalResult struct {
+	Vertices  []int32 // the community, ascending
+	MinDegree int32   // minimum internal degree achieved
+	Visited   int     // vertices touched (for the E8 Global-vs-Local bench)
+}
+
+// Global answers the community-search problem of Sozio & Gionis on the
+// whole graph. With k ≥ 0 given (the C-Explorer UI's "Structure: degree≥k"
+// selector), it returns the connected k-core containing q — the maximal
+// subgraph the greedy peel retains. It returns nil when core(q) < k.
+//
+// core may be nil (recomputed, touching the whole graph — Global's defining
+// cost); pass a cached decomposition for repeated queries.
+func Global(g *graph.Graph, core []int32, q int32, k int32) *GlobalResult {
+	if q < 0 || int(q) >= g.N() || k < 0 {
+		return nil
+	}
+	visited := 0
+	if core == nil {
+		core = kcore.Decompose(g)
+		visited = g.N()
+	}
+	comp := kcore.ConnectedKCore(g, core, q, k)
+	if comp == nil {
+		return nil
+	}
+	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	if visited == 0 {
+		visited = len(comp)
+	}
+	return &GlobalResult{
+		Vertices:  comp,
+		MinDegree: minInducedDegree(g, comp),
+		Visited:   visited,
+	}
+}
+
+// GlobalMax solves the original optimization form: maximize the minimum
+// degree of a connected subgraph containing q. Greedily peeling minimum-
+// degree vertices while protecting q is equivalent to returning the
+// connected core(q)-core around q, which is what this does.
+func GlobalMax(g *graph.Graph, core []int32, q int32) *GlobalResult {
+	if q < 0 || int(q) >= g.N() {
+		return nil
+	}
+	if core == nil {
+		core = kcore.Decompose(g)
+	}
+	return Global(g, core, q, core[q])
+}
+
+func minInducedDegree(g *graph.Graph, comp []int32) int32 {
+	in := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	minDeg := int32(-1)
+	for _, v := range comp {
+		d := int32(0)
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				d++
+			}
+		}
+		if minDeg == -1 || d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < 0 {
+		minDeg = 0
+	}
+	return minDeg
+}

@@ -1,0 +1,97 @@
+package csearch
+
+import (
+	"sort"
+
+	"cexplorer/internal/ds"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+)
+
+// LocalResult reports a Local search outcome.
+type LocalResult struct {
+	Vertices  []int32 // the community, ascending
+	MinDegree int32
+	Visited   int // vertices pulled into the candidate set (Local's cost)
+}
+
+// LocalOptions tunes the expansion.
+type LocalOptions struct {
+	// Budget caps the candidate-set size; 0 means 256·(k+1), after which the
+	// search gives up (Local trades completeness for locality, exactly the
+	// Cui et al. positioning: fast small communities near q).
+	Budget int
+}
+
+// Local implements local-expansion community search in the style of Cui et
+// al. (SIGMOD'14): grow a candidate set outward from q, preferring vertices
+// best connected to the current set, and periodically test whether the
+// candidates already contain a connected k-core around q. The first success
+// is returned — a *small* community, in contrast to Global's maximal one.
+// Returns nil if the budget is exhausted without success.
+func Local(g *graph.Graph, q int32, k int32, opts LocalOptions) *LocalResult {
+	if q < 0 || int(q) >= g.N() || k < 0 {
+		return nil
+	}
+	if int32(g.Degree(q)) < k {
+		return nil // q can never reach internal degree k
+	}
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 256 * int(k+1)
+	}
+
+	inCand := map[int32]bool{q: true}
+	cand := []int32{q}
+	// Frontier priority: more edges into the candidate set = better
+	// (min-heap on negated connection count, degree as tiebreak to prefer
+	// low-degree vertices, keeping candidate sets small).
+	frontier := ds.NewPairHeap(64)
+	conn := map[int32]int{}
+	push := func(v int32) {
+		if inCand[v] {
+			return
+		}
+		conn[v]++
+		frontier.Push(v, -float64(conn[v])+float64(g.Degree(v))*1e-9)
+	}
+	for _, u := range g.Neighbors(q) {
+		push(u)
+	}
+
+	peeler := kcore.NewPeeler(g)
+	nextCheck := int(k) + 1
+	for {
+		if len(cand) >= nextCheck {
+			if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				return &LocalResult{
+					Vertices:  comp,
+					MinDegree: minInducedDegree(g, comp),
+					Visited:   len(cand),
+				}
+			}
+			// Exponential back-off on checks to amortize peeling.
+			nextCheck = len(cand) + len(cand)/2 + 1
+		}
+		if frontier.Len() == 0 || len(cand) >= budget {
+			break
+		}
+		v, _ := frontier.Pop()
+		inCand[v] = true
+		cand = append(cand, v)
+		for _, u := range g.Neighbors(v) {
+			push(u)
+		}
+	}
+	// Final check before giving up.
+	if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		return &LocalResult{
+			Vertices:  comp,
+			MinDegree: minInducedDegree(g, comp),
+			Visited:   len(cand),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package ds
+
+import "math/bits"
+
+// BitSet is a dense, fixed-capacity bitset over [0, n). It backs the
+// keyword-support intersections of the ACQ verifier, where candidate vertex
+// sets are intersected against per-keyword membership sets.
+type BitSet struct {
+	words []uint64
+	n     int
+}
+
+// NewBitSet returns an empty bitset with capacity for n bits.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the bit capacity.
+func (b *BitSet) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *BitSet) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *BitSet) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (b *BitSet) Test(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (b *BitSet) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites b with the contents of src. The two sets must have the
+// same capacity.
+func (b *BitSet) CopyFrom(src *BitSet) {
+	copy(b.words, src.words)
+}
+
+// IntersectWith replaces b with b ∩ other.
+func (b *BitSet) IntersectWith(other *BitSet) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// UnionWith replaces b with b ∪ other.
+func (b *BitSet) UnionWith(other *BitSet) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// AndNot replaces b with b \ other.
+func (b *BitSet) AndNot(other *BitSet) {
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Clone returns a copy of b.
+func (b *BitSet) Clone() *BitSet {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	return &BitSet{words: w, n: b.n}
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns false
+// the iteration stops early.
+func (b *BitSet) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// AppendBits appends the indices of all set bits to dst and returns it.
+func (b *BitSet) AppendBits(dst []int32) []int32 {
+	b.ForEach(func(i int) bool {
+		dst = append(dst, int32(i))
+		return true
+	})
+	return dst
+}
+
+// Any reports whether at least one bit is set.
+func (b *BitSet) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

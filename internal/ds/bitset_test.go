@@ -1,0 +1,127 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBasic(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Any() {
+		t.Fatal("new bitset should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		b.Set(i)
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if !b.Test(64) || b.Test(2) {
+		t.Fatal("Test results wrong")
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("Clear(64) failed")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+	b.Reset()
+	if b.Any() {
+		t.Fatal("Reset should empty the set")
+	}
+}
+
+func TestBitSetForEachOrder(t *testing.T) {
+	b := NewBitSet(200)
+	want := []int{3, 64, 65, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	b.ForEach(func(i int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestBitSetAppendBits(t *testing.T) {
+	b := NewBitSet(70)
+	b.Set(5)
+	b.Set(69)
+	got := b.AppendBits(nil)
+	if len(got) != 2 || got[0] != 5 || got[1] != 69 {
+		t.Fatalf("AppendBits = %v", got)
+	}
+}
+
+// TestBitSetOpsMatchMaps cross-checks set algebra against map-based sets.
+func TestBitSetOpsMatchMaps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := NewBitSet(n), NewBitSet(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < n/2; i++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			a.Set(x)
+			ma[x] = true
+			b.Set(y)
+			mb[y] = true
+		}
+		inter := a.Clone()
+		inter.IntersectWith(b)
+		union := a.Clone()
+		union.UnionWith(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+		for i := 0; i < n; i++ {
+			if inter.Test(i) != (ma[i] && mb[i]) {
+				return false
+			}
+			if union.Test(i) != (ma[i] || mb[i]) {
+				return false
+			}
+			if diff.Test(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+		}
+		return inter.Count()+union.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitSetCopyFrom(t *testing.T) {
+	a := NewBitSet(100)
+	a.Set(10)
+	a.Set(90)
+	b := NewBitSet(100)
+	b.Set(50)
+	b.CopyFrom(a)
+	if !b.Test(10) || !b.Test(90) || b.Test(50) {
+		t.Fatal("CopyFrom did not overwrite")
+	}
+}

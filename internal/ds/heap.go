@@ -1,0 +1,127 @@
+package ds
+
+// PairHeap is a binary min-heap of (id, priority) pairs with a
+// decrease/increase-key operation, used by the Local expansion strategy and
+// by layout refinement. Priorities are float64; ties break on insertion
+// order (heap order is unspecified for equal priorities, which is fine for
+// all users in this repo because they re-check priorities on pop).
+type PairHeap struct {
+	ids   []int32
+	prio  []float64
+	index map[int32]int // id -> position in ids; -1 when absent
+}
+
+// NewPairHeap returns an empty heap with the given initial capacity hint.
+func NewPairHeap(capHint int) *PairHeap {
+	return &PairHeap{
+		ids:   make([]int32, 0, capHint),
+		prio:  make([]float64, 0, capHint),
+		index: make(map[int32]int, capHint),
+	}
+}
+
+// Len returns the number of queued items.
+func (h *PairHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently queued.
+func (h *PairHeap) Contains(id int32) bool {
+	_, ok := h.index[id]
+	return ok
+}
+
+// Priority returns the current priority of id; ok is false if absent.
+func (h *PairHeap) Priority(id int32) (p float64, ok bool) {
+	i, ok := h.index[id]
+	if !ok {
+		return 0, false
+	}
+	return h.prio[i], true
+}
+
+// Push inserts id with priority p, or updates its priority if already
+// present (moving it up or down as needed).
+func (h *PairHeap) Push(id int32, p float64) {
+	if i, ok := h.index[id]; ok {
+		old := h.prio[i]
+		h.prio[i] = p
+		if p < old {
+			h.up(i)
+		} else if p > old {
+			h.down(i)
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.prio = append(h.prio, p)
+	h.index[id] = len(h.ids) - 1
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the minimum-priority item. It panics on an empty
+// heap; callers guard with Len.
+func (h *PairHeap) Pop() (id int32, p float64) {
+	id, p = h.ids[0], h.prio[0]
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	delete(h.index, id)
+	if last > 0 {
+		h.down(0)
+	}
+	return id, p
+}
+
+// Remove deletes id from the heap if present.
+func (h *PairHeap) Remove(id int32) {
+	i, ok := h.index[id]
+	if !ok {
+		return
+	}
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	delete(h.index, id)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *PairHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.index[h.ids[i]] = i
+	h.index[h.ids[j]] = j
+}
+
+func (h *PairHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= h.prio[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *PairHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.prio[l] < h.prio[smallest] {
+			smallest = l
+		}
+		if r < n && h.prio[r] < h.prio[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,104 @@
+package ds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairHeapOrdering(t *testing.T) {
+	h := NewPairHeap(8)
+	h.Push(1, 3.0)
+	h.Push(2, 1.0)
+	h.Push(3, 2.0)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	id, p := h.Pop()
+	if id != 2 || p != 1.0 {
+		t.Fatalf("Pop = (%d,%f), want (2,1)", id, p)
+	}
+	id, _ = h.Pop()
+	if id != 3 {
+		t.Fatalf("Pop = %d, want 3", id)
+	}
+	id, _ = h.Pop()
+	if id != 1 {
+		t.Fatalf("Pop = %d, want 1", id)
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap should be empty")
+	}
+}
+
+func TestPairHeapDecreaseKey(t *testing.T) {
+	h := NewPairHeap(8)
+	h.Push(1, 10)
+	h.Push(2, 20)
+	h.Push(2, 1) // decrease
+	id, p := h.Pop()
+	if id != 2 || p != 1 {
+		t.Fatalf("decrease-key broken: got (%d,%f)", id, p)
+	}
+	h.Push(1, 100) // increase existing
+	id, p = h.Pop()
+	if id != 1 || p != 100 {
+		t.Fatalf("increase-key broken: got (%d,%f)", id, p)
+	}
+}
+
+func TestPairHeapRemove(t *testing.T) {
+	h := NewPairHeap(8)
+	for i := int32(0); i < 10; i++ {
+		h.Push(i, float64(10-i))
+	}
+	h.Remove(9)  // currently minimum (priority 1)
+	h.Remove(0)  // maximum
+	h.Remove(42) // absent: no-op
+	id, _ := h.Pop()
+	if id != 8 {
+		t.Fatalf("after removals Pop = %d, want 8", id)
+	}
+	if h.Contains(9) || h.Contains(0) {
+		t.Fatal("removed ids still present")
+	}
+}
+
+func TestPairHeapPriorityLookup(t *testing.T) {
+	h := NewPairHeap(4)
+	h.Push(7, 3.5)
+	if p, ok := h.Priority(7); !ok || p != 3.5 {
+		t.Fatalf("Priority(7) = %v,%v", p, ok)
+	}
+	if _, ok := h.Priority(8); ok {
+		t.Fatal("Priority(8) should be absent")
+	}
+}
+
+// TestPairHeapSortsRandom drains random pushes and checks the output is
+// sorted by priority.
+func TestPairHeapSortsRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := NewPairHeap(n)
+		want := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			p := rng.Float64()
+			h.Push(int32(i), p)
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		for i := 0; i < n; i++ {
+			_, p := h.Pop()
+			if p != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

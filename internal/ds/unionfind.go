@@ -1,0 +1,81 @@
+// Package ds provides the small shared data structures used across the
+// C-Explorer engine: union-find forests, dense bitsets, and bounded heaps.
+//
+// Everything in this package is allocation-conscious: the structures back the
+// hot paths of core decomposition, CL-tree construction, and ACQ
+// verification, where they are created once per graph (or per query) and
+// reused.
+package ds
+
+// UnionFind is a classic disjoint-set forest with union by rank and path
+// compression. Element IDs are dense ints in [0, n).
+//
+// The zero value is not usable; construct with NewUnionFind.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// NewUnionFind returns a union-find over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+// Len returns the number of elements (not sets).
+func (uf *UnionFind) Len() int { return len(uf.parent) }
+
+// Count returns the current number of disjoint sets.
+func (uf *UnionFind) Count() int { return uf.count }
+
+// Find returns the canonical representative of x's set, compressing paths
+// as it goes.
+func (uf *UnionFind) Find(x int32) int32 {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and returns the representative of
+// the merged set. It reports whether a merge actually happened (false when x
+// and y were already in the same set).
+func (uf *UnionFind) Union(x, y int32) (root int32, merged bool) {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return rx, false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.count--
+	return rx, true
+}
+
+// Same reports whether x and y are currently in the same set.
+func (uf *UnionFind) Same(x, y int32) bool { return uf.Find(x) == uf.Find(y) }
+
+// Reset returns the structure to n singletons without reallocating.
+func (uf *UnionFind) Reset() {
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.rank[i] = 0
+	}
+	uf.count = len(uf.parent)
+}

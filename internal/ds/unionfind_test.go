@@ -1,0 +1,103 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	uf := NewUnionFind(10)
+	if uf.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", uf.Count())
+	}
+	if uf.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", uf.Len())
+	}
+	if _, merged := uf.Union(1, 2); !merged {
+		t.Fatal("Union(1,2) should merge")
+	}
+	if _, merged := uf.Union(2, 1); merged {
+		t.Fatal("Union(2,1) should not merge twice")
+	}
+	if !uf.Same(1, 2) {
+		t.Fatal("1 and 2 should be in the same set")
+	}
+	if uf.Same(1, 3) {
+		t.Fatal("1 and 3 should differ")
+	}
+	if uf.Count() != 9 {
+		t.Fatalf("Count = %d, want 9", uf.Count())
+	}
+}
+
+func TestUnionFindChain(t *testing.T) {
+	const n = 1000
+	uf := NewUnionFind(n)
+	for i := int32(0); i < n-1; i++ {
+		uf.Union(i, i+1)
+	}
+	if uf.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", uf.Count())
+	}
+	root := uf.Find(0)
+	for i := int32(0); i < n; i++ {
+		if uf.Find(i) != root {
+			t.Fatalf("Find(%d) = %d, want %d", i, uf.Find(i), root)
+		}
+	}
+}
+
+func TestUnionFindReset(t *testing.T) {
+	uf := NewUnionFind(5)
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Reset()
+	if uf.Count() != 5 {
+		t.Fatalf("after Reset Count = %d, want 5", uf.Count())
+	}
+	for i := int32(0); i < 5; i++ {
+		if uf.Find(i) != i {
+			t.Fatalf("after Reset Find(%d) = %d", i, uf.Find(i))
+		}
+	}
+}
+
+// TestUnionFindMatchesNaive checks union-find against a naive label-array
+// implementation under random unions.
+func TestUnionFindMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		uf := NewUnionFind(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for op := 0; op < 120; op++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			sameNaive := labels[x] == labels[y]
+			if uf.Same(x, y) != sameNaive {
+				return false
+			}
+			uf.Union(x, y)
+			relabel(labels[y], labels[x])
+		}
+		// Count must agree with the number of distinct labels.
+		seen := map[int]bool{}
+		for _, l := range labels {
+			seen[l] = true
+		}
+		return uf.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"cexplorer/internal/kcore"
+)
+
+func TestFigure5Structure(t *testing.T) {
+	g := Figure5()
+	if g.N() != 10 || g.M() != 11 {
+		t.Fatalf("N,M = %d,%d, want 10,11 (paper: \"10 vertices ... and 11 edges\")", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Keyword sets exactly as printed in Figure 5(a).
+	want := map[string][]string{
+		"A": {"w", "x", "y"}, "B": {"x"}, "C": {"x", "y"}, "D": {"x", "y", "z"},
+		"E": {"y", "z"}, "F": {"y"}, "G": {"x", "y"}, "H": {"y", "z"},
+		"I": {"x"}, "J": {"x"},
+	}
+	for name, kws := range want {
+		v, ok := g.VertexByName(name)
+		if !ok {
+			t.Fatalf("vertex %s missing", name)
+		}
+		got := g.KeywordStrings(v)
+		sortStrings(got)
+		sortStrings(kws)
+		if !reflect.DeepEqual(got, kws) {
+			t.Fatalf("%s keywords = %v, want %v", name, got, kws)
+		}
+	}
+	// Core numbers exactly as in Figure 5(b).
+	core := kcore.Decompose(g)
+	wantCore := map[string]int32{
+		"A": 3, "B": 3, "C": 3, "D": 3, "E": 2,
+		"F": 1, "G": 1, "H": 1, "I": 1, "J": 0,
+	}
+	for name, k := range wantCore {
+		v, _ := g.VertexByName(name)
+		if core[v] != k {
+			t.Fatalf("core(%s) = %d, want %d", name, core[v], k)
+		}
+	}
+	if Figure5VertexID("A") != 0 || Figure5VertexID("J") != 9 {
+		t.Fatal("Figure5VertexID broken")
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestGenerateDBLPDeterministic(t *testing.T) {
+	cfg := SmallDBLPConfig()
+	a := GenerateDBLP(cfg)
+	b := GenerateDBLP(cfg)
+	if a.Graph.N() != b.Graph.N() || a.Graph.M() != b.Graph.M() {
+		t.Fatalf("not deterministic: %d/%d vs %d/%d", a.Graph.N(), a.Graph.M(), b.Graph.N(), b.Graph.M())
+	}
+	for v := int32(0); v < int32(a.Graph.N()); v += 97 {
+		if !reflect.DeepEqual(a.Graph.Keywords(v), b.Graph.Keywords(v)) {
+			t.Fatalf("keywords differ at %d", v)
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 999
+	c := GenerateDBLP(cfg2)
+	if c.Graph.M() == a.Graph.M() && reflect.DeepEqual(c.Graph.Keywords(0), a.Graph.Keywords(0)) {
+		t.Log("different seeds produced identical output; suspicious but not fatal")
+	}
+}
+
+func TestGenerateDBLPShape(t *testing.T) {
+	d := GenerateDBLP(SmallDBLPConfig())
+	g := d.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stats := g.ComputeStats()
+	if stats.AvgDegree < 3 || stats.AvgDegree > 14 {
+		t.Fatalf("avg degree %.2f outside DBLP-like range", stats.AvgDegree)
+	}
+	if stats.AvgKeywords < 6 || stats.AvgKeywords > 20 {
+		t.Fatalf("avg keywords %.2f outside [6,20]", stats.AvgKeywords)
+	}
+	// Famous authors exist, are named, and are hubs (well above avg degree).
+	jim, ok := g.VertexByName("jim gray")
+	if !ok {
+		t.Fatal("jim gray missing")
+	}
+	if d := g.Degree(jim); float64(d) < 2*stats.AvgDegree {
+		t.Fatalf("jim gray degree %d not hub-like (avg %.1f)", d, stats.AvgDegree)
+	}
+	// Hubs must sit in a reasonably deep core so k=4..6 queries succeed.
+	core := kcore.Decompose(g)
+	if core[jim] < 4 {
+		t.Fatalf("core(jim gray) = %d, want ≥ 4 for the paper's degree≥4 queries", core[jim])
+	}
+	// Ground truth covers all authors.
+	seen := make([]bool, g.N())
+	for _, comm := range d.Truth {
+		for _, v := range comm {
+			seen[v] = true
+		}
+	}
+	missing := 0
+	for _, s := range seen {
+		if !s {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d authors missing from ground truth", missing)
+	}
+	// Profiles include the famous authors with areas and interests.
+	p, ok := d.Profiles[jim]
+	if !ok || p.Name != "jim gray" || len(p.Areas) == 0 || len(p.Interests) == 0 {
+		t.Fatalf("jim gray profile = %+v", p)
+	}
+}
+
+func TestGenerateDBLPKeywordCommunityCorrelation(t *testing.T) {
+	// Members of a community must share its topic vocabulary far more than
+	// random pairs — the property ACQ exploits.
+	d := GenerateDBLP(SmallDBLPConfig())
+	g := d.Graph
+	comm := d.Truth[0]
+	if len(comm) < 10 {
+		t.Skip("community 0 too small")
+	}
+	intra := avgPairJaccard(g, comm[:10])
+	random := avgPairJaccard(g, []int32{1, 101, 201, 301, 401, 501, 601, 701, 801, 901})
+	if intra <= random {
+		t.Fatalf("intra-community keyword similarity %.3f not above random %.3f", intra, random)
+	}
+}
+
+func avgPairJaccard(g interface {
+	Keywords(int32) []int32
+}, vs []int32) float64 {
+	total, pairs := 0.0, 0
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			a, b := g.Keywords(vs[i]), g.Keywords(vs[j])
+			inter := 0
+			x, y := 0, 0
+			for x < len(a) && y < len(b) {
+				switch {
+				case a[x] < b[y]:
+					x++
+				case a[x] > b[y]:
+					y++
+				default:
+					inter++
+					x++
+					y++
+				}
+			}
+			uni := len(a) + len(b) - inter
+			if uni > 0 {
+				total += float64(inter) / float64(uni)
+			}
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func TestGNM(t *testing.T) {
+	g := GNM(100, 300, 7)
+	if g.N() != 100 || g.M() != 300 {
+		t.Fatalf("GNM: N,M = %d,%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requesting more edges than possible clamps.
+	g2 := GNM(5, 100, 7)
+	if g2.M() != 10 {
+		t.Fatalf("clamped GNM M = %d, want 10", g2.M())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 11)
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: max degree far above average.
+	st := g.ComputeStats()
+	if float64(st.MaxDegree) < 3*st.AvgDegree {
+		t.Fatalf("BA max degree %d vs avg %.1f: no hub tail", st.MaxDegree, st.AvgDegree)
+	}
+	if st.Components != 1 {
+		t.Fatalf("BA graph should be connected, got %d components", st.Components)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g, truth := PlantedPartition(120, 4, 0.3, 0.01, 5)
+	if g.N() != 120 || len(truth) != 4 {
+		t.Fatalf("n=%d blocks=%d", g.N(), len(truth))
+	}
+	for _, blk := range truth {
+		if len(blk) != 30 {
+			t.Fatalf("block size %d, want 30", len(blk))
+		}
+	}
+	// Intra-block edges must dominate inter-block.
+	blockOf := make([]int, g.N())
+	for c, blk := range truth {
+		for _, v := range blk {
+			blockOf[v] = c
+		}
+	}
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) bool {
+		if blockOf[u] == blockOf[v] {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra <= inter {
+		t.Fatalf("intra=%d inter=%d: partition not planted", intra, inter)
+	}
+}
+
+func TestAuthorNames(t *testing.T) {
+	if authorName(0) != "jim gray" {
+		t.Fatalf("author 0 = %q", authorName(0))
+	}
+	if NumFamousAuthors() < 10 {
+		t.Fatal("too few famous authors")
+	}
+	if FamousAuthor(1) != "michael stonebraker" {
+		t.Fatalf("famous 1 = %q", FamousAuthor(1))
+	}
+	// Uniqueness over a large prefix.
+	seen := map[string]bool{}
+	for i := 0; i < 30000; i++ {
+		n := authorName(i)
+		if seen[n] {
+			t.Fatalf("duplicate name %q at %d", n, i)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,71 @@
+package gen
+
+import "fmt"
+
+// Famous database researchers used for the hub authors, mirroring the
+// paper's demonstration ("jim gray", Figure 1) and profile drill-down
+// (Michael Stonebraker, Figure 2). Names are lowercase like the paper's
+// search box input.
+var famousAuthors = []string{
+	"jim gray",
+	"michael stonebraker",
+	"michael l. brodie",
+	"bruce g. lindsay",
+	"gerhard weikum",
+	"hector garcia-molina",
+	"stanley b. zdonik",
+	"christopher stoughton",
+	"alexander s. szalay",
+	"jordan raddick",
+	"peter z. kunszt",
+	"david j. dewitt",
+	"jennifer widom",
+	"rakesh agrawal",
+	"jeffrey d. ullman",
+	"serge abiteboul",
+}
+
+var firstNames = []string{
+	"alice", "bob", "carol", "david", "erin", "frank", "grace", "henry",
+	"iris", "jack", "karen", "liam", "mona", "nathan", "olivia", "peter",
+	"quinn", "rosa", "samuel", "tina", "ursula", "victor", "wendy", "xavier",
+	"yvonne", "zachary", "amelia", "boris", "chloe", "dmitri", "elena",
+	"felix", "gina", "hugo", "ingrid", "jonas", "kira", "lucas", "maria",
+	"nikolai", "oscar", "paula", "raj", "sofia", "tomas", "uma", "vera",
+	"wei", "xin", "yuki",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "lee", "chen", "wang", "garcia", "mueller", "kim",
+	"patel", "nguyen", "silva", "rossi", "kowalski", "tanaka", "sato",
+	"ivanov", "petrov", "novak", "jensen", "nielsen", "dubois", "moreau",
+	"fischer", "weber", "schmidt", "lopez", "martinez", "gonzalez", "kumar",
+	"singh", "gupta", "yamamoto", "suzuki", "zhang", "liu", "huang", "zhou",
+	"ferrari", "ricci", "santos", "oliveira", "costa", "andersen", "larsen",
+	"virtanen", "korhonen", "papadopoulos", "dimitriou", "horvath", "nagy",
+}
+
+// authorName deterministically produces the display name for author i.
+// The first len(famousAuthors) IDs get the canonical hub names; the rest are
+// synthesized. Collisions are disambiguated with a numeric suffix in the
+// style of DBLP ("wei chen 0002").
+func authorName(i int) string {
+	if i < len(famousAuthors) {
+		return famousAuthors[i]
+	}
+	j := i - len(famousAuthors)
+	f := firstNames[j%len(firstNames)]
+	l := lastNames[(j/len(firstNames))%len(lastNames)]
+	gen := j / (len(firstNames) * len(lastNames))
+	if gen == 0 {
+		return f + " " + l
+	}
+	return fmt.Sprintf("%s %s %04d", f, l, gen+1)
+}
+
+// NumFamousAuthors reports how many canonical hub names the generator
+// embeds; example programs use it to iterate the demo queries.
+func NumFamousAuthors() int { return len(famousAuthors) }
+
+// FamousAuthor returns the i-th canonical hub name.
+func FamousAuthor(i int) string { return famousAuthors[i] }

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"math/rand"
+
+	"cexplorer/internal/graph"
+)
+
+// GNM returns an Erdős–Rényi G(n, m) graph (m distinct edges drawn
+// uniformly), deterministic in seed. Used by the scaling experiments.
+func GNM(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	b.AddVertexIDs(int32(n - 1))
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]bool, m)
+	for len(seen) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches to attach existing vertices chosen proportionally to degree.
+// Produces the heavy-tailed degree distribution of co-authorship networks.
+func BarabasiAlbert(n, attach int, seed int64) *graph.Graph {
+	if attach < 1 {
+		attach = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, n*attach)
+	b.AddVertexIDs(int32(n - 1))
+	// repeated-endpoint list: sampling uniformly from it is degree-biased.
+	endpoints := make([]int32, 0, 2*n*attach)
+	// Seed clique of attach+1 vertices.
+	seedSize := attach + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for u := 0; u < seedSize; u++ {
+		for v := u + 1; v < seedSize; v++ {
+			b.AddEdge(int32(u), int32(v))
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		chosen := map[int32]bool{}
+		for len(chosen) < attach {
+			var u int32
+			if len(endpoints) == 0 || rng.Float64() < 0.05 {
+				u = int32(rng.Intn(v))
+			} else {
+				u = endpoints[rng.Intn(len(endpoints))]
+			}
+			if u == int32(v) || chosen[u] {
+				continue
+			}
+			chosen[u] = true
+			b.AddEdge(int32(v), u)
+			endpoints = append(endpoints, int32(v), u)
+		}
+	}
+	return b.MustBuild()
+}
+
+// PlantedPartition returns a graph with `blocks` equal-size communities:
+// intra-block edges with probability pIn, inter-block with pOut, plus the
+// ground-truth partition. Used to test community-detection quality (NMI).
+func PlantedPartition(n, blocks int, pIn, pOut float64, seed int64) (*graph.Graph, [][]int32) {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, 0)
+	b.AddVertexIDs(int32(n - 1))
+	truth := make([][]int32, blocks)
+	blockOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		c := v * blocks / n
+		blockOf[v] = c
+		truth[c] = append(truth[c], int32(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if blockOf[u] == blockOf[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.MustBuild(), truth
+}

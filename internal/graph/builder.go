@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices, edges, and attributes, then freezes them
+// into an immutable Graph. Duplicate edges and self-loops are dropped
+// silently (the DBLP export formats the paper uses contain both).
+type Builder struct {
+	vocab     *Vocab
+	names     []string
+	nameIndex map[string]int32
+	keywords  [][]int32
+	edgesU    []int32
+	edgesV    []int32
+	named     bool
+}
+
+// NewBuilder returns a builder with capacity hints for n vertices and m
+// edges. Either hint may be zero.
+func NewBuilder(n, m int) *Builder {
+	return &Builder{
+		vocab:     NewVocab(),
+		names:     make([]string, 0, n),
+		nameIndex: make(map[string]int32, n),
+		keywords:  make([][]int32, 0, n),
+		edgesU:    make([]int32, 0, m),
+		edgesV:    make([]int32, 0, m),
+	}
+}
+
+// Vocab exposes the vocabulary being built so callers can intern keyword
+// query strings consistently.
+func (b *Builder) Vocab() *Vocab { return b.vocab }
+
+// AddVertex appends a vertex with the given display name (may be empty) and
+// keyword strings, returning its ID.
+func (b *Builder) AddVertex(name string, keywords ...string) int32 {
+	id := int32(len(b.names))
+	b.names = append(b.names, name)
+	if name != "" {
+		b.named = true
+		if _, dup := b.nameIndex[name]; !dup {
+			b.nameIndex[name] = id
+		}
+	}
+	b.keywords = append(b.keywords, b.vocab.InternAll(keywords))
+	return id
+}
+
+// AddVertexIDs grows the vertex set to include id (creating anonymous,
+// keyword-less vertices as needed). Used by edge-list loaders where vertices
+// are implicit.
+func (b *Builder) AddVertexIDs(id int32) {
+	for int32(len(b.names)) <= id {
+		b.names = append(b.names, "")
+		b.keywords = append(b.keywords, nil)
+	}
+}
+
+// SetKeywords replaces the keyword set of an existing vertex.
+func (b *Builder) SetKeywords(v int32, keywords ...string) {
+	b.keywords[v] = b.vocab.InternAll(keywords)
+}
+
+// SetKeywordIDs replaces the keyword set of an existing vertex with
+// already-interned IDs (they are sorted and deduplicated here).
+func (b *Builder) SetKeywordIDs(v int32, ids []int32) {
+	b.keywords[v] = sortDedup(ids)
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops are ignored.
+// Vertices are created implicitly if needed.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.AddVertexIDs(v)
+	b.edgesU = append(b.edgesU, u)
+	b.edgesV = append(b.edgesV, v)
+}
+
+// NumVertices returns the current number of vertices.
+func (b *Builder) NumVertices() int { return len(b.names) }
+
+// Build freezes the builder into a Graph. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, fmt.Errorf("graph: empty vertex set")
+	}
+
+	// Sort edge list by (u,v) and deduplicate.
+	order := make([]int32, len(b.edgesU))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.edgesU[a] != b.edgesU[c] {
+			return b.edgesU[a] < b.edgesU[c]
+		}
+		return b.edgesV[a] < b.edgesV[c]
+	})
+
+	deg := make([]int64, n+1)
+	var lastU, lastV int32 = -1, -1
+	edgesU := make([]int32, 0, len(order))
+	edgesV := make([]int32, 0, len(order))
+	for _, idx := range order {
+		u, v := b.edgesU[idx], b.edgesV[idx]
+		if u == lastU && v == lastV {
+			continue
+		}
+		lastU, lastV = u, v
+		edgesU = append(edgesU, u)
+		edgesV = append(edgesV, v)
+		deg[u+1]++
+		deg[v+1]++
+	}
+	m := len(edgesU)
+	b.edgesU, b.edgesV = edgesU, edgesV
+
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i+1]
+	}
+	adj := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for i := 0; i < m; i++ {
+		u, v := b.edgesU[i], b.edgesV[i]
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	// Adjacency lists were filled in edge-sorted order. Each vertex's "v"
+	// entries (from edges where it is the smaller endpoint) are sorted, and
+	// its "u" entries likewise, but the interleaving is not; sort each list.
+	for v := 0; v < n; v++ {
+		lst := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	}
+
+	// Keyword arena.
+	kwOffsets := make([]int32, n+1)
+	total := 0
+	for i, kw := range b.keywords {
+		total += len(kw)
+		kwOffsets[i+1] = int32(total)
+	}
+	kwData := make([]int32, 0, total)
+	for _, kw := range b.keywords {
+		kwData = append(kwData, kw...)
+	}
+
+	names := b.names
+	nameIndex := b.nameIndex
+	if !b.named {
+		names = nil
+		nameIndex = nil
+	}
+	g := &Graph{
+		offsets:   offsets,
+		adj:       adj,
+		names:     names,
+		nameIndex: nameIndex,
+		kwOffsets: kwOffsets,
+		kwData:    kwData,
+		vocab:     b.vocab,
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and fixtures where the
+// input is statically known to be valid.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

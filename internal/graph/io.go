@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the on-disk formats accepted by the `upload` API
+// function (Figure 4 of the paper):
+//
+//   - Edge-list text: one "u v" pair per line, '#' comments, blank lines ok.
+//   - Vertex-attribute text: "id<TAB>name<TAB>kw1 kw2 ...", any field after
+//     id optional.
+//   - A single JSON document combining both (the format the web UI posts).
+
+// LoadEdgeList parses an edge-list stream into a new Graph with anonymous,
+// keyword-less vertices.
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0, 0)
+	if err := readEdgeList(r, b); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// LoadEdgeListInto parses an edge-list stream into an existing builder.
+func readEdgeList(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("edge list line %d: want \"u v\", got %q", lineno, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("edge list line %d: %v", lineno, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("edge list line %d: %v", lineno, err)
+		}
+		if u < 0 || v < 0 {
+			return fmt.Errorf("edge list line %d: negative vertex id", lineno)
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	return sc.Err()
+}
+
+// LoadAttributed parses an edge list and a vertex-attribute stream into an
+// attributed Graph. attrs may be nil for a plain graph.
+func LoadAttributed(edges, attrs io.Reader) (*Graph, error) {
+	b := NewBuilder(0, 0)
+	if err := readEdgeList(edges, b); err != nil {
+		return nil, err
+	}
+	if attrs != nil {
+		if err := readAttributes(attrs, b); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func readAttributes(r io.Reader, b *Builder) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		id64, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
+		if err != nil {
+			return fmt.Errorf("attributes line %d: bad id: %v", lineno, err)
+		}
+		id := int32(id64)
+		b.AddVertexIDs(id)
+		if len(parts) >= 2 && parts[1] != "" {
+			name := parts[1]
+			b.names[id] = name
+			b.named = true
+			if _, dup := b.nameIndex[name]; !dup {
+				b.nameIndex[name] = id
+			}
+		}
+		if len(parts) >= 3 && strings.TrimSpace(parts[2]) != "" {
+			b.SetKeywords(id, strings.Fields(parts[2])...)
+		}
+	}
+	return sc.Err()
+}
+
+// JSONGraph is the wire format for graph upload/download.
+type JSONGraph struct {
+	Name     string       `json:"name,omitempty"`
+	Vertices []JSONVertex `json:"vertices"`
+	Edges    [][2]int32   `json:"edges"`
+}
+
+// JSONVertex is one vertex record in JSONGraph.
+type JSONVertex struct {
+	ID       int32    `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// LoadJSON parses the JSON wire format into a Graph.
+func LoadJSON(r io.Reader) (*Graph, error) {
+	var jg JSONGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graph json: %v", err)
+	}
+	return FromJSONGraph(&jg)
+}
+
+// FromJSONGraph converts an already-decoded JSONGraph.
+func FromJSONGraph(jg *JSONGraph) (*Graph, error) {
+	b := NewBuilder(len(jg.Vertices), len(jg.Edges))
+	for _, v := range jg.Vertices {
+		if v.ID < 0 {
+			return nil, fmt.Errorf("graph json: negative vertex id %d", v.ID)
+		}
+		b.AddVertexIDs(v.ID)
+		if v.Name != "" {
+			b.names[v.ID] = v.Name
+			b.named = true
+			if _, dup := b.nameIndex[v.Name]; !dup {
+				b.nameIndex[v.Name] = v.ID
+			}
+		}
+		if len(v.Keywords) > 0 {
+			b.SetKeywords(v.ID, v.Keywords...)
+		}
+	}
+	for _, e := range jg.Edges {
+		if e[0] < 0 || e[1] < 0 {
+			return nil, fmt.Errorf("graph json: negative vertex id in edge %v", e)
+		}
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// ToJSONGraph converts g to the wire format (vertices in ID order).
+func (g *Graph) ToJSONGraph(name string) *JSONGraph {
+	jg := &JSONGraph{Name: name, Vertices: make([]JSONVertex, g.N())}
+	for v := int32(0); v < int32(g.N()); v++ {
+		jv := JSONVertex{ID: v, Keywords: g.KeywordStrings(v)}
+		if g.Named() {
+			jv.Name = g.Name(v)
+		}
+		jg.Vertices[v] = jv
+	}
+	g.Edges(func(u, v int32) bool {
+		jg.Edges = append(jg.Edges, [2]int32{u, v})
+		return true
+	})
+	return jg
+}
+
+// WriteEdgeList writes the graph as "u v" lines.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(u, v int32) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteAttributes writes "id<TAB>name<TAB>kw..." lines for all vertices that
+// have a name or keywords.
+func (g *Graph) WriteAttributes(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := int32(0); v < int32(g.N()); v++ {
+		name := ""
+		if g.Named() {
+			name = g.Name(v)
+		}
+		kws := g.KeywordStrings(v)
+		if name == "" && len(kws) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", v, name, strings.Join(kws, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

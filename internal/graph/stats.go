@@ -1,0 +1,80 @@
+package graph
+
+import "sort"
+
+// Stats summarizes a graph for the Analysis panel and for dataset
+// descriptions in experiment output.
+type Stats struct {
+	Vertices    int
+	Edges       int
+	MinDegree   int
+	MaxDegree   int
+	AvgDegree   float64
+	Components  int
+	Keywords    int     // distinct keywords in the vocabulary
+	AvgKeywords float64 // average keyword-set size
+}
+
+// ComputeStats walks the graph once and returns its Stats.
+func (g *Graph) ComputeStats() Stats {
+	n := g.N()
+	s := Stats{
+		Vertices: n,
+		Edges:    g.M(),
+		Keywords: g.vocab.Len(),
+	}
+	if n == 0 {
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	totalKw := 0
+	for v := int32(0); v < int32(n); v++ {
+		d := g.Degree(v)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		totalKw += len(g.Keywords(v))
+	}
+	s.AvgDegree = 2 * float64(g.M()) / float64(n)
+	s.AvgKeywords = float64(totalKw) / float64(n)
+	_, s.Components = g.ConnectedComponents()
+	return s
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := int32(0); v < int32(g.N()); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}
+
+// TopKeywords returns the most frequent keyword IDs among the given
+// vertices, by descending frequency (ties broken by ID). This powers the
+// community "Theme" display of Figure 1.
+func (g *Graph) TopKeywords(vertices []int32, limit int) []int32 {
+	freq := make(map[int32]int)
+	for _, v := range vertices {
+		for _, w := range g.Keywords(v) {
+			freq[w]++
+		}
+	}
+	ids := make([]int32, 0, len(freq))
+	for w := range freq {
+		ids = append(ids, w)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if freq[ids[i]] != freq[ids[j]] {
+			return freq[ids[i]] > freq[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	return ids
+}

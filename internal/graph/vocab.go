@@ -1,0 +1,61 @@
+package graph
+
+// Vocab interns keyword strings to dense int32 IDs. The ACQ engine, CL-tree
+// inverted lists, and all metric code operate on interned IDs; strings only
+// appear at the API boundary.
+//
+// A Vocab is append-only: IDs are assigned in first-seen order and never
+// reused. It is not safe for concurrent mutation; concurrent reads are fine
+// once loading has finished.
+type Vocab struct {
+	byWord map[string]int32
+	words  []string
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{byWord: make(map[string]int32)}
+}
+
+// Intern returns the ID for w, assigning a fresh one if unseen.
+func (v *Vocab) Intern(w string) int32 {
+	if id, ok := v.byWord[w]; ok {
+		return id
+	}
+	id := int32(len(v.words))
+	v.byWord[w] = id
+	v.words = append(v.words, w)
+	return id
+}
+
+// ID returns the ID for w; ok is false if w was never interned.
+func (v *Vocab) ID(w string) (id int32, ok bool) {
+	id, ok = v.byWord[w]
+	return id, ok
+}
+
+// Word returns the string for id. It panics on out-of-range IDs, which
+// indicates a bug (IDs only come from this Vocab).
+func (v *Vocab) Word(id int32) string { return v.words[id] }
+
+// Len returns the number of distinct interned keywords.
+func (v *Vocab) Len() int { return len(v.words) }
+
+// Words materializes IDs back to strings, preserving order.
+func (v *Vocab) Words(ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = v.words[id]
+	}
+	return out
+}
+
+// InternAll interns every string in ws and returns the sorted, deduplicated
+// ID set (the canonical keyword-set representation).
+func (v *Vocab) InternAll(ws []string) []int32 {
+	ids := make([]int32, 0, len(ws))
+	for _, w := range ws {
+		ids = append(ids, v.Intern(w))
+	}
+	return sortDedup(ids)
+}

@@ -1,0 +1,159 @@
+package kcore
+
+import "cexplorer/internal/graph"
+
+// Peeler computes k-cores of induced subgraphs without allocating per call.
+// It is the verification workhorse of the ACQ engine: every candidate
+// keyword set is checked by peeling the keyword-induced vertex set down to
+// its k-core (paper §3.2, "verify whether a keyword combination results in
+// an AC"). The Local baseline uses it on expansion frontiers too.
+//
+// A Peeler carries O(n) scratch space bound to one graph; it is not safe for
+// concurrent use (each query goroutine owns its own Peeler).
+type Peeler struct {
+	g     *graph.Graph
+	mark  []int32 // epoch stamp: in current working set iff mark[v] == epoch
+	deg   []int32 // induced degree while peeling
+	epoch int32
+	queue []int32
+}
+
+// NewPeeler returns a Peeler for g.
+func NewPeeler(g *graph.Graph) *Peeler {
+	return &Peeler{
+		g:    g,
+		mark: make([]int32, g.N()),
+		deg:  make([]int32, g.N()),
+		// epoch 0 would match the zero-valued mark array; start at 1.
+		epoch: 0,
+	}
+}
+
+// begin starts a new working set containing vertices.
+func (p *Peeler) begin(vertices []int32) {
+	p.epoch++
+	if p.epoch == 0 { // wrapped; re-zero and restart
+		for i := range p.mark {
+			p.mark[i] = 0
+		}
+		p.epoch = 1
+	}
+	for _, v := range vertices {
+		p.mark[v] = p.epoch
+	}
+}
+
+func (p *Peeler) inSet(v int32) bool { return p.mark[v] == p.epoch }
+
+// KCore peels the subgraph induced by vertices down to its k-core and
+// returns the surviving vertices in input order (nil when the k-core is
+// empty). The input slice is not modified and should not contain duplicates
+// (a surviving duplicate would be echoed twice in the output).
+func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
+	p.begin(vertices)
+	g := p.g
+	p.queue = p.queue[:0]
+	// Pass 1: induced degrees with the full set marked. Evictions must not
+	// start until all degrees are computed, or vertices initialized after an
+	// eviction would be decremented twice for the same neighbor.
+	for _, v := range vertices {
+		d := int32(0)
+		for _, u := range g.Neighbors(v) {
+			if p.inSet(u) {
+				d++
+			}
+		}
+		p.deg[v] = d
+	}
+	// Pass 2: seed the peel queue.
+	for _, v := range vertices {
+		if p.inSet(v) && p.deg[v] < k {
+			p.queue = append(p.queue, v)
+			p.mark[v] = p.epoch - 1
+		}
+	}
+	for len(p.queue) > 0 {
+		v := p.queue[len(p.queue)-1]
+		p.queue = p.queue[:len(p.queue)-1]
+		for _, u := range g.Neighbors(v) {
+			if !p.inSet(u) {
+				continue
+			}
+			p.deg[u]--
+			if p.deg[u] < k {
+				p.mark[u] = p.epoch - 1
+				p.queue = append(p.queue, u)
+			}
+		}
+	}
+	var out []int32
+	for _, v := range vertices {
+		if p.inSet(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ConnectedKCoreContaining peels vertices to the k-core and returns the
+// connected component containing q, or nil if q did not survive. The result
+// is in BFS order from q.
+func (p *Peeler) ConnectedKCoreContaining(vertices []int32, k int32, q int32) []int32 {
+	survivors := p.KCore(vertices, k)
+	if survivors == nil {
+		return nil
+	}
+	// p.mark still identifies survivors (epoch unchanged since KCore).
+	if !p.inSet(q) {
+		return nil
+	}
+	return p.componentWithin(q)
+}
+
+// ConnectedKCoreContainingAll is the multi-query-vertex variant: all of qs
+// must survive the peel and lie in one component; that component is
+// returned, else nil.
+func (p *Peeler) ConnectedKCoreContainingAll(vertices []int32, k int32, qs []int32) []int32 {
+	if len(qs) == 0 {
+		return nil
+	}
+	survivors := p.KCore(vertices, k)
+	if survivors == nil {
+		return nil
+	}
+	for _, q := range qs {
+		if !p.inSet(q) {
+			return nil
+		}
+	}
+	comp := p.componentWithin(qs[0])
+	// Component membership stamps mark[v] = epoch+1... instead re-check:
+	inComp := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	for _, q := range qs[1:] {
+		if !inComp[q] {
+			return nil
+		}
+	}
+	return comp
+}
+
+// componentWithin runs BFS from q over the current working set (survivors of
+// the last peel). It does not disturb the epoch marking.
+func (p *Peeler) componentWithin(q int32) []int32 {
+	g := p.g
+	visited := map[int32]bool{q: true}
+	out := []int32{q}
+	for head := 0; head < len(out); head++ {
+		v := out[head]
+		for _, u := range g.Neighbors(v) {
+			if p.inSet(u) && !visited[u] {
+				visited[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}

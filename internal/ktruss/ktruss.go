@@ -1,0 +1,310 @@
+// Package ktruss implements truss decomposition and k-truss community
+// search (Huang et al., SIGMOD'14), the alternative structure-cohesiveness
+// measure §2 of the paper cites ("Other structure cohesiveness measures,
+// including connectivity and k-truss, have also been considered"). It plugs
+// into C-Explorer through the same CS-algorithm API as Global/Local.
+//
+// A k-truss is the maximal subgraph in which every edge is supported by at
+// least k−2 triangles; the community of a query vertex q is a maximal
+// triangle-connected set of trussness-≥k edges incident to q.
+package ktruss
+
+import (
+	"sort"
+
+	"cexplorer/internal/graph"
+)
+
+// Decomposition holds per-edge trussness for one graph.
+type Decomposition struct {
+	g     *graph.Graph
+	edges [][2]int32 // edge id -> (u,v), u < v
+	truss []int32    // edge id -> trussness (≥ 2)
+	index map[int64]int32
+}
+
+func edgeKey(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// Decompose computes the trussness of every edge via support peeling.
+func Decompose(g *graph.Graph) *Decomposition {
+	m := g.M()
+	d := &Decomposition{
+		g:     g,
+		edges: make([][2]int32, 0, m),
+		truss: make([]int32, m),
+		index: make(map[int64]int32, m),
+	}
+	g.Edges(func(u, v int32) bool {
+		d.index[edgeKey(u, v)] = int32(len(d.edges))
+		d.edges = append(d.edges, [2]int32{u, v})
+		return true
+	})
+
+	// Support = triangle count per edge.
+	support := make([]int32, m)
+	for id, e := range d.edges {
+		support[id] = int32(countCommon(g.Neighbors(e[0]), g.Neighbors(e[1])))
+	}
+
+	// Peel edges in nondecreasing support order (lazy heap via buckets).
+	removed := make([]bool, m)
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return support[order[i]] < support[order[j]] })
+	// A simple re-sift loop: since supports only decrease, process with a
+	// priority queue keyed by current support.
+	pq := &supportQueue{support: support}
+	for _, id := range order {
+		pq.push(id)
+	}
+	for pq.len() > 0 {
+		id := pq.popMin()
+		if removed[id] {
+			continue
+		}
+		removed[id] = true
+		s := support[id]
+		d.truss[id] = s + 2
+		u, v := d.edges[id][0], d.edges[id][1]
+		forEachCommon(d.g.Neighbors(u), d.g.Neighbors(v), func(w int32) {
+			e1, ok1 := d.lookup(u, w)
+			e2, ok2 := d.lookup(v, w)
+			if !ok1 || !ok2 || removed[e1] || removed[e2] {
+				return
+			}
+			if support[e1] > s {
+				support[e1]--
+				pq.push(e1)
+			}
+			if support[e2] > s {
+				support[e2]--
+				pq.push(e2)
+			}
+		})
+	}
+	return d
+}
+
+func (d *Decomposition) lookup(u, v int32) (int32, bool) {
+	id, ok := d.index[edgeKey(u, v)]
+	return id, ok
+}
+
+// Trussness returns the trussness of edge {u,v}; ok is false if not an edge.
+func (d *Decomposition) Trussness(u, v int32) (int32, bool) {
+	id, ok := d.lookup(u, v)
+	if !ok {
+		return 0, false
+	}
+	return d.truss[id], true
+}
+
+// MaxTruss returns the maximum edge trussness (0 for edgeless graphs).
+func (d *Decomposition) MaxTruss() int32 {
+	var mx int32
+	for _, t := range d.truss {
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// Graph returns the decomposed graph.
+func (d *Decomposition) Graph() *graph.Graph { return d.g }
+
+// Community is one triangle-connected k-truss community: its vertex set and
+// the edge class that defines it.
+type Community struct {
+	Vertices []int32    // ascending
+	Edges    [][2]int32 // the triangle-connected edge class, (u<v) pairs
+}
+
+// Communities returns the triangle-connected k-truss communities containing
+// q as ascending vertex sets, largest first. Following Huang et al., two
+// edges are connected when they share a triangle whose three edges all have
+// trussness ≥ k.
+func (d *Decomposition) Communities(q int32, k int32) [][]int32 {
+	full := d.CommunitiesWithEdges(q, k)
+	if full == nil {
+		return nil
+	}
+	out := make([][]int32, len(full))
+	for i, c := range full {
+		out[i] = c.Vertices
+	}
+	return out
+}
+
+// CommunitiesWithEdges is Communities with the defining edge classes
+// retained (used by analysis and by invariant tests).
+func (d *Decomposition) CommunitiesWithEdges(q int32, k int32) []Community {
+	if q < 0 || int(q) >= d.g.N() || k < 2 {
+		return nil
+	}
+	visited := make(map[int32]bool)
+	var out []Community
+	for _, v := range d.g.Neighbors(q) {
+		seed, ok := d.lookup(q, v)
+		if !ok || d.truss[seed] < k || visited[seed] {
+			continue
+		}
+		// BFS over triangle-adjacent edges of trussness ≥ k.
+		verts := map[int32]bool{}
+		var classEdges [][2]int32
+		queue := []int32{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			id := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			u, w := d.edges[id][0], d.edges[id][1]
+			verts[u] = true
+			verts[w] = true
+			classEdges = append(classEdges, d.edges[id])
+			forEachCommon(d.g.Neighbors(u), d.g.Neighbors(w), func(x int32) {
+				e1, ok1 := d.lookup(u, x)
+				e2, ok2 := d.lookup(w, x)
+				if !ok1 || !ok2 || d.truss[e1] < k || d.truss[e2] < k {
+					return
+				}
+				if !visited[e1] {
+					visited[e1] = true
+					queue = append(queue, e1)
+				}
+				if !visited[e2] {
+					visited[e2] = true
+					queue = append(queue, e2)
+				}
+			})
+		}
+		vs := make([]int32, 0, len(verts))
+		for v := range verts {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		sort.Slice(classEdges, func(i, j int) bool {
+			if classEdges[i][0] != classEdges[j][0] {
+				return classEdges[i][0] < classEdges[j][0]
+			}
+			return classEdges[i][1] < classEdges[j][1]
+		})
+		out = append(out, Community{Vertices: vs, Edges: classEdges})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Vertices) != len(out[j].Vertices) {
+			return len(out[i].Vertices) > len(out[j].Vertices)
+		}
+		return out[i].Vertices[0] < out[j].Vertices[0]
+	})
+	return out
+}
+
+// supportQueue is a monotone lazy priority queue over edge ids keyed by
+// current support. Stale entries (pushed before a support decrement) are
+// skipped on pop because the stored key no longer matches.
+type supportQueue struct {
+	support []int32
+	heap    []int32 // edge ids
+	keys    []int32 // key at push time
+}
+
+func (q *supportQueue) len() int { return len(q.heap) }
+
+func (q *supportQueue) push(id int32) {
+	q.heap = append(q.heap, id)
+	q.keys = append(q.keys, q.support[id])
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.keys[p] <= q.keys[i] {
+			break
+		}
+		q.swap(i, p)
+		i = p
+	}
+}
+
+func (q *supportQueue) popMin() int32 {
+	for {
+		id := q.heap[0]
+		key := q.keys[0]
+		last := len(q.heap) - 1
+		q.swap(0, last)
+		q.heap = q.heap[:last]
+		q.keys = q.keys[:last]
+		if last > 0 {
+			q.down(0)
+		}
+		if key == q.support[id] {
+			return id
+		}
+		// Stale entry: the edge was re-pushed with a smaller key; skip.
+		if last == 0 {
+			return id
+		}
+	}
+}
+
+func (q *supportQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.keys[i], q.keys[j] = q.keys[j], q.keys[i]
+}
+
+func (q *supportQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.keys[l] < q.keys[min] {
+			min = l
+		}
+		if r < n && q.keys[r] < q.keys[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}
+
+func countCommon(a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func forEachCommon(a, b []int32, fn func(w int32)) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			fn(a[i])
+			i++
+			j++
+		}
+	}
+}

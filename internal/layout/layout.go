@@ -1,0 +1,204 @@
+// Package layout computes 2-D vertex positions for community visualization
+// — the `display` function of the Figure-4 API ("it computes the layout
+// (i.e., locations of vertices and edges) of a given community in a plane").
+// The paper delegates layout to the JUNG library; this package implements
+// the same family of algorithms: Fruchterman–Reingold force-directed layout
+// (naive and Barnes–Hut), plus a circular fallback. All layouts are
+// deterministic for a given seed.
+package layout
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Point is a 2-D position.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Options configures force-directed layout.
+type Options struct {
+	Width, Height float64 // target bounding box; defaults 800×600
+	Iterations    int     // cooling steps; default 100
+	Seed          int64
+	// BarnesHut enables quadtree-approximated repulsion (θ=0.7), turning
+	// the O(n²) per-iteration cost into O(n log n). Automatically enabled
+	// for n > 400 unless ForceExact.
+	BarnesHut  bool
+	ForceExact bool
+}
+
+func (o *Options) fill(n int) {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.Height <= 0 {
+		o.Height = 600
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if !o.ForceExact && n > 400 {
+		o.BarnesHut = true
+	}
+}
+
+// Graph is the minimal view the layouter needs: local vertex IDs [0,N) and
+// edges as index pairs.
+type Graph interface {
+	N() int
+	Edges() [][2]int32
+}
+
+// EdgeList adapts explicit (n, edges) to the Graph interface.
+type EdgeList struct {
+	Count int
+	Pairs [][2]int32
+}
+
+// N returns the vertex count.
+func (e EdgeList) N() int { return e.Count }
+
+// Edges returns the edge list.
+func (e EdgeList) Edges() [][2]int32 { return e.Pairs }
+
+// FruchtermanReingold computes a force-directed layout inside the
+// [0,Width]×[0,Height] box.
+func FruchtermanReingold(g Graph, opts Options) []Point {
+	n := g.N()
+	opts.fill(n)
+	if n == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: rng.Float64() * opts.Width, Y: rng.Float64() * opts.Height}
+	}
+	if n == 1 {
+		pos[0] = Point{X: opts.Width / 2, Y: opts.Height / 2}
+		return pos
+	}
+	area := opts.Width * opts.Height
+	k := math.Sqrt(area / float64(n)) // ideal edge length
+	disp := make([]Point, n)
+	temp := opts.Width / 10
+	cool := temp / float64(opts.Iterations+1)
+	edges := g.Edges()
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// Repulsion.
+		if opts.BarnesHut {
+			qt := buildQuadTree(pos, opts.Width, opts.Height)
+			for v := 0; v < n; v++ {
+				fx, fy := qt.repulsion(pos[v], k, 0.7)
+				disp[v].X += fx
+				disp[v].Y += fy
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				for u := v + 1; u < n; u++ {
+					dx, dy := pos[v].X-pos[u].X, pos[v].Y-pos[u].Y
+					d2 := dx*dx + dy*dy
+					if d2 < 1e-6 {
+						dx, dy, d2 = jitter(rng), jitter(rng), 1e-6
+					}
+					f := k * k / d2
+					disp[v].X += dx * f
+					disp[v].Y += dy * f
+					disp[u].X -= dx * f
+					disp[u].Y -= dy * f
+				}
+			}
+		}
+		// Attraction along edges.
+		for _, e := range edges {
+			a, b := e[0], e[1]
+			dx, dy := pos[a].X-pos[b].X, pos[a].Y-pos[b].Y
+			d := math.Sqrt(dx*dx+dy*dy) + 1e-9
+			f := d / k
+			disp[a].X -= dx * f
+			disp[a].Y -= dy * f
+			disp[b].X += dx * f
+			disp[b].Y += dy * f
+		}
+		// Apply with temperature cap, clamp to frame.
+		for v := 0; v < n; v++ {
+			dx, dy := disp[v].X, disp[v].Y
+			d := math.Sqrt(dx*dx+dy*dy) + 1e-9
+			lim := math.Min(d, temp)
+			pos[v].X += dx / d * lim
+			pos[v].Y += dy / d * lim
+			pos[v].X = clamp(pos[v].X, 0, opts.Width)
+			pos[v].Y = clamp(pos[v].Y, 0, opts.Height)
+		}
+		temp -= cool
+		if temp < 0.01 {
+			temp = 0.01
+		}
+	}
+	normalize(pos, opts.Width, opts.Height)
+	return pos
+}
+
+// Circular places vertices evenly on a circle — the fallback layout and the
+// starting point the web UI offers.
+func Circular(n int, opts Options) []Point {
+	opts.fill(n)
+	pos := make([]Point, n)
+	cx, cy := opts.Width/2, opts.Height/2
+	r := 0.42 * math.Min(opts.Width, opts.Height)
+	for i := range pos {
+		a := 2 * math.Pi * float64(i) / float64(maxInt(n, 1))
+		pos[i] = Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+	}
+	return pos
+}
+
+// normalize rescales positions to fill ~90% of the box, centered.
+func normalize(pos []Point, w, h float64) {
+	if len(pos) == 0 {
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pos {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX < 1e-9 {
+		spanX = 1
+	}
+	if spanY < 1e-9 {
+		spanY = 1
+	}
+	for i := range pos {
+		pos[i].X = 0.05*w + 0.9*w*(pos[i].X-minX)/spanX
+		pos[i].Y = 0.05*h + 0.9*h*(pos[i].Y-minY)/spanY
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func jitter(rng *rand.Rand) float64 { return (rng.Float64() - 0.5) * 1e-3 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

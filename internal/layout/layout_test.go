@@ -1,0 +1,189 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) EdgeList {
+	e := EdgeList{Count: n}
+	for i := int32(0); i < int32(n-1); i++ {
+		e.Pairs = append(e.Pairs, [2]int32{i, i + 1})
+	}
+	return e
+}
+
+func TestFRWithinBounds(t *testing.T) {
+	g := pathGraph(20)
+	opts := Options{Width: 400, Height: 300, Seed: 1}
+	pos := FruchtermanReingold(g, opts)
+	if len(pos) != 20 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	for i, p := range pos {
+		if p.X < 0 || p.X > 400 || p.Y < 0 || p.Y > 300 {
+			t.Fatalf("vertex %d at (%f,%f) outside bounds", i, p.X, p.Y)
+		}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("NaN position at %d", i)
+		}
+	}
+}
+
+func TestFRDeterministic(t *testing.T) {
+	g := pathGraph(15)
+	a := FruchtermanReingold(g, Options{Seed: 7})
+	b := FruchtermanReingold(g, Options{Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("layout not deterministic for fixed seed")
+		}
+	}
+	c := FruchtermanReingold(g, Options{Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical layout")
+	}
+}
+
+func TestFREdgeCases(t *testing.T) {
+	if pos := FruchtermanReingold(EdgeList{Count: 0}, Options{}); pos != nil {
+		t.Fatalf("empty graph = %v", pos)
+	}
+	pos := FruchtermanReingold(EdgeList{Count: 1}, Options{Width: 100, Height: 100})
+	if len(pos) != 1 || pos[0].X != 50 || pos[0].Y != 50 {
+		t.Fatalf("singleton = %v", pos)
+	}
+	// Coincident start points must not blow up.
+	pos = FruchtermanReingold(EdgeList{Count: 2, Pairs: [][2]int32{{0, 1}}}, Options{Seed: 3})
+	if math.IsNaN(pos[0].X) || math.IsNaN(pos[1].Y) {
+		t.Fatal("NaN for 2-vertex graph")
+	}
+}
+
+func TestFRSeparatesEndpoints(t *testing.T) {
+	// On a path, endpoints should end up further apart than adjacent
+	// vertices on average — a crude sanity check that forces work.
+	g := pathGraph(10)
+	pos := FruchtermanReingold(g, Options{Seed: 2, Iterations: 200})
+	d := func(a, b int) float64 {
+		dx, dy := pos[a].X-pos[b].X, pos[a].Y-pos[b].Y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	if d(0, 9) <= d(0, 1) {
+		t.Fatalf("endpoint distance %f ≤ neighbor distance %f", d(0, 9), d(0, 1))
+	}
+}
+
+func TestBarnesHutApproximatesExact(t *testing.T) {
+	// Same seed, same graph: BH and exact layouts will differ numerically
+	// but both must stay in bounds and keep comparable edge lengths.
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	e := EdgeList{Count: n}
+	for i := 0; i < 2*n; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			e.Pairs = append(e.Pairs, [2]int32{u, v})
+		}
+	}
+	exact := FruchtermanReingold(e, Options{Seed: 9, ForceExact: true, Iterations: 30})
+	bh := FruchtermanReingold(e, Options{Seed: 9, BarnesHut: true, Iterations: 30})
+	meanEdge := func(pos []Point) float64 {
+		s := 0.0
+		for _, pr := range e.Pairs {
+			dx := pos[pr[0]].X - pos[pr[1]].X
+			dy := pos[pr[0]].Y - pos[pr[1]].Y
+			s += math.Sqrt(dx*dx + dy*dy)
+		}
+		return s / float64(len(e.Pairs))
+	}
+	me, mb := meanEdge(exact), meanEdge(bh)
+	if mb > 3*me || me > 3*mb {
+		t.Fatalf("BH mean edge %f vs exact %f: approximation too far off", mb, me)
+	}
+	for _, p := range bh {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatal("BH produced NaN")
+		}
+	}
+}
+
+func TestCircular(t *testing.T) {
+	pos := Circular(8, Options{Width: 200, Height: 200})
+	if len(pos) != 8 {
+		t.Fatalf("len = %d", len(pos))
+	}
+	// All points equidistant from center.
+	for _, p := range pos {
+		dx, dy := p.X-100, p.Y-100
+		r := math.Sqrt(dx*dx + dy*dy)
+		if math.Abs(r-84) > 1 {
+			t.Fatalf("radius %f, want ≈84", r)
+		}
+	}
+	if got := Circular(0, Options{}); len(got) != 0 {
+		t.Fatalf("Circular(0) = %v", got)
+	}
+}
+
+// TestFRBoundsProperty: positions always inside the requested box, any
+// graph, any seed.
+func TestFRBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		e := EdgeList{Count: n}
+		for i := 0; i < 2*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				e.Pairs = append(e.Pairs, [2]int32{u, v})
+			}
+		}
+		w := 100 + rng.Float64()*900
+		h := 100 + rng.Float64()*900
+		pos := FruchtermanReingold(e, Options{Width: w, Height: h, Seed: seed, Iterations: 20})
+		for _, p := range pos {
+			if p.X < -1e-9 || p.X > w+1e-9 || p.Y < -1e-9 || p.Y > h+1e-9 {
+				return false
+			}
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadTreeMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	qt := buildQuadTree(pts, 100, 100)
+	if qt.count != len(pts) {
+		t.Fatalf("root count = %d", qt.count)
+	}
+	// Centroid equals mean of all points.
+	var mx, my float64
+	for _, p := range pts {
+		mx += p.X
+		my += p.Y
+	}
+	mx /= float64(len(pts))
+	my /= float64(len(pts))
+	if math.Abs(qt.cx-mx) > 1e-9 || math.Abs(qt.cy-my) > 1e-9 {
+		t.Fatalf("centroid (%f,%f), want (%f,%f)", qt.cx, qt.cy, mx, my)
+	}
+}

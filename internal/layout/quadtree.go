@@ -1,0 +1,105 @@
+package layout
+
+// Barnes–Hut quadtree for approximate n-body repulsion. Cells with
+// width/distance below θ are treated as a single point mass at their
+// centroid, reducing repulsion to O(n log n) per iteration.
+
+type quadNode struct {
+	// Cell bounds.
+	x0, y0, x1, y1 float64
+	// Aggregate.
+	count    int
+	cx, cy   float64 // centroid (mean position of contained points)
+	children [4]*quadNode
+	leafPt   Point
+	leafSet  bool
+}
+
+func buildQuadTree(pos []Point, w, h float64) *quadNode {
+	root := &quadNode{x0: 0, y0: 0, x1: w, y1: h}
+	for _, p := range pos {
+		root.insert(p, 0)
+	}
+	root.finalize()
+	return root
+}
+
+const maxQuadDepth = 24
+
+func (q *quadNode) insert(p Point, depth int) {
+	q.count++
+	q.cx += p.X
+	q.cy += p.Y
+	if q.count == 1 {
+		q.leafPt = p
+		q.leafSet = true
+		return
+	}
+	if q.leafSet {
+		// Split: push down the resident point first.
+		old := q.leafPt
+		q.leafSet = false
+		if depth < maxQuadDepth {
+			q.childFor(old).insert(old, depth+1)
+		}
+	}
+	if depth < maxQuadDepth {
+		q.childFor(p).insert(p, depth+1)
+	}
+}
+
+func (q *quadNode) childFor(p Point) *quadNode {
+	mx, my := (q.x0+q.x1)/2, (q.y0+q.y1)/2
+	idx := 0
+	x0, y0, x1, y1 := q.x0, q.y0, mx, my
+	if p.X > mx {
+		idx |= 1
+		x0, x1 = mx, q.x1
+	}
+	if p.Y > my {
+		idx |= 2
+		y0, y1 = my, q.y1
+	}
+	if q.children[idx] == nil {
+		q.children[idx] = &quadNode{x0: x0, y0: y0, x1: x1, y1: y1}
+	}
+	return q.children[idx]
+}
+
+func (q *quadNode) finalize() {
+	if q.count > 0 {
+		q.cx /= float64(q.count)
+		q.cy /= float64(q.count)
+	}
+	for _, ch := range q.children {
+		if ch != nil {
+			ch.finalize()
+		}
+	}
+}
+
+// repulsion returns the total repulsive force on p with ideal length k and
+// opening angle theta.
+func (q *quadNode) repulsion(p Point, k, theta float64) (fx, fy float64) {
+	if q.count == 0 {
+		return 0, 0
+	}
+	dx, dy := p.X-q.cx, p.Y-q.cy
+	d2 := dx*dx + dy*dy
+	width := q.x1 - q.x0
+	if q.leafSet || width*width < theta*theta*d2 {
+		if d2 < 1e-6 {
+			return 0, 0 // p is (nearly) the cell itself; skip self-force
+		}
+		f := k * k / d2 * float64(q.count)
+		return dx * f, dy * f
+	}
+	for _, ch := range q.children {
+		if ch != nil {
+			cfx, cfy := ch.repulsion(p, k, theta)
+			fx += cfx
+			fy += cfy
+		}
+	}
+	return fx, fy
+}

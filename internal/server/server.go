@@ -1,0 +1,483 @@
+// Package server implements the browser–server model of Figure 3: a JSON
+// HTTP API over the api.Explorer engine plus an embedded single-page UI.
+// The paper's stack is JSP + Tomcat; here it is net/http. Endpoints map 1:1
+// onto the Figure-4 functions:
+//
+//	POST /api/upload    — upload a graph (JSON wire format)
+//	GET  /api/graphs    — list datasets and registered algorithms
+//	GET  /api/vertex    — resolve an author name → id, keywords, profile
+//	POST /api/search    — run a CS algorithm for a query vertex
+//	POST /api/detect    — run a CD algorithm on the whole graph
+//	POST /api/analyze   — CPJ/CMF + statistics for a community
+//	POST /api/display   — force-directed layout for a community
+//	POST /api/compare   — the Figure-6 comparison table in one call
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/layout"
+)
+
+// Server wraps the explorer engine with HTTP plumbing.
+type Server struct {
+	exp *api.Explorer
+
+	mu       sync.RWMutex
+	profiles map[string]map[int32]gen.Profile // dataset -> vertex -> profile
+
+	logf func(format string, args ...any)
+}
+
+// New returns a server over the given engine. logf may be nil (silent).
+func New(exp *api.Explorer, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{exp: exp, profiles: make(map[string]map[int32]gen.Profile), logf: logf}
+}
+
+// Explorer returns the wrapped engine.
+func (s *Server) Explorer() *api.Explorer { return s.exp }
+
+// SetProfiles installs the profile store for a dataset (the "renowned
+// researchers" records of §4).
+func (s *Server) SetProfiles(dataset string, profiles map[int32]gen.Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[dataset] = profiles
+}
+
+// Handler returns the root http.Handler (API + embedded UI).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/upload", s.handleUpload)
+	mux.HandleFunc("GET /api/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /api/vertex", s.handleVertex)
+	mux.HandleFunc("POST /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/detect", s.handleDetect)
+	mux.HandleFunc("POST /api/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /api/display", s.handleDisplay)
+	mux.HandleFunc("POST /api/compare", s.handleCompare)
+	return s.logging(mux)
+}
+
+// ListenAndServe runs the server until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	s.logf("C-Explorer listening on %s", addr)
+	return srv.ListenAndServe()
+}
+
+func (s *Server) logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+		s.logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// --- request/response DTOs ---
+
+type uploadRequest struct {
+	Name  string          `json:"name"`
+	Graph json.RawMessage `json:"graph"`
+}
+
+type searchRequest struct {
+	Dataset   string   `json:"dataset"`
+	Algorithm string   `json:"algorithm"`
+	Names     []string `json:"names,omitempty"` // author names (resolved server-side)
+	Vertices  []int32  `json:"vertices,omitempty"`
+	K         int      `json:"k"`
+	Keywords  []string `json:"keywords,omitempty"`
+	// Layout=true attaches a Placement per community.
+	Layout bool `json:"layout,omitempty"`
+}
+
+type searchResponse struct {
+	Communities []communityDTO `json:"communities"`
+	ElapsedMS   float64        `json:"elapsedMs"`
+}
+
+type communityDTO struct {
+	api.Community
+	Names     []string       `json:"names"`
+	Placement *api.Placement `json:"placement,omitempty"`
+}
+
+type detectRequest struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	// MinSize filters out tiny detected communities from the response.
+	MinSize int `json:"minSize,omitempty"`
+	// Limit caps the number of returned communities (largest first).
+	Limit int `json:"limit,omitempty"`
+}
+
+type analyzeRequest struct {
+	Dataset  string  `json:"dataset"`
+	Vertices []int32 `json:"vertices"`
+	Query    int32   `json:"query"`
+	Method   string  `json:"method,omitempty"`
+}
+
+type displayRequest struct {
+	Dataset  string  `json:"dataset"`
+	Vertices []int32 `json:"vertices"`
+	Width    float64 `json:"width,omitempty"`
+	Height   float64 `json:"height,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+type compareRequest struct {
+	Dataset    string   `json:"dataset"`
+	Name       string   `json:"name,omitempty"`
+	Vertex     int32    `json:"vertex,omitempty"`
+	K          int      `json:"k"`
+	Algorithms []string `json:"algorithms,omitempty"` // default: all CS + CODICIL
+}
+
+type compareRow struct {
+	Method      string  `json:"method"`
+	Communities int     `json:"communities"`
+	AvgVertices float64 `json:"avgVertices"`
+	AvgEdges    float64 `json:"avgEdges"`
+	AvgDegree   float64 `json:"avgDegree"`
+	CPJ         float64 `json:"cpj"`
+	CMF         float64 `json:"cmf"`
+	ElapsedMS   float64 `json:"elapsedMs"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req uploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "missing dataset name")
+		return
+	}
+	ds, err := s.exp.Upload(req.Name, bytesReader(req.Graph))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "upload: %v", err)
+		return
+	}
+	st := ds.Graph.ComputeStats()
+	writeJSON(w, map[string]any{"name": ds.Name, "stats": st})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	type graphInfo struct {
+		Name     string `json:"name"`
+		Vertices int    `json:"vertices"`
+		Edges    int    `json:"edges"`
+	}
+	var infos []graphInfo
+	for _, name := range s.exp.Datasets() {
+		ds, _ := s.exp.Dataset(name)
+		infos = append(infos, graphInfo{Name: name, Vertices: ds.Graph.N(), Edges: ds.Graph.M()})
+	}
+	writeJSON(w, map[string]any{
+		"graphs":       infos,
+		"csAlgorithms": s.exp.CSAlgorithms(),
+		"cdAlgorithms": s.exp.CDAlgorithms(),
+	})
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	name := r.URL.Query().Get("name")
+	ds, ok := s.exp.Dataset(dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", dataset)
+		return
+	}
+	v, ok := ds.Graph.VertexByName(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown vertex %q", name)
+		return
+	}
+	resp := map[string]any{
+		"id":       v,
+		"name":     name,
+		"degree":   ds.Graph.Degree(v),
+		"core":     ds.CoreNumbers()[v],
+		"keywords": ds.Graph.KeywordStrings(v),
+	}
+	s.mu.RLock()
+	if profs, ok := s.profiles[dataset]; ok {
+		if p, ok := profs[v]; ok {
+			resp["profile"] = p
+		}
+	}
+	s.mu.RUnlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) resolveQuery(ds *api.Dataset, names []string, vertices []int32) ([]int32, error) {
+	out := append([]int32(nil), vertices...)
+	for _, n := range names {
+		v, ok := ds.Graph.VertexByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown vertex %q", n)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query vertex given")
+	}
+	return out, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ds, ok := s.exp.Dataset(req.Dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	qv, err := s.resolveQuery(ds, req.Names, req.Vertices)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "ACQ"
+	}
+	start := time.Now()
+	comms, err := s.exp.Search(req.Dataset, req.Algorithm, api.Query{
+		Vertices: qv, K: req.K, Keywords: req.Keywords,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "search: %v", err)
+		return
+	}
+	resp := searchResponse{ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+	for _, c := range comms {
+		dto := communityDTO{Community: c, Names: vertexNames(ds, c.Vertices)}
+		if req.Layout {
+			pl, err := s.exp.Display(req.Dataset, c, layout.Options{Seed: 1})
+			if err == nil {
+				dto.Placement = pl
+			}
+		}
+		resp.Communities = append(resp.Communities, dto)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "CODICIL"
+	}
+	start := time.Now()
+	comms, err := s.exp.Detect(req.Dataset, req.Algorithm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "detect: %v", err)
+		return
+	}
+	if req.MinSize > 0 {
+		filtered := comms[:0]
+		for _, c := range comms {
+			if len(c.Vertices) >= req.MinSize {
+				filtered = append(filtered, c)
+			}
+		}
+		comms = filtered
+	}
+	sort.Slice(comms, func(i, j int) bool { return len(comms[i].Vertices) > len(comms[j].Vertices) })
+	if req.Limit > 0 && len(comms) > req.Limit {
+		comms = comms[:req.Limit]
+	}
+	writeJSON(w, map[string]any{
+		"communities": comms,
+		"elapsedMs":   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	a, err := s.exp.Analyze(req.Dataset, api.Community{Method: req.Method, Vertices: req.Vertices}, req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "analyze: %v", err)
+		return
+	}
+	writeJSON(w, a)
+}
+
+func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
+	var req displayRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	pl, err := s.exp.Display(req.Dataset, api.Community{Vertices: req.Vertices}, layout.Options{
+		Width: req.Width, Height: req.Height, Seed: req.Seed,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "display: %v", err)
+		return
+	}
+	writeJSON(w, pl)
+}
+
+// handleCompare renders the Figure 6(a) experience as one API call: run
+// several algorithms for the same query and report statistics + CPJ/CMF.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ds, ok := s.exp.Dataset(req.Dataset)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	var q int32
+	if req.Name != "" {
+		v, ok := ds.Graph.VertexByName(req.Name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown vertex %q", req.Name)
+			return
+		}
+		q = v
+	} else {
+		q = req.Vertex
+	}
+	if q < 0 || int(q) >= ds.Graph.N() {
+		httpError(w, http.StatusBadRequest, "vertex %d out of range", q)
+		return
+	}
+	algos := req.Algorithms
+	if len(algos) == 0 {
+		algos = []string{"Global", "Local", "CODICIL", "ACQ"}
+	}
+	rows := make([]compareRow, 0, len(algos))
+	for _, name := range algos {
+		rows = append(rows, s.compareOne(req.Dataset, ds, name, q, req.K))
+	}
+	writeJSON(w, map[string]any{"query": q, "rows": rows})
+}
+
+func (s *Server) compareOne(dataset string, ds *api.Dataset, algo string, q int32, k int) compareRow {
+	row := compareRow{Method: algo}
+	start := time.Now()
+	var comms []api.Community
+	var err error
+	isCD := false
+	for _, cd := range s.exp.CDAlgorithms() {
+		if cd == algo {
+			isCD = true
+		}
+	}
+	if isCD {
+		var all []api.Community
+		all, err = s.exp.Detect(dataset, algo)
+		if err == nil {
+			for _, c := range all {
+				for _, v := range c.Vertices {
+					if v == q {
+						comms = append(comms, c)
+						break
+					}
+				}
+			}
+		}
+	} else {
+		comms, err = s.exp.Search(dataset, algo, api.Query{Vertices: []int32{q}, K: k})
+	}
+	row.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	stats := make([]metricsRow, 0, len(comms))
+	for _, c := range comms {
+		a, aerr := s.exp.Analyze(dataset, c, q)
+		if aerr != nil {
+			continue
+		}
+		stats = append(stats, metricsRow{a: a})
+	}
+	row.Communities = len(stats)
+	if len(stats) == 0 {
+		return row
+	}
+	for _, st := range stats {
+		row.AvgVertices += float64(st.a.Stats.Vertices)
+		row.AvgEdges += float64(st.a.Stats.Edges)
+		row.AvgDegree += st.a.Stats.AvgDegree
+		row.CPJ += st.a.CPJ
+		row.CMF += st.a.CMF
+	}
+	n := float64(len(stats))
+	row.AvgVertices /= n
+	row.AvgEdges /= n
+	row.AvgDegree /= n
+	row.CPJ /= n
+	row.CMF /= n
+	return row
+}
+
+type metricsRow struct{ a *api.Analysis }
+
+func vertexNames(ds *api.Dataset, vs []int32) []string {
+	names := make([]string, len(vs))
+	for i, v := range vs {
+		names[i] = ds.Graph.Name(v)
+	}
+	return names
+}

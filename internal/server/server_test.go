@@ -1,0 +1,345 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+)
+
+func testServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t testing.TB, url string, body any, out any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestIndexServed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/html; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	// Unknown paths 404.
+	resp2, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestGraphsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/graphs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var data struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+		} `json:"graphs"`
+		CS []string `json:"csAlgorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&data); err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Graphs) != 1 || data.Graphs[0].Name != "fig5" || data.Graphs[0].Vertices != 10 {
+		t.Fatalf("graphs = %+v", data.Graphs)
+	}
+	if len(data.CS) == 0 {
+		t.Fatal("no CS algorithms listed")
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out struct {
+		Communities []struct {
+			Method         string   `json:"method"`
+			Vertices       []int32  `json:"vertices"`
+			SharedKeywords []string `json:"sharedKeywords"`
+			Names          []string `json:"names"`
+			Placement      *struct {
+				Points []struct{ X, Y float64 } `json:"points"`
+			} `json:"placement"`
+		} `json:"communities"`
+		ElapsedMS float64 `json:"elapsedMs"`
+	}
+	postJSON(t, ts.URL+"/api/search", map[string]any{
+		"dataset": "fig5", "algorithm": "ACQ",
+		"names": []string{"A"}, "k": 2, "keywords": []string{"w", "x", "y"},
+		"layout": true,
+	}, &out)
+	if len(out.Communities) != 1 {
+		t.Fatalf("communities = %+v", out.Communities)
+	}
+	c := out.Communities[0]
+	if len(c.Vertices) != 3 || len(c.SharedKeywords) != 2 {
+		t.Fatalf("community = %+v", c)
+	}
+	if c.Names[0] != "A" {
+		t.Fatalf("names = %v", c.Names)
+	}
+	if c.Placement == nil || len(c.Placement.Points) != 3 {
+		t.Fatalf("placement missing: %+v", c.Placement)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []map[string]any{
+		{"dataset": "nope", "names": []string{"A"}, "k": 1},
+		{"dataset": "fig5", "names": []string{"ZZ"}, "k": 1},
+		{"dataset": "fig5", "k": 1},
+		{"dataset": "fig5", "names": []string{"A"}, "algorithm": "nope", "k": 1},
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/api/search", c, nil)
+		if resp.StatusCode == 200 {
+			t.Fatalf("case %d: status 200 for bad request", i)
+		}
+	}
+	// Malformed body.
+	resp, err := http.Post(ts.URL+"/api/search", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed body status = %d", resp.StatusCode)
+	}
+}
+
+func TestVertexEndpointWithProfile(t *testing.T) {
+	s, ts := testServer(t)
+	s.SetProfiles("fig5", map[int32]gen.Profile{
+		0: {Name: "A", Areas: []string{"databases"}, Institutes: []string{"hku"}},
+	})
+	resp, err := http.Get(ts.URL + "/api/vertex?dataset=fig5&name=A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var data struct {
+		ID       int32    `json:"id"`
+		Degree   int      `json:"degree"`
+		Core     int32    `json:"core"`
+		Keywords []string `json:"keywords"`
+		Profile  *gen.Profile
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&data); err != nil {
+		t.Fatal(err)
+	}
+	if data.ID != 0 || data.Degree != 4 || data.Core != 3 || len(data.Keywords) != 3 {
+		t.Fatalf("vertex = %+v", data)
+	}
+	if data.Profile == nil || data.Profile.Areas[0] != "databases" {
+		t.Fatalf("profile = %+v", data.Profile)
+	}
+	// Missing vertex → 404.
+	r2, err := http.Get(ts.URL + "/api/vertex?dataset=fig5&name=ZZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 404 {
+		t.Fatalf("missing vertex status = %d", r2.StatusCode)
+	}
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out struct {
+		Communities []struct {
+			Vertices []int32 `json:"vertices"`
+		} `json:"communities"`
+	}
+	postJSON(t, ts.URL+"/api/detect", map[string]any{
+		"dataset": "fig5", "algorithm": "CODICIL", "minSize": 2, "limit": 3,
+	}, &out)
+	if len(out.Communities) == 0 || len(out.Communities) > 3 {
+		t.Fatalf("communities = %+v", out.Communities)
+	}
+	for _, c := range out.Communities {
+		if len(c.Vertices) < 2 {
+			t.Fatalf("minSize violated: %v", c.Vertices)
+		}
+	}
+}
+
+func TestAnalyzeAndDisplayEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	var analysis struct {
+		CPJ   float64 `json:"cpj"`
+		CMF   float64 `json:"cmf"`
+		Stats struct {
+			Vertices int `json:"Vertices"`
+		} `json:"stats"`
+	}
+	postJSON(t, ts.URL+"/api/analyze", map[string]any{
+		"dataset": "fig5", "vertices": []int32{0, 2, 3}, "query": 0,
+	}, &analysis)
+	if analysis.CPJ <= 0 || analysis.CMF <= 0 {
+		t.Fatalf("analysis = %+v", analysis)
+	}
+	var placement struct {
+		Points []struct{ X, Y float64 } `json:"points"`
+		Edges  [][2]int32               `json:"edges"`
+	}
+	postJSON(t, ts.URL+"/api/display", map[string]any{
+		"dataset": "fig5", "vertices": []int32{0, 1, 2, 3}, "width": 100, "height": 100,
+	}, &placement)
+	if len(placement.Points) != 4 || len(placement.Edges) != 6 {
+		t.Fatalf("placement = %+v", placement)
+	}
+	for _, p := range placement.Points {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("point out of bounds: %+v", p)
+		}
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var out struct {
+		Rows []struct {
+			Method      string  `json:"method"`
+			Communities int     `json:"communities"`
+			AvgVertices float64 `json:"avgVertices"`
+			CPJ         float64 `json:"cpj"`
+			Error       string  `json:"error"`
+		} `json:"rows"`
+	}
+	postJSON(t, ts.URL+"/api/compare", map[string]any{
+		"dataset": "fig5", "name": "A", "k": 2,
+	}, &out)
+	if len(out.Rows) != 4 {
+		t.Fatalf("rows = %+v", out.Rows)
+	}
+	byMethod := map[string]int{}
+	for i, r := range out.Rows {
+		byMethod[r.Method] = i
+		if r.Error != "" {
+			t.Fatalf("row %s error: %s", r.Method, r.Error)
+		}
+	}
+	for _, m := range []string{"Global", "Local", "CODICIL", "ACQ"} {
+		if _, ok := byMethod[m]; !ok {
+			t.Fatalf("missing method %s", m)
+		}
+	}
+	// Global's community (2-core of A = 5 vertices) must be ≥ ACQ's (3).
+	g := out.Rows[byMethod["Global"]]
+	a := out.Rows[byMethod["ACQ"]]
+	if g.AvgVertices < a.AvgVertices {
+		t.Fatalf("Global %f < ACQ %f vertices", g.AvgVertices, a.AvgVertices)
+	}
+	// ACQ must win on CPJ (the Figure-6a bars shape).
+	if a.CPJ < g.CPJ {
+		t.Fatalf("ACQ CPJ %f < Global CPJ %f", a.CPJ, g.CPJ)
+	}
+}
+
+func TestUploadEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	jg := gen.Figure5().ToJSONGraph("up")
+	var out struct {
+		Name  string `json:"name"`
+		Stats struct {
+			Vertices int `json:"Vertices"`
+		} `json:"stats"`
+	}
+	postJSON(t, ts.URL+"/api/upload", map[string]any{
+		"name": "up", "graph": jg,
+	}, &out)
+	if out.Name != "up" || out.Stats.Vertices != 10 {
+		t.Fatalf("upload = %+v", out)
+	}
+	// Search the uploaded graph end to end.
+	var sr struct {
+		Communities []struct {
+			Vertices []int32 `json:"vertices"`
+		} `json:"communities"`
+	}
+	postJSON(t, ts.URL+"/api/search", map[string]any{
+		"dataset": "up", "algorithm": "ACQ", "names": []string{"A"}, "k": 2,
+	}, &sr)
+	if len(sr.Communities) != 1 || len(sr.Communities[0].Vertices) != 3 {
+		t.Fatalf("search on uploaded = %+v", sr)
+	}
+	// Missing name rejected.
+	resp := postJSON(t, ts.URL+"/api/upload", map[string]any{"graph": jg}, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("missing name status = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	_, ts := testServer(t)
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			b, _ := json.Marshal(map[string]any{
+				"dataset": "fig5", "algorithm": "ACQ",
+				"names": []string{"A"}, "k": 1 + i%3,
+			})
+			resp, err := http.Post(ts.URL+"/api/search", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

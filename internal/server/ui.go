@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "not found")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, indexHTML)
+}
+
+// indexHTML is the embedded single-page UI: the Exploration and Analysis
+// panels of Figures 1 and 6, rendered with a plain canvas. It speaks the
+// JSON API only — everything it does can be scripted the same way.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>C-Explorer: Browsing Communities in Large Graphs</title>
+<style>
+body { font-family: sans-serif; margin: 0; display: flex; height: 100vh; }
+#left { width: 300px; padding: 16px; border-right: 1px solid #ccc; overflow-y: auto; }
+#right { flex: 1; padding: 16px; overflow-y: auto; }
+h1 { font-size: 18px; } h2 { font-size: 15px; }
+label { display: block; margin-top: 10px; font-weight: bold; font-size: 13px; }
+input, select { width: 95%; padding: 4px; margin-top: 2px; }
+button { margin-top: 12px; padding: 6px 18px; }
+canvas { border: 1px solid #ddd; margin-top: 8px; }
+table { border-collapse: collapse; margin-top: 10px; font-size: 13px; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; }
+.tabs button { margin-right: 6px; }
+#theme { color: #555; font-size: 13px; margin-top: 6px; }
+.err { color: #b00; }
+</style>
+</head>
+<body>
+<div id="left">
+  <h1>C-Explorer</h1>
+  <div class="tabs">
+    <button onclick="mode='explore';render()">Exploration</button>
+    <button onclick="mode='analyze';render()">Analysis</button>
+  </div>
+  <label>Graph</label><select id="graph"></select>
+  <label>Name</label><input id="name" value="jim gray">
+  <label>Structure: degree &ge;</label><input id="k" type="number" value="4" min="0">
+  <label>Keywords (space-separated, optional)</label><input id="keywords">
+  <label>Algorithm</label><select id="algo"></select>
+  <button onclick="go()">Search</button>
+  <div id="status"></div>
+</div>
+<div id="right">
+  <h2 id="title">Communities</h2>
+  <div id="theme"></div>
+  <div id="tabsC" class="tabs"></div>
+  <canvas id="cv" width="820" height="560"></canvas>
+  <div id="tableWrap"></div>
+</div>
+<script>
+let mode = 'explore';
+let communities = [], current = 0;
+
+async function init() {
+  const res = await fetch('/api/graphs');
+  const data = await res.json();
+  const gsel = document.getElementById('graph');
+  (data.graphs||[]).forEach(g => {
+    const o = document.createElement('option');
+    o.value = g.name; o.textContent = g.name + ' (' + g.vertices + 'v/' + g.edges + 'e)';
+    gsel.appendChild(o);
+  });
+  const asel = document.getElementById('algo');
+  (data.csAlgorithms||[]).forEach(a => {
+    const o = document.createElement('option');
+    o.value = a; o.textContent = a;
+    if (a === 'ACQ') o.selected = true;
+    asel.appendChild(o);
+  });
+}
+
+function render() {
+  document.getElementById('title').textContent = mode === 'explore' ? 'Communities' : 'Comparison Analysis';
+}
+
+async function go() {
+  const status = document.getElementById('status');
+  status.textContent = 'running...'; status.className = '';
+  try {
+    if (mode === 'explore') await search(); else await compare();
+    status.textContent = 'done';
+  } catch (e) { status.textContent = e; status.className = 'err'; }
+}
+
+async function search() {
+  const body = {
+    dataset: document.getElementById('graph').value,
+    algorithm: document.getElementById('algo').value,
+    names: [document.getElementById('name').value],
+    k: parseInt(document.getElementById('k').value),
+    keywords: document.getElementById('keywords').value.split(/\s+/).filter(x=>x),
+    layout: true
+  };
+  const res = await fetch('/api/search', {method:'POST', body: JSON.stringify(body)});
+  const data = await res.json();
+  if (data.error) throw data.error;
+  communities = data.communities || [];
+  const tabs = document.getElementById('tabsC');
+  tabs.innerHTML = 'Communities: ';
+  communities.forEach((c, i) => {
+    const b = document.createElement('button');
+    b.textContent = (i+1);
+    b.onclick = () => draw(i);
+    tabs.appendChild(b);
+  });
+  document.getElementById('tableWrap').innerHTML = '';
+  if (communities.length) draw(0); else {
+    document.getElementById('theme').textContent = 'no community found';
+    const ctx = document.getElementById('cv').getContext('2d');
+    ctx.clearRect(0,0,820,560);
+  }
+}
+
+function draw(i) {
+  current = i;
+  const c = communities[i];
+  document.getElementById('theme').textContent =
+    'Theme: ' + (c.theme||[]).join(', ') +
+    (c.sharedKeywords && c.sharedKeywords.length ? ' | Shared: ' + c.sharedKeywords.join(', ') : '');
+  const cv = document.getElementById('cv'), ctx = cv.getContext('2d');
+  ctx.clearRect(0,0,cv.width,cv.height);
+  const pl = c.placement; if (!pl) return;
+  const sx = cv.width/820, sy = cv.height/620;
+  ctx.strokeStyle = '#999';
+  (pl.edges||[]).forEach(e => {
+    ctx.beginPath();
+    ctx.moveTo(pl.points[e[0]].x*sx, pl.points[e[0]].y*sy);
+    ctx.lineTo(pl.points[e[1]].x*sx, pl.points[e[1]].y*sy);
+    ctx.stroke();
+  });
+  (pl.points||[]).forEach((p, j) => {
+    ctx.fillStyle = '#4a7';
+    ctx.beginPath(); ctx.arc(p.x*sx, p.y*sy, 6, 0, 7); ctx.fill();
+    ctx.fillStyle = '#000';
+    ctx.fillText(pl.names[j]||('v'+pl.vertices[j]), p.x*sx+8, p.y*sy+3);
+  });
+}
+
+async function compare() {
+  const body = {
+    dataset: document.getElementById('graph').value,
+    name: document.getElementById('name').value,
+    k: parseInt(document.getElementById('k').value)
+  };
+  const res = await fetch('/api/compare', {method:'POST', body: JSON.stringify(body)});
+  const data = await res.json();
+  if (data.error) throw data.error;
+  let html = '<table><tr><th>Method</th><th>Communities</th><th>Vertices</th><th>Edges</th><th>Degree</th><th>CPJ</th><th>CMF</th><th>ms</th></tr>';
+  (data.rows||[]).forEach(r => {
+    html += '<tr><td>'+r.method+'</td><td>'+r.communities+'</td><td>'+r.avgVertices.toFixed(1)+
+      '</td><td>'+r.avgEdges.toFixed(1)+'</td><td>'+r.avgDegree.toFixed(1)+
+      '</td><td>'+r.cpj.toFixed(3)+'</td><td>'+r.cmf.toFixed(3)+'</td><td>'+r.elapsedMs.toFixed(1)+'</td></tr>';
+  });
+  html += '</table>';
+  document.getElementById('tableWrap').innerHTML = html;
+  document.getElementById('theme').textContent = '';
+  document.getElementById('tabsC').innerHTML = '';
+}
+
+init(); render();
+</script>
+</body>
+</html>
+`

@@ -12,6 +12,7 @@ package cexplorer
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -426,4 +427,106 @@ func TestFacadeSmoke(t *testing.T) {
 	if err != nil || len(res) != 1 {
 		t.Fatalf("facade explorer: %v %+v", err, res)
 	}
+}
+
+// --- concurrent query serving (the browser–server model under load) ---
+
+// parallelBenchDataset returns a Dataset over the shared DBLP benchmark
+// graph with its CL-tree pre-built, so the timed region measures query
+// serving only.
+func parallelBenchDataset(b *testing.B) (*Dataset, int32, int32) {
+	env := sharedEnv()
+	exp := NewExplorer()
+	ds, err := exp.AddGraph("dblp", env.DBLP.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds.Tree() // warm the shared index outside the timer
+	q, k := env.HubQuery()
+	return ds, q, k
+}
+
+// runParallelSearch times ACQ/Dec over pooled engines: "serial" is the
+// single-goroutine baseline, "parallel-8" drives eight goroutines through
+// b.RunParallel, each checking engines out of the dataset pool. The
+// per-query steady state must stay allocation-free in the peeler (its
+// membership sets are epoch-stamped scratch, not maps) — watch the
+// -benchmem delta between the two.
+func runParallelSearch(b *testing.B, S []int32) {
+	ds, q, k := parallelBenchDataset(b)
+	b.Run("serial", func(b *testing.B) {
+		eng := ds.AcquireEngine()
+		defer ds.ReleaseEngine(eng)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Search(q, k, S, Dec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-8", func(b *testing.B) {
+		// b.RunParallel spawns GOMAXPROCS×parallelism goroutines; scale the
+		// factor so the total is (at least) the 8 the serving model targets.
+		factor := (8 + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0)
+		b.SetParallelism(factor)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			eng := ds.AcquireEngine()
+			defer ds.ReleaseEngine(eng)
+			for pb.Next() {
+				if _, err := eng.Search(q, k, S, Dec); err != nil {
+					// Fatal must not be called from a RunParallel worker.
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkParallelACQ is the keywordless ACQ/Dec query (the UI default).
+func BenchmarkParallelACQ(b *testing.B) {
+	runParallelSearch(b, nil)
+}
+
+// BenchmarkParallelACQKeywords runs the peel-heavy variant: six query
+// keywords, so every candidate set is verified by the allocation-free
+// peeler.
+func BenchmarkParallelACQKeywords(b *testing.B) {
+	env := sharedEnv()
+	q, _ := env.HubQuery()
+	S := env.DBLP.Graph.Keywords(q)
+	if len(S) > 6 {
+		S = S[:6]
+	}
+	runParallelSearch(b, S)
+}
+
+// BenchmarkEngineCheckout isolates what the pool buys per request: acquiring
+// a warm engine versus constructing one (O(n) scratch) per query, the way
+// the API layer did before pooling.
+func BenchmarkEngineCheckout(b *testing.B) {
+	ds, q, k := parallelBenchDataset(b)
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := ds.AcquireEngine()
+			if _, err := eng.Search(q, k, nil, Dec); err != nil {
+				b.Fatal(err)
+			}
+			ds.ReleaseEngine(eng)
+		}
+	})
+	b.Run("fresh-per-query", func(b *testing.B) {
+		tree := ds.Tree()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(tree)
+			if _, err := eng.Search(q, k, nil, Dec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -23,17 +23,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		edges    = flag.String("edges", "", "edge-list file to serve (optional)")
-		attrs    = flag.String("attrs", "", "vertex-attribute file (optional, with -edges)")
-		name     = flag.String("name", "uploaded", "dataset name for -edges")
-		dblpN    = flag.Int("dblp.n", 20000, "synthetic DBLP size (0 disables)")
-		dblpSeed = flag.Int64("dblp.seed", 1, "synthetic DBLP seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		edges       = flag.String("edges", "", "edge-list file to serve (optional)")
+		attrs       = flag.String("attrs", "", "vertex-attribute file (optional, with -edges)")
+		name        = flag.String("name", "uploaded", "dataset name for -edges")
+		dblpN       = flag.Int("dblp.n", 20000, "synthetic DBLP size (0 disables)")
+		dblpSeed    = flag.Int64("dblp.seed", 1, "synthetic DBLP seed")
+		searchLimit = flag.Int("search.limit", 0, "max concurrent searches (0 = 2×GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	exp := api.NewExplorer()
 	srv := server.New(exp, log.Printf)
+	if *searchLimit > 0 {
+		srv.SetSearchLimit(*searchLimit)
+	}
 
 	if _, err := exp.AddGraph("figure5", gen.Figure5()); err != nil {
 		log.Fatalf("figure5: %v", err)

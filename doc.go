@@ -37,4 +37,28 @@
 //
 // See the examples/ directory for runnable walkthroughs of Figures 1, 2,
 // and 6, and cmd/cexplorer for the web server.
+//
+// # Concurrency model
+//
+// The read path is built for parallel query serving. A Graph and a built
+// Index (CL-tree) are immutable and safely shared by any number of
+// goroutines. An Engine is the opposite: it carries per-query scratch (the
+// peeler's epoch-stamped membership arrays, candidate buffers, interned
+// keyword-set IDs) and must be confined to one goroutine at a time.
+//
+// There are two ways to honor that contract:
+//
+//   - Engine-per-goroutine: call NewEngine(idx) in each worker. Engines are
+//     cheap relative to the index, but construction is O(n) in the graph
+//     size, so per-request construction wastes work under load.
+//   - Pooled engines (what the server does): a Dataset keeps a sync.Pool of
+//     warm engines over its CL-tree. Handlers call AcquireEngine /
+//     ReleaseEngine, so concurrent searches on one dataset reuse scratch
+//     that is already sized to the graph and run fully in parallel — the
+//     dataset's lazy indexes are built once behind sync.Once, and reads
+//     after that take no lock.
+//
+// The HTTP layer (internal/server) additionally bounds concurrent search
+// execution with a worker limit (default 2×GOMAXPROCS, -search.limit on the
+// cexplorer command) and reports request-level counters at /api/stats.
 package cexplorer

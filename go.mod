@@ -1,0 +1,3 @@
+module cexplorer
+
+go 1.24

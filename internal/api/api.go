@@ -8,6 +8,7 @@ package api
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"sync"
 
@@ -55,16 +56,28 @@ type CDAlgorithm interface {
 	Detect(ds *Dataset) ([]Community, error)
 }
 
-// Dataset bundles a graph with its lazily built indexes. All methods are
-// safe for concurrent use.
+// Dataset bundles a graph with its lazily built indexes and a pool of warm
+// query engines. All methods are safe for concurrent use; each lazy index is
+// guarded by its own sync.Once, so the first builder of one index never
+// blocks searches that need another, and once built, reads take no lock at
+// all — searches on the same dataset run fully in parallel.
 type Dataset struct {
 	Name  string
 	Graph *graph.Graph
 
-	mu      sync.Mutex
-	tree    *cltree.Tree
-	coreNum []int32
-	truss   *ktruss.Decomposition
+	treeOnce sync.Once
+	tree     *cltree.Tree
+
+	coreOnce sync.Once
+	coreNum  []int32
+
+	trussOnce sync.Once
+	truss     *ktruss.Decomposition
+
+	// engines holds warm *core.Engine values (each with its peeler and
+	// per-query scratch already sized to the graph) so concurrent handlers
+	// check one out instead of paying O(n) construction per request.
+	engines sync.Pool
 }
 
 // NewDataset wraps a graph.
@@ -74,32 +87,38 @@ func NewDataset(name string, g *graph.Graph) *Dataset {
 
 // Tree returns the CL-tree, building it on first use.
 func (d *Dataset) Tree() *cltree.Tree {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.tree == nil {
-		d.tree = cltree.Build(d.Graph)
-	}
+	d.treeOnce.Do(func() { d.tree = cltree.Build(d.Graph) })
 	return d.tree
 }
 
 // CoreNumbers returns the core decomposition, computing it on first use.
 func (d *Dataset) CoreNumbers() []int32 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.coreNum == nil {
-		d.coreNum = kcore.Decompose(d.Graph)
-	}
+	d.coreOnce.Do(func() { d.coreNum = kcore.Decompose(d.Graph) })
 	return d.coreNum
 }
 
 // Truss returns the truss decomposition, computing it on first use.
 func (d *Dataset) Truss() *ktruss.Decomposition {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.truss == nil {
-		d.truss = ktruss.Decompose(d.Graph)
-	}
+	d.trussOnce.Do(func() { d.truss = ktruss.Decompose(d.Graph) })
 	return d.truss
+}
+
+// AcquireEngine checks a warm ACQ engine out of the dataset's pool, building
+// one over the CL-tree if the pool is empty. The caller owns the engine
+// until ReleaseEngine; engines are single-goroutine objects (they carry
+// per-query scratch), so never share one across goroutines.
+func (d *Dataset) AcquireEngine() *core.Engine {
+	if e, ok := d.engines.Get().(*core.Engine); ok {
+		return e
+	}
+	return core.NewEngine(d.Tree())
+}
+
+// ReleaseEngine returns an engine to the pool for the next query.
+func (d *Dataset) ReleaseEngine(e *core.Engine) {
+	if e != nil {
+		d.engines.Put(e)
+	}
 }
 
 // --- built-in CS algorithms ---
@@ -122,7 +141,8 @@ func (a *ACQAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
 	if len(q.Vertices) == 0 {
 		return nil, fmt.Errorf("acq: no query vertex")
 	}
-	eng := core.NewEngine(ds.Tree())
+	eng := ds.AcquireEngine()
+	defer ds.ReleaseEngine(eng)
 	var S []int32
 	if len(q.Keywords) > 0 {
 		for _, w := range q.Keywords {
@@ -130,7 +150,7 @@ func (a *ACQAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
 				S = append(S, id)
 			}
 		}
-		sort.Slice(S, func(i, j int) bool { return S[i] < S[j] })
+		slices.Sort(S)
 		if len(S) == 0 {
 			// None of the requested keywords exist; keep S empty but
 			// non-nil so the engine does not default to W(q).

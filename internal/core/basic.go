@@ -19,7 +19,7 @@ func (e *Engine) searchBasic(qc *queryContext, S []int32) []Community {
 			}
 		})
 	}
-	return dedupAnswers(answers)
+	return qc.dedupAnswers(answers)
 }
 
 // forEachSubset enumerates all size-r subsets of S in lexicographic order,
@@ -55,14 +55,14 @@ func forEachSubset(S []int32, r int, fn func(T []int32)) {
 
 // dedupAnswers drops answers with duplicate keyword sets (two verified sets
 // can expand to the same maximal L).
-func dedupAnswers(answers []Community) []Community {
+func (qc *queryContext) dedupAnswers(answers []Community) []Community {
 	if len(answers) < 2 {
 		return answers
 	}
-	seen := make(map[string]bool, len(answers))
+	seen := make(map[int32]bool, len(answers))
 	out := answers[:0]
 	for _, a := range answers {
-		k := setKey(a.SharedKeywords)
+		k := qc.e.sets.id(a.SharedKeywords)
 		if seen[k] {
 			continue
 		}

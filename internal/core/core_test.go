@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -213,7 +214,23 @@ func oracleACQ(g *graph.Graph, q int32, k int32, S []int32) []Community {
 			best = append(best, Community{Vertices: sub.Vertices, SharedKeywords: L})
 		}
 	}
-	return dedupAnswers(best)
+	return dedupOracleAnswers(best)
+}
+
+// dedupOracleAnswers mirrors the engine's keyword-set dedup for the oracle
+// (which has no query context to intern through).
+func dedupOracleAnswers(answers []Community) []Community {
+	seen := make(map[string]bool, len(answers))
+	out := answers[:0]
+	for _, a := range answers {
+		k := fmt.Sprint(a.SharedKeywords)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
 }
 
 func oracleVerify(g *graph.Graph, q int32, k int32, T []int32) []int32 {

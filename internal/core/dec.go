@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // searchDec is the decremental algorithm — the system default (§3.2: "the
 // decremental algorithm ... from examining larger candidate sets to smaller
@@ -27,7 +27,7 @@ func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
 	}
 
 	current := [][]int32{admissible} // start from the full admissible set
-	seen := map[string]bool{setKey(admissible): true}
+	seen := map[int32]bool{qc.e.sets.id(admissible): true}
 
 	for len(current) > 0 {
 		size := len(current[0])
@@ -50,7 +50,7 @@ func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
 				sub := make([]int32, 0, size-1)
 				sub = append(sub, T[:drop]...)
 				sub = append(sub, T[drop+1:]...)
-				key := setKey(sub)
+				key := qc.e.sets.id(sub)
 				if !seen[key] {
 					seen[key] = true
 					next = append(next, sub)
@@ -58,20 +58,11 @@ func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
 			}
 		}
 		if len(answers) > 0 {
-			return dedupAnswers(answers)
+			return qc.dedupAnswers(answers)
 		}
 		// Deterministic processing order for the next level.
-		sort.Slice(next, func(i, j int) bool { return lessSets(next[i], next[j]) })
+		slices.SortFunc(next, slices.Compare)
 		current = next
 	}
 	return nil
-}
-
-func lessSets(a, b []int32) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }

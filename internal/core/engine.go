@@ -23,7 +23,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/cltree"
 	"cexplorer/internal/ds"
@@ -76,12 +76,17 @@ type Stats struct {
 
 // Engine executes ACQ queries against one CL-tree index. An Engine is not
 // safe for concurrent use (it carries per-query scratch); create one per
-// goroutine — they can share the same *cltree.Tree.
+// goroutine — they can share the same *cltree.Tree — or check warm engines
+// out of a pool (api.Dataset does this for query serving).
 type Engine struct {
 	tree   *cltree.Tree
 	g      *graph.Graph
 	peeler *kcore.Peeler
 	stats  Stats
+
+	// Per-query scratch, reused across Search calls.
+	sets    setIDs  // interned keyword-set IDs
+	candBuf []int32 // candidate-intersection workspace
 }
 
 // NewEngine returns an engine over the given index.
@@ -112,6 +117,7 @@ func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Communit
 		return nil, fmt.Errorf("acq: negative k")
 	}
 	e.stats = Stats{}
+	e.sets.reset()
 
 	// Problem 1 requires S ⊆ W(q); intersect to enforce.
 	if S == nil {
@@ -148,8 +154,7 @@ func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Communit
 		}
 		answers = []Community{{Vertices: sortedCopy(comp)}}
 	}
-	sortAnswers(answers)
-	return answers, nil
+	return sortAnswers(answers), nil
 }
 
 // queryContext carries the per-query candidate universe: the CL-tree anchor
@@ -170,7 +175,7 @@ func newQueryContext(e *Engine, q, k int32) *queryContext {
 		return nil
 	}
 	universe := e.tree.SubtreeVertices(anchor, nil)
-	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
+	slices.Sort(universe)
 	return &queryContext{
 		e:        e,
 		q:        q,
@@ -188,23 +193,37 @@ func (qc *queryContext) keywordVertices(w int32) []int32 {
 		return lst
 	}
 	lst := qc.e.tree.SubtreeKeywordVertices(qc.anchor, w, nil)
-	sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+	slices.Sort(lst)
 	qc.kwLists[w] = lst
 	return lst
 }
 
 // candidates returns the ascending vertex list {v ∈ universe : T ⊆ W(v)},
-// or nil if any query vertex is excluded (then no AC for T can exist).
+// or nil if any query vertex is excluded (then no AC for T can exist). The
+// result may alias the engine's candidate buffer: it is valid only until the
+// next candidates/refineVerify call (verification peels it immediately, so
+// nothing downstream retains it).
 func (qc *queryContext) candidates(T []int32) []int32 {
 	if len(T) == 0 {
 		return qc.universe
 	}
 	cur := qc.keywordVertices(T[0])
-	for _, w := range T[1:] {
-		if len(cur) == 0 {
-			return nil
+	if len(T) > 1 {
+		// Intersections land in the engine's reusable buffer: the first
+		// merge writes into it from the cached keyword lists, later merges
+		// shrink it in place (the write index never passes the read index).
+		buf := ds.IntersectSortedInto(qc.e.candBuf[:0], cur, qc.keywordVertices(T[1]))
+		for _, w := range T[2:] {
+			if len(buf) == 0 {
+				break
+			}
+			buf = ds.IntersectSortedInto(buf[:0], buf, qc.keywordVertices(w))
 		}
-		cur = ds.IntersectSorted(cur, qc.keywordVertices(w))
+		qc.e.candBuf = buf
+		cur = buf
+	}
+	if len(cur) == 0 {
+		return nil
 	}
 	for _, q := range qc.queryVertices() {
 		if !ds.ContainsSorted(cur, q) {
@@ -245,10 +264,14 @@ func (qc *queryContext) verify(T []int32) []int32 {
 
 // refineVerify re-peels an already-known parent community restricted to the
 // vertices carrying one extra keyword — the Inc-T sharing step. parent must
-// be the AC for some T' with the refined set being T' ∪ {w}.
+// be the AC for some T' with the refined set being T' ∪ {w}, in ascending
+// order (level entries store their communities sorted so the parent is
+// sorted once, not once per join partner).
 func (qc *queryContext) refineVerify(parent []int32, w int32) []int32 {
 	qc.e.stats.Verifications++
-	cand := ds.IntersectSorted(sortedCopy(parent), qc.keywordVertices(w))
+	e := qc.e
+	cand := ds.IntersectSortedInto(e.candBuf[:0], parent, qc.keywordVertices(w))
+	e.candBuf = cand
 	if len(cand) < int(qc.k)+1 {
 		return nil
 	}
@@ -264,9 +287,9 @@ func (qc *queryContext) finish(vertices []int32, S []int32) Community {
 }
 
 // filterAdmissibleKeywords verifies every singleton {w}, w ∈ S, and returns
-// the admissible keywords with their communities. Anti-monotonicity makes
-// this a complete filter: a keyword whose singleton fails appears in no
-// admissible set.
+// the admissible keywords with their communities (in BFS order, as verify
+// produces them). Anti-monotonicity makes this a complete filter: a keyword
+// whose singleton fails appears in no admissible set.
 func (qc *queryContext) filterAdmissibleKeywords(S []int32) ([]int32, map[int32][]int32) {
 	admissible := make([]int32, 0, len(S))
 	comms := make(map[int32][]int32, len(S))
@@ -280,40 +303,68 @@ func (qc *queryContext) filterAdmissibleKeywords(S []int32) ([]int32, map[int32]
 }
 
 func sortedCopy(s []int32) []int32 {
-	out := make([]int32, len(s))
-	copy(out, s)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := slices.Clone(s)
+	slices.Sort(out)
 	return out
 }
 
-func sortAnswers(answers []Community) {
+// sortAnswers orders answers deterministically (by keyword set, then vertex
+// set) and collapses exact duplicates. For a fixed keyword set the AC is
+// unique, so distinct answers should never coincide — but different
+// candidate orders can surface the same community more than once, and the
+// guard makes that a collapse instead of a duplicated result.
+func sortAnswers(answers []Community) []Community {
 	for _, a := range answers {
-		sort.Slice(a.Vertices, func(i, j int) bool { return a.Vertices[i] < a.Vertices[j] })
+		slices.Sort(a.Vertices)
 	}
-	sort.Slice(answers, func(i, j int) bool {
-		a, b := answers[i].SharedKeywords, answers[j].SharedKeywords
-		for x := 0; x < len(a) && x < len(b); x++ {
-			if a[x] != b[x] {
-				return a[x] < b[x]
-			}
+	slices.SortFunc(answers, func(x, y Community) int {
+		if c := slices.Compare(x.SharedKeywords, y.SharedKeywords); c != 0 {
+			return c
 		}
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		// Equal keyword sets cannot happen for distinct answers; order by
-		// first vertex for stability anyway.
-		if len(answers[i].Vertices) > 0 && len(answers[j].Vertices) > 0 {
-			return answers[i].Vertices[0] < answers[j].Vertices[0]
-		}
-		return false
+		return slices.Compare(x.Vertices, y.Vertices)
+	})
+	return slices.CompactFunc(answers, func(x, y Community) bool {
+		return slices.Equal(x.SharedKeywords, y.SharedKeywords) &&
+			slices.Equal(x.Vertices, y.Vertices)
 	})
 }
 
-// setKey builds a map key for a keyword set (ascending IDs).
-func setKey(T []int32) string {
-	b := make([]byte, 0, 4*len(T))
-	for _, w := range T {
-		b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+// setIDs interns keyword sets (ascending int32 IDs) into dense int32 set IDs
+// via a path trie: each (node, word) step maps to a child node, and the node
+// reached after consuming all of T identifies T. Replaces the old
+// string-key scheme (setKey built a fresh byte string per lookup); a trie
+// walk allocates nothing in the steady state, and IDs stay small because the
+// table is reset per query.
+type setIDs struct {
+	steps map[setStep]int32
+	n     int32
+}
+
+type setStep struct{ node, word int32 }
+
+// reset clears the table, keeping its storage for the next query.
+func (si *setIDs) reset() {
+	if si.steps == nil {
+		si.steps = make(map[setStep]int32, 64)
+	} else {
+		clear(si.steps)
 	}
-	return string(b)
+	si.n = 0
+}
+
+// id returns the interned ID of T, which must be ascending. The empty set is
+// 0; equal sets get equal IDs, distinct sets distinct IDs.
+func (si *setIDs) id(T []int32) int32 {
+	node := int32(0)
+	for _, w := range T {
+		step := setStep{node, w}
+		next, ok := si.steps[step]
+		if !ok {
+			si.n++
+			next = si.n
+			si.steps[step] = next
+		}
+		node = next
+	}
+	return node
 }

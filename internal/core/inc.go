@@ -1,5 +1,7 @@
 package core
 
+import "slices"
+
 // The incremental algorithms verify candidate keyword sets from small to
 // large (paper §3.2: "incremental algorithms (from examining smaller
 // candidate sets to larger ones)"). Both walk the admissible-set lattice
@@ -15,7 +17,7 @@ package core
 
 type levelEntry struct {
 	set  []int32
-	comm []int32 // Inc-T only: the AC for set
+	comm []int32 // Inc-T only: the AC for set, ascending (refineVerify needs sorted parents)
 }
 
 // searchIncS is the space-efficient incremental algorithm.
@@ -45,7 +47,7 @@ func (e *Engine) searchIncS(qc *queryContext, S []int32) []Community {
 			answers = append(answers, qc.finish(comp, S))
 		}
 	}
-	return dedupAnswers(answers)
+	return qc.dedupAnswers(answers)
 }
 
 // searchIncT is the time-efficient incremental algorithm.
@@ -57,6 +59,7 @@ func (e *Engine) searchIncT(qc *queryContext, S []int32) []Community {
 	}
 	level := make([]levelEntry, 0, len(admissible))
 	for _, w := range admissible {
+		slices.Sort(comms[w]) // refineVerify needs ascending parents
 		level = append(level, levelEntry{set: []int32{w}, comm: comms[w]})
 	}
 	for {
@@ -71,7 +74,7 @@ func (e *Engine) searchIncT(qc *queryContext, S []int32) []Community {
 	for _, ent := range level {
 		answers = append(answers, qc.finish(ent.comm, S))
 	}
-	return dedupAnswers(answers)
+	return qc.dedupAnswers(answers)
 }
 
 // joinAndVerify produces the next lattice level: Apriori join of the
@@ -82,12 +85,13 @@ func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEnt
 	if len(level) < 2 {
 		return nil
 	}
-	admissibleKeys := make(map[string]int, len(level))
+	sets := &qc.e.sets
+	admissibleKeys := make(map[int32]int, len(level))
 	for i, ent := range level {
-		admissibleKeys[setKey(ent.set)] = i
+		admissibleKeys[sets.id(ent.set)] = i
 	}
 	var next []levelEntry
-	seen := make(map[string]bool)
+	seen := make(map[int32]bool)
 	r := len(level[0].set)
 	for i := 0; i < len(level); i++ {
 		for j := i + 1; j < len(level); j++ {
@@ -106,13 +110,13 @@ func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEnt
 			} else {
 				cand[r] = last
 			}
-			key := setKey(cand)
+			key := sets.id(cand)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
 			// Apriori prune: every r-subset must be admissible.
-			if !allSubsetsAdmissible(cand, admissibleKeys) {
+			if !allSubsetsAdmissible(cand, admissibleKeys, sets) {
 				continue
 			}
 			var comp []int32
@@ -125,6 +129,11 @@ func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEnt
 				comp = qc.verify(cand)
 			}
 			if comp != nil {
+				if refine {
+					// Keep Inc-T level communities ascending for the next
+					// refine; Inc-S never reads comm, so skip the sort there.
+					slices.Sort(comp)
+				}
 				next = append(next, levelEntry{set: cand, comm: comp})
 			}
 		}
@@ -141,12 +150,12 @@ func samePrefix(a, b []int32, n int) bool {
 	return true
 }
 
-func allSubsetsAdmissible(cand []int32, admissible map[string]int) bool {
+func allSubsetsAdmissible(cand []int32, admissible map[int32]int, sets *setIDs) bool {
 	buf := make([]int32, len(cand)-1)
 	for drop := range cand {
 		copy(buf, cand[:drop])
 		copy(buf[drop:], cand[drop+1:])
-		if _, ok := admissible[setKey(buf)]; !ok {
+		if _, ok := admissible[sets.id(buf)]; !ok {
 			return false
 		}
 	}

@@ -28,6 +28,7 @@ func (e *Engine) SearchMulti(qs []int32, k int32, S []int32) ([]Community, error
 		return nil, fmt.Errorf("acq: negative k")
 	}
 	e.stats = Stats{}
+	e.sets.reset()
 	qs = sortedCopy(qs)
 	qs = dedupSorted(qs)
 	if len(qs) == 1 {
@@ -70,8 +71,7 @@ func (e *Engine) SearchMulti(qs []int32, k int32, S []int32) ([]Community, error
 		}
 		answers = []Community{{Vertices: sortedCopy(comp)}}
 	}
-	sortAnswers(answers)
-	return answers, nil
+	return sortAnswers(answers), nil
 }
 
 func dedupSorted(s []int32) []int32 {

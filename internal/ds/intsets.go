@@ -42,7 +42,9 @@ func IntersectSorted(a, b []int32) []int32 {
 }
 
 // IntersectSortedInto writes a ∩ b into dst (which is reset first) and
-// returns it, avoiding allocation when dst has capacity.
+// returns it, avoiding allocation when dst has capacity. dst may share its
+// backing array with a (e.g. dst = a[:0]): the write index never passes the
+// read index, so repeated in-place intersection is safe.
 func IntersectSortedInto(dst, a, b []int32) []int32 {
 	dst = dst[:0]
 	i, j := 0, 0

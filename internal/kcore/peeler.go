@@ -8,6 +8,12 @@ import "cexplorer/internal/graph"
 // its k-core (paper §3.2, "verify whether a keyword combination results in
 // an AC"). The Local baseline uses it on expansion frontiers too.
 //
+// All membership bookkeeping is epoch-stamped dense scratch: starting a new
+// working set or BFS is O(1) (bump the epoch), and the steady-state peel and
+// component walk allocate nothing. Only slices returned to the caller are
+// freshly allocated, because callers retain them (the engine caches
+// per-keyword-set communities across a query).
+//
 // A Peeler carries O(n) scratch space bound to one graph; it is not safe for
 // concurrent use (each query goroutine owns its own Peeler).
 type Peeler struct {
@@ -15,7 +21,13 @@ type Peeler struct {
 	mark  []int32 // epoch stamp: in current working set iff mark[v] == epoch
 	deg   []int32 // induced degree while peeling
 	epoch int32
-	queue []int32
+	queue []int32 // peel worklist, reused across calls
+
+	// BFS scratch for componentWithin, separate from the peel marking so a
+	// component walk never disturbs the working-set stamps.
+	seen      []int32 // visited iff seen[v] == seenEpoch
+	seenEpoch int32
+	bfs       []int32 // frontier/output order, reused across calls
 }
 
 // NewPeeler returns a Peeler for g.
@@ -24,8 +36,11 @@ func NewPeeler(g *graph.Graph) *Peeler {
 		g:    g,
 		mark: make([]int32, g.N()),
 		deg:  make([]int32, g.N()),
-		// epoch 0 would match the zero-valued mark array; start at 1.
-		epoch: 0,
+		seen: make([]int32, g.N()),
+		// epoch 0 would match the zero-valued mark array; begin() bumps to 1
+		// before first use.
+		epoch:     0,
+		seenEpoch: 0,
 	}
 }
 
@@ -45,11 +60,10 @@ func (p *Peeler) begin(vertices []int32) {
 
 func (p *Peeler) inSet(v int32) bool { return p.mark[v] == p.epoch }
 
-// KCore peels the subgraph induced by vertices down to its k-core and
-// returns the surviving vertices in input order (nil when the k-core is
-// empty). The input slice is not modified and should not contain duplicates
-// (a surviving duplicate would be echoed twice in the output).
-func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
+// peel runs the k-core peel over vertices and returns the number of
+// survivors. Afterwards p.mark identifies survivors (mark[v] == epoch);
+// nothing is allocated.
+func (p *Peeler) peel(vertices []int32, k int32) int {
 	p.begin(vertices)
 	g := p.g
 	p.queue = p.queue[:0]
@@ -66,10 +80,15 @@ func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
 		p.deg[v] = d
 	}
 	// Pass 2: seed the peel queue.
+	survivors := 0
 	for _, v := range vertices {
-		if p.inSet(v) && p.deg[v] < k {
-			p.queue = append(p.queue, v)
-			p.mark[v] = p.epoch - 1
+		if p.inSet(v) {
+			survivors++
+			if p.deg[v] < k {
+				p.queue = append(p.queue, v)
+				p.mark[v] = p.epoch - 1
+				survivors--
+			}
 		}
 	}
 	for len(p.queue) > 0 {
@@ -83,10 +102,23 @@ func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
 			if p.deg[u] < k {
 				p.mark[u] = p.epoch - 1
 				p.queue = append(p.queue, u)
+				survivors--
 			}
 		}
 	}
-	var out []int32
+	return survivors
+}
+
+// KCore peels the subgraph induced by vertices down to its k-core and
+// returns the surviving vertices in input order (nil when the k-core is
+// empty). The input slice is not modified and should not contain duplicates
+// (a surviving duplicate would be echoed twice in the output).
+func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
+	n := p.peel(vertices, k)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
 	for _, v := range vertices {
 		if p.inSet(v) {
 			out = append(out, v)
@@ -99,11 +131,10 @@ func (p *Peeler) KCore(vertices []int32, k int32) []int32 {
 // connected component containing q, or nil if q did not survive. The result
 // is in BFS order from q.
 func (p *Peeler) ConnectedKCoreContaining(vertices []int32, k int32, q int32) []int32 {
-	survivors := p.KCore(vertices, k)
-	if survivors == nil {
+	if p.peel(vertices, k) == 0 {
 		return nil
 	}
-	// p.mark still identifies survivors (epoch unchanged since KCore).
+	// p.mark still identifies survivors (epoch unchanged since peel).
 	if !p.inSet(q) {
 		return nil
 	}
@@ -117,8 +148,7 @@ func (p *Peeler) ConnectedKCoreContainingAll(vertices []int32, k int32, qs []int
 	if len(qs) == 0 {
 		return nil
 	}
-	survivors := p.KCore(vertices, k)
-	if survivors == nil {
+	if p.peel(vertices, k) == 0 {
 		return nil
 	}
 	for _, q := range qs {
@@ -127,13 +157,11 @@ func (p *Peeler) ConnectedKCoreContainingAll(vertices []int32, k int32, qs []int
 		}
 	}
 	comp := p.componentWithin(qs[0])
-	// Component membership stamps mark[v] = epoch+1... instead re-check:
-	inComp := make(map[int32]bool, len(comp))
-	for _, v := range comp {
-		inComp[v] = true
-	}
+	// componentWithin leaves seen stamps valid for exactly the vertices of
+	// comp, so the remaining query vertices are membership-checked in O(1)
+	// each — no per-call set allocation.
 	for _, q := range qs[1:] {
-		if !inComp[q] {
+		if p.seen[q] != p.seenEpoch {
 			return nil
 		}
 	}
@@ -141,19 +169,30 @@ func (p *Peeler) ConnectedKCoreContainingAll(vertices []int32, k int32, qs []int
 }
 
 // componentWithin runs BFS from q over the current working set (survivors of
-// the last peel). It does not disturb the epoch marking.
+// the last peel). It does not disturb the epoch marking; visited bookkeeping
+// lives in the separate seen/seenEpoch scratch. The returned slice is fresh
+// (callers retain results), but the frontier buffer is reused.
 func (p *Peeler) componentWithin(q int32) []int32 {
 	g := p.g
-	visited := map[int32]bool{q: true}
-	out := []int32{q}
-	for head := 0; head < len(out); head++ {
-		v := out[head]
+	p.seenEpoch++
+	if p.seenEpoch == 0 { // wrapped; re-zero and restart
+		for i := range p.seen {
+			p.seen[i] = 0
+		}
+		p.seenEpoch = 1
+	}
+	p.seen[q] = p.seenEpoch
+	p.bfs = append(p.bfs[:0], q)
+	for head := 0; head < len(p.bfs); head++ {
+		v := p.bfs[head]
 		for _, u := range g.Neighbors(v) {
-			if p.inSet(u) && !visited[u] {
-				visited[u] = true
-				out = append(out, u)
+			if p.inSet(u) && p.seen[u] != p.seenEpoch {
+				p.seen[u] = p.seenEpoch
+				p.bfs = append(p.bfs, u)
 			}
 		}
 	}
+	out := make([]int32, len(p.bfs))
+	copy(out, p.bfs)
 	return out
 }

@@ -11,6 +11,12 @@
 //	POST /api/analyze   — CPJ/CMF + statistics for a community
 //	POST /api/display   — force-directed layout for a community
 //	POST /api/compare   — the Figure-6 comparison table in one call
+//	GET  /api/stats     — request-level serving statistics
+//
+// Handlers run concurrently (one goroutine per request, as net/http does);
+// search-class work (search, detect, compare) is additionally bounded by a
+// worker limit so a burst of heavy queries cannot oversubscribe the CPU —
+// excess requests queue for a slot rather than piling onto the scheduler.
 package server
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cexplorer/internal/api"
@@ -35,14 +43,87 @@ type Server struct {
 	profiles map[string]map[int32]gen.Profile // dataset -> vertex -> profile
 
 	logf func(format string, args ...any)
+
+	// searchSem bounds the number of searches executing at once; cap is the
+	// worker limit. Acquisition queues (fairly, via channel semantics) until
+	// a slot frees or the client gives up.
+	searchSem chan struct{}
+
+	stats serverStats
 }
 
-// New returns a server over the given engine. logf may be nil (silent).
+// serverStats holds request-level counters, all updated atomically so the
+// hot path takes no lock.
+type serverStats struct {
+	requests       atomic.Int64
+	errors         atomic.Int64
+	searches       atomic.Int64
+	searchInFlight atomic.Int64
+	searchNanos    atomic.Int64
+}
+
+// StatsSnapshot is the /api/stats payload.
+type StatsSnapshot struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Searches int64 `json:"searches"`
+	// SearchInFlight counts current worker-slot holders across all
+	// search-class endpoints (search, detect, compare).
+	SearchInFlight        int64   `json:"searchInFlight"`
+	AvgSearchMS           float64 `json:"avgSearchMs"`
+	MaxConcurrentSearches int     `json:"maxConcurrentSearches"`
+}
+
+// New returns a server over the given engine. logf may be nil (silent). The
+// search worker limit defaults to 2×GOMAXPROCS; tune it with SetSearchLimit
+// before serving.
 func New(exp *api.Explorer, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{exp: exp, profiles: make(map[string]map[int32]gen.Profile), logf: logf}
+	return &Server{
+		exp:       exp,
+		profiles:  make(map[string]map[int32]gen.Profile),
+		logf:      logf,
+		searchSem: make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
+	}
+}
+
+// SetSearchLimit caps concurrent search execution at n workers (n ≥ 1).
+// The new limit governs requests that arrive after the call; requests
+// already executing or already queued stay on the old semaphore and drain
+// under the old limit (so best set it once at startup, as cmd/cexplorer's
+// -search.limit does).
+func (s *Server) SetSearchLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.searchSem = make(chan struct{}, n)
+	s.mu.Unlock()
+}
+
+// searchSemaphore reads the current semaphore under the lock so that
+// SetSearchLimit is safe even while requests are in flight.
+func (s *Server) searchSemaphore() chan struct{} {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.searchSem
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() StatsSnapshot {
+	snap := StatsSnapshot{
+		Requests:              s.stats.requests.Load(),
+		Errors:                s.stats.errors.Load(),
+		Searches:              s.stats.searches.Load(),
+		SearchInFlight:        s.stats.searchInFlight.Load(),
+		MaxConcurrentSearches: cap(s.searchSemaphore()),
+	}
+	if snap.Searches > 0 {
+		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
+	}
+	return snap
 }
 
 // Explorer returns the wrapped engine.
@@ -68,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /api/display", s.handleDisplay)
 	mux.HandleFunc("POST /api/compare", s.handleCompare)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
 	return s.logging(mux)
 }
 
@@ -87,15 +169,69 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		s.stats.requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
-				httpError(w, http.StatusInternalServerError, "internal error")
+				s.stats.errors.Add(1)
+				httpError(sw, http.StatusInternalServerError, "internal error")
+				return
+			}
+			if sw.status >= 400 {
+				s.stats.errors.Add(1)
 			}
 		}()
-		next.ServeHTTP(w, r)
-		s.logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+		next.ServeHTTP(sw, r)
+		s.logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start))
 	})
+}
+
+// statusWriter records the response code for the stats counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// acquireSearchSlot blocks until a search worker slot is free or the request
+// is abandoned; the returned release must be called when the work is done.
+// It covers every search-class endpoint (search, detect, compare), so a
+// burst of heavy queries of any flavor is bounded by the same worker limit.
+func (s *Server) acquireSearchSlot(r *http.Request) (release func(), ok bool) {
+	sem := s.searchSemaphore()
+	select {
+	case sem <- struct{}{}:
+		// When a slot and the cancellation are both ready, select may pick
+		// the slot: recheck so a disconnected client queued behind a slow
+		// search does not burn a worker on a response nobody reads.
+		if r.Context().Err() != nil {
+			<-sem
+			return nil, false
+		}
+		// The in-flight gauge counts slot holders — search, detect, and
+		// compare alike — so /api/stats reflects true worker saturation.
+		s.stats.searchInFlight.Add(1)
+		return func() {
+			s.stats.searchInFlight.Add(-1)
+			<-sem
+		}, true
+	case <-r.Context().Done():
+		return nil, false
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -287,15 +423,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm == "" {
 		req.Algorithm = "ACQ"
 	}
-	start := time.Now()
-	comms, err := s.exp.Search(req.Dataset, req.Algorithm, api.Query{
-		Vertices: qv, K: req.K, Keywords: req.Keywords,
-	})
+	comms, elapsed, ok, err := s.runSearch(r, req, qv)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "search queue abandoned")
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "search: %v", err)
 		return
 	}
-	resp := searchResponse{ElapsedMS: float64(time.Since(start).Microseconds()) / 1000}
+	resp := searchResponse{ElapsedMS: float64(elapsed.Microseconds()) / 1000}
 	for _, c := range comms {
 		dto := communityDTO{Community: c, Names: vertexNames(ds, c.Vertices)}
 		if req.Layout {
@@ -318,6 +455,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if req.Algorithm == "" {
 		req.Algorithm = "CODICIL"
 	}
+	release, ok := s.acquireSearchSlot(r)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "detect queue abandoned")
+		return
+	}
+	defer release()
 	start := time.Now()
 	comms, err := s.exp.Detect(req.Dataset, req.Algorithm)
 	if err != nil {
@@ -373,6 +516,30 @@ func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, pl)
 }
 
+// runSearch executes the bounded, instrumented part of handleSearch. The
+// worker slot and in-flight gauge are released by defer so that a panicking
+// search (recovered by the logging middleware) cannot leak a slot and wedge
+// the search path. ok=false means the client abandoned the queue.
+func (s *Server) runSearch(r *http.Request, req searchRequest, qv []int32) (comms []api.Community, elapsed time.Duration, ok bool, err error) {
+	release, ok := s.acquireSearchSlot(r)
+	if !ok {
+		return nil, 0, false, nil
+	}
+	defer release()
+	start := time.Now()
+	comms, err = s.exp.Search(req.Dataset, req.Algorithm, api.Query{
+		Vertices: qv, K: req.K, Keywords: req.Keywords,
+	})
+	elapsed = time.Since(start)
+	s.stats.searchNanos.Add(elapsed.Nanoseconds())
+	s.stats.searches.Add(1)
+	return comms, elapsed, true, err
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
 // handleCompare renders the Figure 6(a) experience as one API call: run
 // several algorithms for the same query and report statistics + CPJ/CMF.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +572,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if len(algos) == 0 {
 		algos = []string{"Global", "Local", "CODICIL", "ACQ"}
 	}
+	// One worker slot covers the whole comparison: the rows run serially,
+	// so a compare request is one unit of heavy work like a search.
+	release, ok := s.acquireSearchSlot(r)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, "compare queue abandoned")
+		return
+	}
+	defer release()
 	rows := make([]compareRow, 0, len(algos))
 	for _, name := range algos {
 		rows = append(rows, s.compareOne(req.Dataset, ds, name, q, req.K))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"cexplorer/internal/api"
@@ -342,4 +343,125 @@ func TestConcurrentSearches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	postJSON(t, ts.URL+"/api/search", map[string]any{
+		"dataset": "fig5", "algorithm": "ACQ", "names": []string{"A"}, "k": 2,
+	}, nil)
+	resp, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Searches != 1 || snap.Requests < 2 || snap.MaxConcurrentSearches < 1 {
+		t.Fatalf("stats = %+v", snap)
+	}
+	if snap.SearchInFlight != 0 {
+		t.Fatalf("searches still in flight: %+v", snap)
+	}
+	// Errors counter sees a failed request.
+	postJSON(t, ts.URL+"/api/search", map[string]any{"dataset": "nope", "k": 1}, nil)
+	resp2, err := http.Get(ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Errors == 0 {
+		t.Fatalf("error not counted: %+v", snap)
+	}
+}
+
+// TestSearchLimitQueues pins the worker limit to 1 and fires a burst of
+// searches: all must queue for the single slot and still succeed.
+func TestSearchLimitQueues(t *testing.T) {
+	s, ts := testServer(t)
+	s.SetSearchLimit(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{
+				"dataset": "fig5", "algorithm": "ACQ", "names": []string{"A"}, "k": 1 + i%3,
+			})
+			resp, err := http.Post(ts.URL+"/api/search", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := s.Stats().Searches; got != 12 {
+		t.Fatalf("searches counted = %d, want 12", got)
+	}
+}
+
+// TestConcurrentMixedRequestsRace drives every mutable code path reachable
+// from Handler() at once — searches, vertex lookups with profile reads,
+// profile installs, uploads, stats reads, and a worker-limit change — so
+// `go test -race ./internal/server` audits the server's shared state.
+func TestConcurrentMixedRequestsRace(t *testing.T) {
+	s, ts := testServer(t)
+	var wg sync.WaitGroup
+	do := func(fn func(i int)) {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); fn(i) }(i)
+		}
+	}
+	do(func(i int) {
+		b, _ := json.Marshal(map[string]any{
+			"dataset": "fig5", "algorithm": "ACQ", "names": []string{"A"}, "k": 1 + i%3,
+		})
+		resp, err := http.Post(ts.URL+"/api/search", "application/json", bytes.NewReader(b))
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	do(func(i int) {
+		s.SetProfiles("fig5", map[int32]gen.Profile{int32(i): {Name: "p"}})
+	})
+	do(func(i int) {
+		resp, err := http.Get(ts.URL + "/api/vertex?dataset=fig5&name=A")
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	do(func(i int) {
+		resp, err := http.Get(ts.URL + "/api/stats")
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	do(func(i int) {
+		if i == 0 {
+			s.SetSearchLimit(4)
+		}
+		jg := gen.Figure5().ToJSONGraph("up")
+		b, _ := json.Marshal(map[string]any{"name": fmt.Sprintf("up%d", i), "graph": jg})
+		resp, err := http.Post(ts.URL+"/api/upload", "application/json", bytes.NewReader(b))
+		if err == nil {
+			resp.Body.Close()
+		}
+	})
+	wg.Wait()
 }

@@ -167,6 +167,21 @@ type (
 // Global, Local, KTruss; CODICIL) registered.
 func NewExplorer() *Explorer { return api.NewExplorer() }
 
+// Persistence (the snapshot subsystem).
+type (
+	// DatasetInfo records a dataset's provenance (built vs snapshot).
+	DatasetInfo = api.DatasetInfo
+	// IndexStatus reports which indexes a dataset holds in memory.
+	IndexStatus = api.IndexStatus
+)
+
+// OpenSnapshot materializes a dataset (graph + pre-seeded indexes) from a
+// snapshot stream; name overrides the embedded name when non-empty.
+var OpenSnapshot = api.OpenSnapshot
+
+// OpenSnapshotFile materializes a dataset from a snapshot file.
+var OpenSnapshotFile = api.OpenSnapshotFile
+
 // NewServer wraps an Explorer with the HTTP front end of Figure 3.
 var NewServer = server.New
 

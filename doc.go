@@ -61,4 +61,22 @@
 // The HTTP layer (internal/server) additionally bounds concurrent search
 // execution with a worker limit (default 2×GOMAXPROCS, -search.limit on the
 // cexplorer command) and reports request-level counters at /api/stats.
+//
+// # Persistence & warm restarts
+//
+// Datasets persist as snapshots (internal/snapshot): one versioned,
+// checksummed binary file carrying the graph's CSR arrays, keyword arenas,
+// vocabulary, and names together with the precomputed indexes — core
+// numbers, the CL-tree in arena form with its inverted keyword lists, and
+// the truss decomposition. Every payload is a length-prefixed contiguous
+// array, so opening a snapshot is sequential bulk reads plus pointer
+// stitching; a Dataset opened this way (OpenSnapshot) has its lazy index
+// builders pre-seeded and never pays construction again.
+//
+// The server keeps a disk-backed catalog when started with -data.dir:
+// uploads persist atomically via temp-file + rename, every snapshot in the
+// directory loads at boot, GET /api/graphs reports per-dataset provenance
+// and resident indexes, and GET /api/stats accumulates snapshot
+// load/persist timings. Offline precomputation lives in the
+// `cexplorer snapshot build` and `cexplorer snapshot inspect` subcommands.
 package cexplorer

@@ -11,6 +11,8 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cexplorer/internal/cltree"
 	"cexplorer/internal/codicil"
@@ -56,23 +58,35 @@ type CDAlgorithm interface {
 	Detect(ds *Dataset) ([]Community, error)
 }
 
-// Dataset bundles a graph with its lazily built indexes and a pool of warm
-// query engines. All methods are safe for concurrent use; each lazy index is
-// guarded by its own sync.Once, so the first builder of one index never
-// blocks searches that need another, and once built, reads take no lock at
-// all — searches on the same dataset run fully in parallel.
+// Dataset bundles a graph with its indexes and a pool of warm query
+// engines. All methods are safe for concurrent use; each index is guarded
+// by its own sync.Once, so the first builder of one index never blocks
+// searches that need another, and once built, reads take no lock at all —
+// searches on the same dataset run fully in parallel.
+//
+// Indexes follow a "load if present, else build" discipline: a dataset
+// opened from a snapshot (OpenSnapshot) arrives with its indexes pre-seeded
+// and never pays construction again, while a freshly uploaded graph builds
+// each index lazily on first use exactly as before.
 type Dataset struct {
 	Name  string
 	Graph *graph.Graph
 
-	treeOnce sync.Once
-	tree     *cltree.Tree
+	// Info records how the dataset was materialized (see DatasetInfo). It
+	// is set before the dataset is published and read-only afterwards.
+	Info DatasetInfo
 
-	coreOnce sync.Once
-	coreNum  []int32
+	treeOnce  sync.Once
+	tree      *cltree.Tree
+	treeReady atomic.Bool
 
-	trussOnce sync.Once
-	truss     *ktruss.Decomposition
+	coreOnce  sync.Once
+	coreNum   []int32
+	coreReady atomic.Bool
+
+	trussOnce  sync.Once
+	truss      *ktruss.Decomposition
+	trussReady atomic.Bool
 
 	// engines holds warm *core.Engine values (each with its peeler and
 	// per-query scratch already sized to the graph) so concurrent handlers
@@ -80,27 +94,77 @@ type Dataset struct {
 	engines sync.Pool
 }
 
-// NewDataset wraps a graph.
-func NewDataset(name string, g *graph.Graph) *Dataset {
-	return &Dataset{Name: name, Graph: g}
+// DatasetInfo records a dataset's provenance for the catalog and the
+// /api/graphs status report.
+type DatasetInfo struct {
+	// Source is "built" for graphs constructed in process (uploads,
+	// generators) and "snapshot" for datasets opened from a snapshot file.
+	Source string `json:"source"`
+	// LoadDuration is the time OpenSnapshot spent materializing the
+	// dataset (zero for built datasets).
+	LoadDuration time.Duration `json:"-"`
+	// SnapshotBytes is the encoded snapshot size when Source=="snapshot".
+	SnapshotBytes int64 `json:"snapshotBytes,omitempty"`
 }
 
-// Tree returns the CL-tree, building it on first use.
+// IndexStatus reports which indexes a dataset currently holds in memory,
+// without triggering any builds.
+type IndexStatus struct {
+	CLTree bool `json:"cltree"`
+	Core   bool `json:"core"`
+	Truss  bool `json:"truss"`
+}
+
+// NewDataset wraps a graph.
+func NewDataset(name string, g *graph.Graph) *Dataset {
+	return &Dataset{Name: name, Graph: g, Info: DatasetInfo{Source: "built"}}
+}
+
+// Tree returns the CL-tree, building it on first use if the dataset was not
+// opened from a snapshot that already carried it.
 func (d *Dataset) Tree() *cltree.Tree {
-	d.treeOnce.Do(func() { d.tree = cltree.Build(d.Graph) })
+	d.treeOnce.Do(func() {
+		d.tree = cltree.Build(d.Graph)
+		d.treeReady.Store(true)
+	})
 	return d.tree
 }
 
-// CoreNumbers returns the core decomposition, computing it on first use.
+// CoreNumbers returns the core decomposition, computing it on first use if
+// it was not pre-seeded from a snapshot.
 func (d *Dataset) CoreNumbers() []int32 {
-	d.coreOnce.Do(func() { d.coreNum = kcore.Decompose(d.Graph) })
+	d.coreOnce.Do(func() {
+		d.coreNum = kcore.Decompose(d.Graph)
+		d.coreReady.Store(true)
+	})
 	return d.coreNum
 }
 
-// Truss returns the truss decomposition, computing it on first use.
+// Truss returns the truss decomposition, computing it on first use if it
+// was not pre-seeded from a snapshot.
 func (d *Dataset) Truss() *ktruss.Decomposition {
-	d.trussOnce.Do(func() { d.truss = ktruss.Decompose(d.Graph) })
+	d.trussOnce.Do(func() {
+		d.truss = ktruss.Decompose(d.Graph)
+		d.trussReady.Store(true)
+	})
 	return d.truss
+}
+
+// Indexes reports which indexes are resident, without building any.
+func (d *Dataset) Indexes() IndexStatus {
+	return IndexStatus{
+		CLTree: d.treeReady.Load(),
+		Core:   d.coreReady.Load(),
+		Truss:  d.trussReady.Load(),
+	}
+}
+
+// BuildIndexes eagerly builds every index the dataset does not yet hold
+// (the offline precomputation step of `cexplorer snapshot build`).
+func (d *Dataset) BuildIndexes() {
+	d.Tree()
+	d.CoreNumbers()
+	d.Truss()
 }
 
 // AcquireEngine checks a warm ACQ engine out of the dataset's pool, building

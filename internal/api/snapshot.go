@@ -1,0 +1,126 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cexplorer/internal/snapshot"
+)
+
+// This file is the bridge between datasets and the persistence subsystem
+// (internal/snapshot): WriteSnapshot freezes a dataset — graph plus every
+// index, building any that are missing — and OpenSnapshot materializes one
+// with its indexes pre-seeded, so the sync.Once builders never run and a
+// restart costs a sequential read instead of a rebuild.
+
+// WriteSnapshot serializes the dataset to w, building any missing indexes
+// first so the snapshot always carries all three (that one-time cost is the
+// point: pay it offline, never at boot). Returns the encoded byte count.
+func (d *Dataset) WriteSnapshot(w io.Writer) (int64, error) {
+	return snapshot.Write(w, d.makeSnapshot())
+}
+
+// WriteSnapshotFile persists the dataset at path atomically (temp file +
+// rename), building any missing indexes first.
+func (d *Dataset) WriteSnapshotFile(path string) (int64, error) {
+	return snapshot.WriteFile(path, d.makeSnapshot())
+}
+
+func (d *Dataset) makeSnapshot() *snapshot.Snapshot {
+	d.BuildIndexes()
+	return &snapshot.Snapshot{
+		Name:  d.Name,
+		Graph: d.Graph,
+		Core:  d.CoreNumbers(),
+		Tree:  d.Tree(),
+		Truss: d.Truss(),
+	}
+}
+
+// OpenSnapshot materializes a dataset from a snapshot stream. Every index
+// the snapshot carries is pre-seeded — its sync.Once is consumed here — so
+// the lazy builders become no-ops; anything absent still builds lazily on
+// first use. name overrides the snapshot's embedded dataset name when
+// non-empty. The graph's structural invariants were validated at
+// upload/build time and the file is checksummed, so the load path
+// deliberately skips the O(m log m) Validate re-check.
+func OpenSnapshot(name string, r io.Reader) (*Dataset, error) {
+	start := time.Now()
+	s, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return datasetFromSnapshot(name, s, time.Since(start))
+}
+
+// OpenSnapshotFile materializes a dataset from a snapshot file; the
+// embedded dataset name is used unless name is non-empty.
+func OpenSnapshotFile(name, path string) (*Dataset, error) {
+	start := time.Now()
+	s, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return datasetFromSnapshot(name, s, time.Since(start))
+}
+
+func datasetFromSnapshot(name string, s *snapshot.Snapshot, elapsed time.Duration) (*Dataset, error) {
+	if name == "" {
+		name = s.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("snapshot: no dataset name (none embedded, none given)")
+	}
+	d := &Dataset{
+		Name:  name,
+		Graph: s.Graph,
+		Info: DatasetInfo{
+			Source:        "snapshot",
+			LoadDuration:  elapsed,
+			SnapshotBytes: s.Bytes,
+		},
+	}
+	if s.Tree != nil {
+		d.treeOnce.Do(func() {
+			d.tree = s.Tree
+			d.treeReady.Store(true)
+		})
+	}
+	core := s.Core
+	if core == nil && s.Tree != nil {
+		// The CL-tree carries per-vertex core numbers; reuse them rather
+		// than re-peeling.
+		core = s.Tree.CoreNumbers()
+	}
+	if core != nil {
+		d.coreOnce.Do(func() {
+			d.coreNum = core
+			d.coreReady.Store(true)
+		})
+	}
+	if s.Truss != nil {
+		d.trussOnce.Do(func() {
+			d.truss = s.Truss
+			d.trussReady.Store(true)
+		})
+	}
+	return d, nil
+}
+
+// AddDataset registers an already-materialized dataset (typically one from
+// OpenSnapshot) under its own name, replacing any dataset with that name.
+// Unlike AddGraph it does not re-run Validate: snapshot integrity is the
+// checksum's job, and re-validating would forfeit the warm-start win.
+func (e *Explorer) AddDataset(ds *Dataset) error {
+	if ds == nil || ds.Name == "" {
+		return fmt.Errorf("add dataset: missing dataset or name")
+	}
+	if ds.Graph == nil {
+		return fmt.Errorf("add dataset %q: nil graph", ds.Name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.datasets[ds.Name] = ds
+	return nil
+}

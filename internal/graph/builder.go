@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates vertices, edges, and attributes, then freezes them
@@ -101,12 +101,11 @@ func (b *Builder) Build() (*Graph, error) {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, c := order[i], order[j]
+	slices.SortFunc(order, func(a, c int32) int {
 		if b.edgesU[a] != b.edgesU[c] {
-			return b.edgesU[a] < b.edgesU[c]
+			return int(b.edgesU[a]) - int(b.edgesU[c])
 		}
-		return b.edgesV[a] < b.edgesV[c]
+		return int(b.edgesV[a]) - int(b.edgesV[c])
 	})
 
 	deg := make([]int64, n+1)
@@ -145,8 +144,7 @@ func (b *Builder) Build() (*Graph, error) {
 	// entries (from edges where it is the smaller endpoint) are sorted, and
 	// its "u" entries likewise, but the interleaving is not; sort each list.
 	for v := 0; v < n; v++ {
-		lst := adj[offsets[v]:offsets[v+1]]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
 	}
 
 	// Keyword arena.

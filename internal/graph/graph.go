@@ -9,7 +9,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/ds"
 )
@@ -187,7 +187,7 @@ func sortDedup(s []int32) []int32 {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, v := range s[1:] {
 		if v != out[len(out)-1] {

@@ -27,7 +27,7 @@ func LoadEdgeList(r io.Reader) (*Graph, error) {
 	return b.Build()
 }
 
-// LoadEdgeListInto parses an edge-list stream into an existing builder.
+// readEdgeList parses an edge-list stream into an existing builder.
 func readEdgeList(r io.Reader, b *Builder) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)

@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// Raw exposes the frozen CSR arrays of a Graph so that persistence layers
+// (internal/snapshot) can serialize them with bulk slice writes and rebuild
+// the graph without re-running the Builder. All slices alias graph-internal
+// storage on the way out of Raw() and are adopted without copying by
+// FromRaw; callers must treat them as immutable.
+type Raw struct {
+	Offsets   []int64  // len n+1, adjacency offsets
+	Adj       []int32  // len 2m, concatenated sorted adjacency lists
+	KwOffsets []int32  // len n+1, offsets into KwData
+	KwData    []int32  // sorted interned keyword IDs, arena
+	Words     []string // vocabulary, ID order
+	Names     []string // display names, nil when the graph is unnamed
+}
+
+// Raw returns the graph's frozen internal arrays.
+func (g *Graph) Raw() Raw {
+	return Raw{
+		Offsets:   g.offsets,
+		Adj:       g.adj,
+		KwOffsets: g.kwOffsets,
+		KwData:    g.kwData,
+		Words:     g.vocab.AllWords(),
+		Names:     g.names,
+	}
+}
+
+// FromRaw reassembles a Graph from frozen arrays, adopting the slices
+// without copying. It rebuilds the derived structures the CSR arrays do not
+// carry (the vocabulary map and the name index) and performs O(n+m) range
+// and monotonicity checks so a corrupt input yields an error rather than a
+// later out-of-bounds panic. It does not re-check the deeper invariants
+// (adjacency sorted/symmetric/loop-free); run Validate when the input is
+// untrusted beyond a checksum.
+func FromRaw(r Raw) (*Graph, error) {
+	if len(r.Offsets) < 2 {
+		return nil, fmt.Errorf("graph raw: empty vertex set")
+	}
+	n := len(r.Offsets) - 1
+	if r.Offsets[0] != 0 || r.Offsets[n] != int64(len(r.Adj)) {
+		return nil, fmt.Errorf("graph raw: offsets do not span adjacency (first=%d last=%d len=%d)",
+			r.Offsets[0], r.Offsets[n], len(r.Adj))
+	}
+	for v := 0; v < n; v++ {
+		if r.Offsets[v] > r.Offsets[v+1] {
+			return nil, fmt.Errorf("graph raw: offsets not monotone at vertex %d", v)
+		}
+	}
+	for _, u := range r.Adj {
+		if u < 0 || int(u) >= n {
+			return nil, fmt.Errorf("graph raw: neighbor %d out of range [0,%d)", u, n)
+		}
+	}
+	if len(r.KwOffsets) != n+1 {
+		return nil, fmt.Errorf("graph raw: keyword offsets length %d, want %d", len(r.KwOffsets), n+1)
+	}
+	if r.KwOffsets[0] != 0 || int(r.KwOffsets[n]) != len(r.KwData) {
+		return nil, fmt.Errorf("graph raw: keyword offsets do not span arena")
+	}
+	for v := 0; v < n; v++ {
+		if r.KwOffsets[v] > r.KwOffsets[v+1] {
+			return nil, fmt.Errorf("graph raw: keyword offsets not monotone at vertex %d", v)
+		}
+	}
+	for _, w := range r.KwData {
+		if w < 0 || int(w) >= len(r.Words) {
+			return nil, fmt.Errorf("graph raw: keyword id %d out of vocab range [0,%d)", w, len(r.Words))
+		}
+	}
+	vocab, err := VocabFromWords(r.Words)
+	if err != nil {
+		return nil, fmt.Errorf("graph raw: %v", err)
+	}
+	g := &Graph{
+		offsets:   r.Offsets,
+		adj:       r.Adj,
+		kwOffsets: r.KwOffsets,
+		kwData:    r.KwData,
+		vocab:     vocab,
+	}
+	if len(r.Names) > 0 {
+		if len(r.Names) != n {
+			return nil, fmt.Errorf("graph raw: %d names for %d vertices", len(r.Names), n)
+		}
+		g.names = r.Names
+		g.nameIndex = make(map[string]int32, n)
+		for v, name := range r.Names {
+			if name == "" {
+				continue
+			}
+			if _, dup := g.nameIndex[name]; !dup {
+				g.nameIndex[name] = int32(v)
+			}
+		}
+	}
+	return g, nil
+}

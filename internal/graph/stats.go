@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // Stats summarizes a graph for the Analysis panel and for dataset
 // descriptions in experiment output.
@@ -67,11 +67,11 @@ func (g *Graph) TopKeywords(vertices []int32, limit int) []int32 {
 	for w := range freq {
 		ids = append(ids, w)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if freq[ids[i]] != freq[ids[j]] {
-			return freq[ids[i]] > freq[ids[j]]
+	slices.SortFunc(ids, func(a, b int32) int {
+		if freq[a] != freq[b] {
+			return freq[b] - freq[a]
 		}
-		return ids[i] < ids[j]
+		return int(a) - int(b)
 	})
 	if limit > 0 && len(ids) > limit {
 		ids = ids[:limit]

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Vocab interns keyword strings to dense int32 IDs. The ACQ engine, CL-tree
 // inverted lists, and all metric code operate on interned IDs; strings only
 // appear at the API boundary.
@@ -48,6 +50,24 @@ func (v *Vocab) Words(ids []int32) []string {
 		out[i] = v.words[id]
 	}
 	return out
+}
+
+// AllWords returns every interned word in ID order. The returned slice
+// aliases internal storage and must not be modified.
+func (v *Vocab) AllWords() []string { return v.words }
+
+// VocabFromWords rebuilds a vocabulary from a word list in ID order (the
+// inverse of AllWords, used when loading a snapshot). Duplicate words are
+// rejected: they cannot arise from a Vocab and would corrupt lookups.
+func VocabFromWords(words []string) (*Vocab, error) {
+	v := &Vocab{byWord: make(map[string]int32, len(words)), words: words}
+	for i, w := range words {
+		if _, dup := v.byWord[w]; dup {
+			return nil, fmt.Errorf("vocab: duplicate word %q", w)
+		}
+		v.byWord[w] = int32(i)
+	}
+	return v, nil
 }
 
 // InternAll interns every string in ws and returns the sorted, deduplicated

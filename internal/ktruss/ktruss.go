@@ -92,9 +92,32 @@ func Decompose(g *graph.Graph) *Decomposition {
 	return d
 }
 
+// lookup resolves edge {u,v} to its id via the hash index when present
+// (Decompose builds one — its peeling loop does random lookups), else by
+// binary search over the (u<v)-lexicographically sorted edge table
+// (FromParts skips the index build so snapshot loads stay O(read)).
 func (d *Decomposition) lookup(u, v int32) (int32, bool) {
-	id, ok := d.index[edgeKey(u, v)]
-	return id, ok
+	if u > v {
+		u, v = v, u
+	}
+	if d.index != nil {
+		id, ok := d.index[edgeKey(u, v)]
+		return id, ok
+	}
+	lo, hi := 0, len(d.edges)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := d.edges[mid]
+		if e[0] < u || (e[0] == u && e[1] < v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.edges) && d.edges[lo][0] == u && d.edges[lo][1] == v {
+		return int32(lo), true
+	}
+	return 0, false
 }
 
 // Trussness returns the trussness of edge {u,v}; ok is false if not an edge.

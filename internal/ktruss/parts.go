@@ -1,0 +1,47 @@
+package ktruss
+
+import (
+	"fmt"
+
+	"cexplorer/internal/graph"
+)
+
+// Parts exposes the decomposition's frozen arrays — the (u<v) edge table in
+// the order g.Edges enumerates it and the parallel trussness array — so
+// that persistence layers can serialize them with bulk writes. Both slices
+// alias internal storage and must not be modified.
+func (d *Decomposition) Parts() (edges [][2]int32, truss []int32) {
+	return d.edges, d.truss
+}
+
+// FromParts reassembles a Decomposition over g from a previously computed
+// edge table and trussness array, adopting the slices without copying. No
+// edge-id map is rebuilt: the table must be (u<v)-lexicographically sorted
+// (which is how Decompose emits it, following g.Edges order), and lookups
+// then binary-search it — keeping a snapshot load free of per-edge hashing.
+// The sortedness, range, and count envelope is checked so a corrupt input
+// yields an error rather than a panic; the trussness values themselves are
+// trusted, as recomputing them would defeat the point of loading.
+func FromParts(g *graph.Graph, edges [][2]int32, truss []int32) (*Decomposition, error) {
+	m := g.M()
+	if len(edges) != m {
+		return nil, fmt.Errorf("ktruss parts: %d edges for a graph with m=%d", len(edges), m)
+	}
+	if len(truss) != m {
+		return nil, fmt.Errorf("ktruss parts: %d trussness values for %d edges", len(truss), m)
+	}
+	n := int32(g.N())
+	for id, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v >= n || u >= v {
+			return nil, fmt.Errorf("ktruss parts: bad edge (%d,%d)", u, v)
+		}
+		if id > 0 {
+			p := edges[id-1]
+			if p[0] > u || (p[0] == u && p[1] >= v) {
+				return nil, fmt.Errorf("ktruss parts: edge table not sorted at id %d", id)
+			}
+		}
+	}
+	return &Decomposition{g: g, edges: edges, truss: truss}, nil
+}

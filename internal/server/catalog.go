@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/snapshot"
+)
+
+// The disk-backed catalog: when a data directory is configured (the
+// -data.dir flag), every dataset the server accepts is persisted as one
+// snapshot file (atomically, via temp-file + rename) and every snapshot in
+// the directory is loaded at boot with its indexes pre-seeded — so a
+// restarted server serves searches on its old datasets immediately, without
+// re-upload and without rebuilding a single index.
+//
+// Layout: <dataDir>/<escaped-dataset-name>.cxsnap, one file per dataset.
+// The dataset name is also embedded in the file; the filename is just a
+// stable, filesystem-safe handle derived from it.
+
+// SetDataDir configures the catalog directory, creating it if needed. Call
+// once at startup, before LoadSnapshots and before serving.
+func (s *Server) SetDataDir(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("data dir: empty path")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("data dir: %w", err)
+	}
+	s.mu.Lock()
+	s.dataDir = dir
+	s.mu.Unlock()
+	return nil
+}
+
+// DataDir returns the configured catalog directory ("" when persistence is
+// disabled).
+func (s *Server) DataDir() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dataDir
+}
+
+// snapshotPath maps a dataset name to its catalog file.
+func snapshotPath(dir, name string) string {
+	return filepath.Join(dir, url.PathEscape(name)+snapshot.FileExt)
+}
+
+// LoadSnapshots opens every snapshot in the data directory and registers
+// the datasets, returning how many loaded. Individual corrupt files are
+// skipped (logged, counted as errors in /api/stats) rather than failing the
+// boot: one damaged dataset must not take down the rest of the catalog.
+func (s *Server) LoadSnapshots() (int, error) {
+	dir := s.DataDir()
+	if dir == "" {
+		return 0, fmt.Errorf("load snapshots: no data dir configured")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("load snapshots: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), snapshot.FileExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	loaded := 0
+	for _, fname := range names {
+		path := filepath.Join(dir, fname)
+		start := time.Now()
+		ds, err := api.OpenSnapshotFile("", path)
+		if err != nil {
+			s.logf("catalog: skipping %s: %v", path, err)
+			s.stats.snapshotLoadErrors.Add(1)
+			continue
+		}
+		if err := s.exp.AddDataset(ds); err != nil {
+			s.logf("catalog: skipping %s: %v", path, err)
+			s.stats.snapshotLoadErrors.Add(1)
+			continue
+		}
+		elapsed := time.Since(start)
+		s.stats.snapshotLoads.Add(1)
+		s.stats.snapshotLoadNanos.Add(elapsed.Nanoseconds())
+		s.logf("catalog: %s ready from %s in %s (%d vertices, %d edges, %d bytes)",
+			ds.Name, fname, elapsed.Round(time.Millisecond),
+			ds.Graph.N(), ds.Graph.M(), ds.Info.SnapshotBytes)
+		loaded++
+	}
+	return loaded, nil
+}
+
+// PersistDataset writes the dataset's snapshot into the catalog (building
+// any missing indexes first) and returns the encoded size. It is a no-op
+// returning (0, nil) when no data dir is configured.
+func (s *Server) PersistDataset(ds *api.Dataset) (int64, error) {
+	dir := s.DataDir()
+	if dir == "" {
+		return 0, nil
+	}
+	start := time.Now()
+	n, err := ds.WriteSnapshotFile(snapshotPath(dir, ds.Name))
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	s.stats.snapshotPersists.Add(1)
+	s.stats.snapshotPersistNanos.Add(elapsed.Nanoseconds())
+	s.logf("catalog: persisted %s (%d bytes) in %s", ds.Name, n, elapsed.Round(time.Millisecond))
+	return n, nil
+}
+
+// HasSnapshot reports whether the catalog already holds a snapshot for the
+// dataset name (used at boot to decide whether built-ins need generating).
+func (s *Server) HasSnapshot(name string) bool {
+	dir := s.DataDir()
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(snapshotPath(dir, name))
+	return err == nil
+}

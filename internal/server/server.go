@@ -41,6 +41,7 @@ type Server struct {
 
 	mu       sync.RWMutex
 	profiles map[string]map[int32]gen.Profile // dataset -> vertex -> profile
+	dataDir  string                           // snapshot catalog directory; "" disables persistence
 
 	logf func(format string, args ...any)
 
@@ -60,6 +61,14 @@ type serverStats struct {
 	searches       atomic.Int64
 	searchInFlight atomic.Int64
 	searchNanos    atomic.Int64
+
+	// Snapshot catalog counters: cumulative load/persist counts and wall
+	// time, so the cold-start trajectory is observable at /api/stats.
+	snapshotLoads        atomic.Int64
+	snapshotLoadNanos    atomic.Int64
+	snapshotLoadErrors   atomic.Int64
+	snapshotPersists     atomic.Int64
+	snapshotPersistNanos atomic.Int64
 }
 
 // StatsSnapshot is the /api/stats payload.
@@ -72,6 +81,16 @@ type StatsSnapshot struct {
 	SearchInFlight        int64   `json:"searchInFlight"`
 	AvgSearchMS           float64 `json:"avgSearchMs"`
 	MaxConcurrentSearches int     `json:"maxConcurrentSearches"`
+
+	// Datasets counts currently registered datasets; the snapshot fields
+	// accumulate catalog activity since boot (counts and total wall time),
+	// making warm-restart performance observable over time.
+	Datasets           int     `json:"datasets"`
+	SnapshotLoads      int64   `json:"snapshotLoads"`
+	SnapshotLoadMS     float64 `json:"snapshotLoadMs"`
+	SnapshotLoadErrors int64   `json:"snapshotLoadErrors,omitempty"`
+	SnapshotPersists   int64   `json:"snapshotPersists"`
+	SnapshotPersistMS  float64 `json:"snapshotPersistMs"`
 }
 
 // New returns a server over the given engine. logf may be nil (silent). The
@@ -119,6 +138,12 @@ func (s *Server) Stats() StatsSnapshot {
 		Searches:              s.stats.searches.Load(),
 		SearchInFlight:        s.stats.searchInFlight.Load(),
 		MaxConcurrentSearches: cap(s.searchSemaphore()),
+		Datasets:              len(s.exp.Datasets()),
+		SnapshotLoads:         s.stats.snapshotLoads.Load(),
+		SnapshotLoadMS:        float64(s.stats.snapshotLoadNanos.Load()) / 1e6,
+		SnapshotLoadErrors:    s.stats.snapshotLoadErrors.Load(),
+		SnapshotPersists:      s.stats.snapshotPersists.Load(),
+		SnapshotPersistMS:     float64(s.stats.snapshotPersistNanos.Load()) / 1e6,
 	}
 	if snap.Searches > 0 {
 		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
@@ -338,7 +363,24 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := ds.Graph.ComputeStats()
-	writeJSON(w, map[string]any{"name": ds.Name, "stats": st})
+	resp := map[string]any{"name": ds.Name, "stats": st}
+	// With a catalog configured, the upload persists before the response:
+	// a 200 with persistedBytes means the dataset survives a restart. The
+	// persist builds all indexes, so it also warms the dataset for queries.
+	if s.DataDir() != "" {
+		start := time.Now()
+		n, perr := s.PersistDataset(ds)
+		if perr != nil {
+			// The dataset is still served from memory; surface the broken
+			// durability loudly rather than failing the upload outright.
+			s.logf("upload %s: persist failed: %v", ds.Name, perr)
+			resp["persistError"] = perr.Error()
+		} else {
+			resp["persistedBytes"] = n
+			resp["persistMs"] = float64(time.Since(start).Microseconds()) / 1000
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
@@ -346,16 +388,34 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		Name     string `json:"name"`
 		Vertices int    `json:"vertices"`
 		Edges    int    `json:"edges"`
+		// Bytes is the in-memory graph footprint; Source, LoadMS, and
+		// SnapshotBytes describe provenance (built in process vs loaded
+		// from the catalog); Indexes reports which indexes are resident.
+		Bytes         int64           `json:"bytes"`
+		Source        string          `json:"source"`
+		LoadMS        float64         `json:"loadMs,omitempty"`
+		SnapshotBytes int64           `json:"snapshotBytes,omitempty"`
+		Indexes       api.IndexStatus `json:"indexes"`
 	}
 	var infos []graphInfo
 	for _, name := range s.exp.Datasets() {
 		ds, _ := s.exp.Dataset(name)
-		infos = append(infos, graphInfo{Name: name, Vertices: ds.Graph.N(), Edges: ds.Graph.M()})
+		infos = append(infos, graphInfo{
+			Name:          name,
+			Vertices:      ds.Graph.N(),
+			Edges:         ds.Graph.M(),
+			Bytes:         ds.Graph.Bytes(),
+			Source:        ds.Info.Source,
+			LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
+			SnapshotBytes: ds.Info.SnapshotBytes,
+			Indexes:       ds.Indexes(),
+		})
 	}
 	writeJSON(w, map[string]any{
 		"graphs":       infos,
 		"csAlgorithms": s.exp.CSAlgorithms(),
 		"cdAlgorithms": s.exp.CDAlgorithms(),
+		"dataDir":      s.DataDir(),
 	})
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package snapshot
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package snapshot
+
+// raceEnabled reports that the race detector instruments this build; the
+// wall-clock speedup assertion is skipped there (see TestWarmStartSpeedup).
+const raceEnabled = true

@@ -1,0 +1,452 @@
+// Package snapshot persists a dataset — an attributed graph together with
+// its precomputed indexes — as one versioned, checksummed binary file, so a
+// server restart costs a sequential read instead of re-parsing text and
+// re-running core/truss/CL-tree construction ("the index cost is paid once,
+// offline", as the ACQ line of work prescribes for the indexing module of
+// Figure 3).
+//
+// A snapshot always carries the graph (CSR offsets and adjacency, keyword
+// arenas, vocabulary, display names) and optionally carries any subset of
+// the three indexes: core numbers, the CL-tree in its arena form
+// (cltree.Flat, inverted lists included), and the truss decomposition. All
+// payloads are length-prefixed contiguous arrays, so loading is bulk slice
+// reads plus pointer stitching — no per-element structure decode, no
+// re-sorting, no hash-map rebuilds beyond the vocabulary, name, and
+// edge-id maps that Go cannot memory-map.
+//
+// Files end in a CRC-32C trailer covering every preceding byte; truncation,
+// bit rot, a foreign file, or an unsupported version all surface as clean
+// errors from Read, never panics.
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/ktruss"
+)
+
+// FileExt is the conventional extension for snapshot files; the server's
+// catalog scans its data directory for it.
+const FileExt = ".cxsnap"
+
+// Snapshot bundles everything one dataset persists. Graph is mandatory;
+// Core, Tree, and Truss may be nil (the loader falls back to building them
+// lazily, exactly as an unindexed upload would).
+type Snapshot struct {
+	Name  string
+	Graph *graph.Graph
+	Core  []int32
+	Tree  *cltree.Tree
+	Truss *ktruss.Decomposition
+
+	// Created is stamped by Write and restored by Read.
+	Created time.Time
+	// Bytes is the encoded file size, set by Read/ReadFile.
+	Bytes int64
+}
+
+const (
+	flagNamed = 1 << iota
+	flagCore
+	flagTree
+	flagTruss
+)
+
+// Write serializes the snapshot and returns the number of bytes written.
+func Write(w io.Writer, s *Snapshot) (int64, error) {
+	if s.Graph == nil {
+		return 0, fmt.Errorf("snapshot: nil graph")
+	}
+	raw := s.Graph.Raw()
+	b := newWbuf(w)
+	b.write(magic[:])
+	b.u16(version)
+
+	// meta
+	flags := uint64(0)
+	if len(raw.Names) > 0 {
+		flags |= flagNamed
+	}
+	if s.Core != nil {
+		flags |= flagCore
+	}
+	if s.Tree != nil {
+		flags |= flagTree
+	}
+	if s.Truss != nil {
+		flags |= flagTruss
+	}
+	created := s.Created
+	if created.IsZero() {
+		created = time.Now()
+	}
+	metaLen := uint64(4+len(s.Name)) + 8 + 8 + 8 + 8 + 8
+	b.sectionHeader(secMeta, metaLen)
+	b.u32(uint32(len(s.Name)))
+	b.write([]byte(s.Name))
+	b.u64(uint64(s.Graph.N()))
+	b.u64(uint64(s.Graph.M()))
+	b.u64(uint64(s.Graph.Vocab().Len()))
+	b.u64(uint64(created.Unix()))
+	b.u64(flags)
+
+	// graph
+	b.sectionHeader(secOffsets, i64sLen(len(raw.Offsets)))
+	b.i64s(raw.Offsets)
+	b.sectionHeader(secAdj, i32sLen(len(raw.Adj)))
+	b.i32s(raw.Adj)
+	b.sectionHeader(secKwOff, i32sLen(len(raw.KwOffsets)))
+	b.i32s(raw.KwOffsets)
+	b.sectionHeader(secKwData, i32sLen(len(raw.KwData)))
+	b.i32s(raw.KwData)
+	vocabLen, err := stringsLen(raw.Words)
+	if err != nil {
+		return b.cw.n, err
+	}
+	b.sectionHeader(secVocab, vocabLen)
+	b.strings(raw.Words)
+	if len(raw.Names) > 0 {
+		namesLen, err := stringsLen(raw.Names)
+		if err != nil {
+			return b.cw.n, err
+		}
+		b.sectionHeader(secNames, namesLen)
+		b.strings(raw.Names)
+	}
+
+	// indexes
+	if s.Core != nil {
+		b.sectionHeader(secCore, i32sLen(len(s.Core)))
+		b.i32s(s.Core)
+	}
+	if s.Tree != nil {
+		f := s.Tree.Flatten()
+		payload := i32sLen(len(f.Cores)) + i32sLen(len(f.Parents)) +
+			i32sLen(len(f.VertOff)) + i32sLen(len(f.Verts)) +
+			i32sLen(len(f.InvOff)) + i32sLen(len(f.InvKw)) + i32sLen(len(f.InvV))
+		b.sectionHeader(secTree, payload)
+		b.i32s(f.Cores)
+		b.i32s(f.Parents)
+		b.i32s(f.VertOff)
+		b.i32s(f.Verts)
+		b.i32s(f.InvOff)
+		b.i32s(f.InvKw)
+		b.i32s(f.InvV)
+	}
+	if s.Truss != nil {
+		edges, truss := s.Truss.Parts()
+		flat := make([]int32, 0, 2*len(edges))
+		for _, e := range edges {
+			flat = append(flat, e[0], e[1])
+		}
+		b.sectionHeader(secTruss, i32sLen(len(flat))+i32sLen(len(truss)))
+		b.i32s(flat)
+		b.i32s(truss)
+	}
+
+	// trailer: checksum of everything written so far
+	crc := b.cw.crc
+	b.u32(crc)
+	return b.cw.n, b.err
+}
+
+// openEnvelope verifies the file envelope shared by Read and Inspect —
+// length, magic, CRC-32C trailer, version — and returns a cursor positioned
+// at the first section header.
+func openEnvelope(data []byte) (*rbuf, error) {
+	if len(data) < len(magic)+2+trailerLen {
+		return nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", data[:len(magic)])
+	}
+	body := data[:len(data)-trailerLen]
+	want := uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 |
+		uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x): truncated or corrupt", want, got)
+	}
+	cur := &rbuf{b: body, off: len(magic)}
+	if v := cur.u16(); cur.err == nil && v != version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (this build reads version %d)", v, version)
+	}
+	return cur, cur.err
+}
+
+// nextSection reads one section header and returns its id and a cursor over
+// its payload; done is true at end of input.
+func nextSection(cur *rbuf) (id uint32, sec *rbuf, done bool, err error) {
+	if cur.remaining() == 0 {
+		return 0, nil, true, nil
+	}
+	id = cur.u32()
+	payloadLen := cur.u64()
+	if cur.err != nil {
+		return 0, nil, false, cur.err
+	}
+	if payloadLen > uint64(cur.remaining()) {
+		return 0, nil, false, fmt.Errorf("snapshot: section %s declares %d bytes but %d remain",
+			sectionName(id), payloadLen, cur.remaining())
+	}
+	return id, &rbuf{b: cur.bytes(int(payloadLen))}, false, nil
+}
+
+// Read deserializes a snapshot. The stream is read fully, checksum-verified
+// end to end, and then decoded section by section; any structural damage
+// yields an error, never a panic. Unknown sections are skipped.
+func Read(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return Decode(data)
+}
+
+// Decode deserializes a snapshot from bytes already in memory (what Read
+// and ReadFile call after slurping their source; callers that already hold
+// the file contents can use it directly and skip a copy).
+func Decode(data []byte) (*Snapshot, error) {
+	cur, err := openEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Snapshot{Bytes: int64(len(data))}
+	var (
+		raw      graph.Raw
+		sawMeta  bool
+		flags    uint64
+		treeFlat *cltree.Flat
+		trussRaw [2][]int32 // flat edges, trussness
+		sawTruss bool
+	)
+	for {
+		id, sec, done, err := nextSection(cur)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+		if !sawMeta && id != secMeta {
+			return nil, fmt.Errorf("snapshot: first section is %s, want meta", sectionName(id))
+		}
+		switch id {
+		case secMeta:
+			nameLen := int(sec.u32())
+			s.Name = string(sec.bytes(nameLen))
+			sec.u64() // n — informational; authoritative counts come from the arrays
+			sec.u64() // m
+			sec.u64() // vocab
+			s.Created = time.Unix(int64(sec.u64()), 0)
+			flags = sec.u64()
+			sawMeta = true
+		case secOffsets:
+			raw.Offsets = sec.i64s()
+		case secAdj:
+			raw.Adj = sec.i32s()
+		case secKwOff:
+			raw.KwOffsets = sec.i32s()
+		case secKwData:
+			raw.KwData = sec.i32s()
+		case secVocab:
+			raw.Words = sec.strings()
+		case secNames:
+			raw.Names = sec.strings()
+		case secCore:
+			s.Core = sec.i32s()
+		case secTree:
+			treeFlat = &cltree.Flat{
+				Cores:   sec.i32s(),
+				Parents: sec.i32s(),
+				VertOff: sec.i32s(),
+				Verts:   sec.i32s(),
+				InvOff:  sec.i32s(),
+				InvKw:   sec.i32s(),
+				InvV:    sec.i32s(),
+			}
+		case secTruss:
+			trussRaw[0] = sec.i32s()
+			trussRaw[1] = sec.i32s()
+			sawTruss = true
+		default:
+			// Unknown section: skip (forward compatibility).
+		}
+		if sec.err != nil {
+			return nil, fmt.Errorf("snapshot: section %s: %w", sectionName(id), sec.err)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("snapshot: missing meta section")
+	}
+
+	g, err := graph.FromRaw(raw)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s.Graph = g
+	if flags&flagCore != 0 && len(s.Core) != g.N() {
+		return nil, fmt.Errorf("snapshot: %d core numbers for n=%d", len(s.Core), g.N())
+	}
+	if flags&flagTree != 0 {
+		if treeFlat == nil {
+			return nil, fmt.Errorf("snapshot: meta declares a CL-tree but no cltree section present")
+		}
+		t, err := cltree.FromFlat(g, *treeFlat)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		s.Tree = t
+	}
+	if flags&flagTruss != 0 {
+		if !sawTruss {
+			return nil, fmt.Errorf("snapshot: meta declares a truss decomposition but no ktruss section present")
+		}
+		flat := trussRaw[0]
+		if len(flat) != 2*len(trussRaw[1]) {
+			return nil, fmt.Errorf("snapshot: truss edge table length %d does not match %d trussness values",
+				len(flat), len(trussRaw[1]))
+		}
+		edges := make([][2]int32, len(trussRaw[1]))
+		for i := range edges {
+			edges[i] = [2]int32{flat[2*i], flat[2*i+1]}
+		}
+		d, err := ktruss.FromParts(g, edges, trussRaw[1])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+		s.Truss = d
+	}
+	return s, nil
+}
+
+// WriteFile atomically persists the snapshot at path: it writes to a
+// temporary file in the same directory, fsyncs, and renames into place, so
+// a crash mid-write can never leave a half-written catalog entry. The
+// returned size is the encoded byte count.
+func WriteFile(path string, s *Snapshot) (int64, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	n, err := Write(bw, s)
+	if err != nil {
+		return n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return n, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return n, fmt.Errorf("snapshot: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil // success path: disable the cleanup deferral's Close
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return n, fmt.Errorf("snapshot: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFile loads the snapshot at path. The file is slurped in one
+// stat-sized read (this is the warm-start hot path; no intermediate
+// buffering layers).
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// SectionInfo describes one section for Inspect.
+type SectionInfo struct {
+	ID    uint32
+	Name  string
+	Bytes int64
+}
+
+// Info is the metadata Inspect reports without materializing the dataset.
+type Info struct {
+	Version  uint16
+	Name     string
+	Vertices int64
+	Edges    int64
+	Keywords int64
+	Named    bool
+	HasCore  bool
+	HasTree  bool
+	HasTruss bool
+	Created  time.Time
+	Sections []SectionInfo
+	Bytes    int64
+}
+
+// Inspect verifies the checksum and walks the section framing, decoding
+// only the meta section. It is the `cexplorer snapshot inspect` backend.
+func Inspect(r io.Reader) (*Info, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	cur, err := openEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{Version: version, Bytes: int64(len(data))}
+	for {
+		id, sec, done, err := nextSection(cur)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+		info.Sections = append(info.Sections, SectionInfo{
+			ID: id, Name: sectionName(id), Bytes: sectionHdrLen + int64(len(sec.b)),
+		})
+		if id == secMeta {
+			nameLen := int(sec.u32())
+			info.Name = string(sec.bytes(nameLen))
+			info.Vertices = int64(sec.u64())
+			info.Edges = int64(sec.u64())
+			info.Keywords = int64(sec.u64())
+			info.Created = time.Unix(int64(sec.u64()), 0)
+			flags := sec.u64()
+			if sec.err != nil {
+				return nil, fmt.Errorf("snapshot: meta section: %w", sec.err)
+			}
+			info.Named = flags&flagNamed != 0
+			info.HasCore = flags&flagCore != 0
+			info.HasTree = flags&flagTree != 0
+			info.HasTruss = flags&flagTruss != 0
+		}
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	return info, nil
+}

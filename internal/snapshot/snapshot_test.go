@@ -1,0 +1,384 @@
+package snapshot
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"cexplorer/internal/cltree"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+	"cexplorer/internal/ktruss"
+)
+
+// testGraph builds a small attributed, named graph with some structure.
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	return gen.Figure5()
+}
+
+// randomAttributed builds a random graph with names and keywords, for
+// shaking out round-trip fidelity beyond the worked example.
+func randomAttributed(t testing.TB, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"db", "ml", "ir", "graph", "web", "hci", "sys", "pl", "net", "sec"}
+	b := graph.NewBuilder(n, m)
+	for v := 0; v < n; v++ {
+		kws := make([]string, 0, 3)
+		for _, w := range words {
+			if rng.Float64() < 0.25 {
+				kws = append(kws, w)
+			}
+		}
+		b.AddVertex("author-"+string(rune('a'+v%26))+"-"+string(rune('0'+v%10)), kws...)
+	}
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func fullSnapshot(t testing.TB, name string, g *graph.Graph) *Snapshot {
+	t.Helper()
+	tree := cltree.Build(g)
+	return &Snapshot{
+		Name:  name,
+		Graph: g,
+		Core:  kcore.Decompose(g),
+		Tree:  tree,
+		Truss: ktruss.Decompose(g),
+	}
+}
+
+func encode(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := Write(&buf, s)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("write reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripFigure5(t *testing.T) {
+	g := testGraph(t)
+	s := fullSnapshot(t, "figure5", g)
+	data := encode(t, s)
+
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Name != "figure5" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if got.Bytes != int64(len(data)) {
+		t.Fatalf("bytes = %d, want %d", got.Bytes, len(data))
+	}
+	checkGraphEqual(t, g, got.Graph)
+	if !reflect.DeepEqual(got.Core, s.Core) {
+		t.Fatalf("core numbers differ")
+	}
+	if got.Tree == nil {
+		t.Fatalf("tree missing")
+	}
+	if err := got.Tree.Validate(); err != nil {
+		t.Fatalf("loaded tree invalid: %v", err)
+	}
+	checkTreeEqual(t, s.Tree, got.Tree)
+	checkTrussEqual(t, g, s.Truss, got.Truss)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	g := randomAttributed(t, 300, 1500, 7)
+	s := fullSnapshot(t, "rand", g)
+	got, err := Read(bytes.NewReader(encode(t, s)))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := got.Graph.Validate(); err != nil {
+		t.Fatalf("loaded graph invalid: %v", err)
+	}
+	checkGraphEqual(t, g, got.Graph)
+	if err := got.Tree.Validate(); err != nil {
+		t.Fatalf("loaded tree invalid: %v", err)
+	}
+	checkTreeEqual(t, s.Tree, got.Tree)
+	checkTrussEqual(t, g, s.Truss, got.Truss)
+}
+
+func TestRoundTripGraphOnly(t *testing.T) {
+	// Indexes are optional: a graph-only snapshot loads with nil indexes.
+	g := randomAttributed(t, 50, 120, 3)
+	data := encode(t, &Snapshot{Name: "plain", Graph: g})
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Core != nil || got.Tree != nil || got.Truss != nil {
+		t.Fatalf("graph-only snapshot decoded phantom indexes")
+	}
+	checkGraphEqual(t, g, got.Graph)
+}
+
+func TestRoundTripUnnamedGraph(t *testing.T) {
+	// A graph without display names must not grow them through persistence.
+	b := graph.NewBuilder(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	got, err := Read(bytes.NewReader(encode(t, &Snapshot{Name: "anon", Graph: g})))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Graph.Named() {
+		t.Fatalf("unnamed graph came back named")
+	}
+	checkGraphEqual(t, g, got.Graph)
+}
+
+func TestWriteFileAtomicAndReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig5"+FileExt)
+	s := fullSnapshot(t, "figure5", testGraph(t))
+	n, err := WriteFile(path, s)
+	if err != nil {
+		t.Fatalf("write file: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if fi.Size() != n {
+		t.Fatalf("file size %d, write reported %d", fi.Size(), n)
+	}
+	// No temp litter.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read file: %v", err)
+	}
+	checkGraphEqual(t, s.Graph, got.Graph)
+}
+
+func TestCorruption(t *testing.T) {
+	s := fullSnapshot(t, "figure5", testGraph(t))
+	data := encode(t, s)
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 1, 5, 8, 20, len(data) / 2, len(data) - 1} {
+			if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+				t.Errorf("truncation at %d bytes: want error, got nil", cut)
+			}
+		}
+	})
+
+	t.Run("bit flips", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 50; trial++ {
+			bad := append([]byte(nil), data...)
+			bad[rng.Intn(len(bad))] ^= 1 << uint(rng.Intn(8))
+			if _, err := Read(bytes.NewReader(bad)); err == nil {
+				t.Errorf("trial %d: corrupted file read without error", trial)
+			}
+		}
+	})
+
+	t.Run("bad checksum message", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[len(bad)/2] ^= 0xFF
+		_, err := Read(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("want checksum error, got %v", err)
+		}
+	})
+
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		copy(bad, "NOTASN")
+		_, err := Read(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("want magic error, got %v", err)
+		}
+	})
+
+	t.Run("wrong version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[6] = 0xFE // version lo byte
+		bad[7] = 0x7F
+		// Re-seal the checksum so the version check (not the CRC) fires.
+		reseal(bad)
+		_, err := Read(bytes.NewReader(bad))
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("want version error, got %v", err)
+		}
+	})
+
+	t.Run("resealed structural damage", func(t *testing.T) {
+		// Flip bytes inside section payloads and fix the CRC: the
+		// structural validators must still reject without panicking.
+		rng := rand.New(rand.NewSource(99))
+		rejected := 0
+		for trial := 0; trial < 200; trial++ {
+			bad := append([]byte(nil), data...)
+			bad[8+rng.Intn(len(bad)-12)] ^= 0xFF
+			reseal(bad)
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("trial %d: Read panicked: %v", trial, rec)
+					}
+				}()
+				if _, err := Read(bytes.NewReader(bad)); err != nil {
+					rejected++
+				}
+			}()
+		}
+		// Not every payload flip is semantically detectable (e.g. a name
+		// character), but most structural ones are; just require no panics
+		// and at least some rejections.
+		if rejected == 0 {
+			t.Fatalf("no resealed corruption was ever rejected")
+		}
+	})
+}
+
+// reseal recomputes and replaces the CRC trailer after tampering.
+func reseal(data []byte) {
+	crc := crc32.Checksum(data[:len(data)-4], castagnoli)
+	data[len(data)-4] = byte(crc)
+	data[len(data)-3] = byte(crc >> 8)
+	data[len(data)-2] = byte(crc >> 16)
+	data[len(data)-1] = byte(crc >> 24)
+}
+
+func TestInspect(t *testing.T) {
+	g := testGraph(t)
+	s := fullSnapshot(t, "figure5", g)
+	data := encode(t, s)
+	info, err := Inspect(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if info.Name != "figure5" || info.Vertices != int64(g.N()) || info.Edges != int64(g.M()) {
+		t.Fatalf("info = %+v", info)
+	}
+	if !info.Named || !info.HasCore || !info.HasTree || !info.HasTruss {
+		t.Fatalf("flags = %+v", info)
+	}
+	if info.Bytes != int64(len(data)) {
+		t.Fatalf("bytes = %d, want %d", info.Bytes, len(data))
+	}
+	if len(info.Sections) != 10 {
+		t.Fatalf("sections = %d: %+v", len(info.Sections), info.Sections)
+	}
+}
+
+func TestUnknownSectionSkipped(t *testing.T) {
+	// Append a section with an unknown id before the trailer; the reader
+	// must skip it and still load the dataset (forward compatibility).
+	g := testGraph(t)
+	data := encode(t, &Snapshot{Name: "fwd", Graph: g})
+	body := data[:len(data)-4]
+	extra := []byte{0xEE, 0x00, 0x00, 0x00, 3, 0, 0, 0, 0, 0, 0, 0, 'x', 'y', 'z'}
+	body = append(body, extra...)
+	body = append(body, 0, 0, 0, 0)
+	reseal(body)
+	got, err := Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("read with unknown section: %v", err)
+	}
+	checkGraphEqual(t, g, got.Graph)
+}
+
+// --- deep-equality helpers ---
+
+func checkGraphEqual(t testing.TB, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	// slices.Equal treats nil and empty alike: an empty arena may load back
+	// as nil without changing graph semantics.
+	ra, rb := a.Raw(), b.Raw()
+	if !slices.Equal(ra.Offsets, rb.Offsets) || !slices.Equal(ra.Adj, rb.Adj) {
+		t.Fatalf("adjacency differs")
+	}
+	if !slices.Equal(ra.KwOffsets, rb.KwOffsets) || !slices.Equal(ra.KwData, rb.KwData) {
+		t.Fatalf("keyword arenas differ")
+	}
+	if !slices.Equal(ra.Words, rb.Words) {
+		t.Fatalf("vocabularies differ")
+	}
+	if !slices.Equal(ra.Names, rb.Names) {
+		t.Fatalf("names differ")
+	}
+	if a.Named() {
+		for v := int32(0); v < int32(a.N()); v++ {
+			name := a.Name(v)
+			if name == "" {
+				continue
+			}
+			av, aok := a.VertexByName(name)
+			bv, bok := b.VertexByName(name)
+			if aok != bok || av != bv {
+				t.Fatalf("name index differs at %q: (%d,%v) vs (%d,%v)", name, av, aok, bv, bok)
+			}
+		}
+	}
+}
+
+func checkTreeEqual(t testing.TB, a, b *cltree.Tree) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.Depth() != b.Depth() {
+		t.Fatalf("tree shape differs: %d/%d nodes, %d/%d depth",
+			a.NumNodes(), b.NumNodes(), a.Depth(), b.Depth())
+	}
+	if !reflect.DeepEqual(a.CoreNumbers(), b.CoreNumbers()) {
+		t.Fatalf("tree core numbers differ")
+	}
+	fa, fb := a.Flatten(), b.Flatten()
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("flattened trees differ")
+	}
+}
+
+func checkTrussEqual(t testing.TB, g *graph.Graph, a, b *ktruss.Decomposition) {
+	t.Helper()
+	if b == nil {
+		t.Fatalf("truss missing")
+	}
+	ea, ta := a.Parts()
+	eb, tb := b.Parts()
+	if !reflect.DeepEqual(ea, eb) || !reflect.DeepEqual(ta, tb) {
+		t.Fatalf("truss decompositions differ")
+	}
+	g.Edges(func(u, v int32) bool {
+		x, okx := a.Trussness(u, v)
+		y, oky := b.Trussness(u, v)
+		if okx != oky || x != y {
+			t.Fatalf("trussness({%d,%d}) = (%d,%v) vs (%d,%v)", u, v, x, okx, y, oky)
+		}
+		return true
+	})
+}

@@ -10,6 +10,7 @@ package cexplorer
 // CEXPLORER_PAPER_SCALE=1 to run E7 at the paper's 977,288-vertex scale.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -277,7 +278,7 @@ func BenchmarkE10_APIRoundTrip(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Search("fig5", "ACQ", Query{Vertices: []int32{0}, K: 2}); err != nil {
+		if _, err := exp.Search(context.Background(), "fig5", "ACQ", Query{Vertices: []int32{0}, K: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -423,7 +424,7 @@ func TestFacadeSmoke(t *testing.T) {
 	if _, err := exp.AddGraph("fig5", g); err != nil {
 		t.Fatal(err)
 	}
-	res, err := exp.Search("fig5", "ACQ", Query{Vertices: []int32{q}, K: 2})
+	res, err := exp.Search(context.Background(), "fig5", "ACQ", Query{Vertices: []int32{q}, K: 2})
 	if err != nil || len(res) != 1 {
 		t.Fatalf("facade explorer: %v %+v", err, res)
 	}

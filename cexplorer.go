@@ -92,14 +92,23 @@ type (
 // Global returns the connected k-core containing q (the Global baseline).
 var Global = csearch.Global
 
+// GlobalContext is Global with cooperative cancellation.
+var GlobalContext = csearch.GlobalContext
+
 // GlobalMax maximizes the minimum degree of q's community.
 var GlobalMax = csearch.GlobalMax
 
 // Local runs local-expansion community search from q.
 var Local = csearch.Local
 
+// LocalContext is Local with cooperative cancellation.
+var LocalContext = csearch.LocalContext
+
 // TrussDecompose computes the k-truss decomposition of g.
 var TrussDecompose = ktruss.Decompose
+
+// TrussDecomposeContext is TrussDecompose with cooperative cancellation.
+var TrussDecomposeContext = ktruss.DecomposeContext
 
 // CODICIL community detection.
 type (
@@ -144,10 +153,14 @@ var FruchtermanReingold = layout.FruchtermanReingold
 // CircularLayout places n vertices on a circle.
 var CircularLayout = layout.Circular
 
-// The Figure-4 developer API and the web platform.
+// The Figure-4 developer API and the web platform. Every Explorer query
+// method takes a context.Context first: cancellation and deadlines
+// propagate into the algorithm kernels, and the typed errors below report
+// how a request ended.
 type (
 	// Explorer is the five-function CExplorer interface (upload / search /
-	// detect / analyze / display) with pluggable algorithm registries.
+	// detect / analyze / display) with pluggable algorithm registries and
+	// exploration sessions.
 	Explorer = api.Explorer
 	// Query is a community-search request.
 	Query = api.Query
@@ -161,6 +174,24 @@ type (
 	Dataset = api.Dataset
 	// Server is the browser/server front end.
 	Server = server.Server
+	// ExploreState is the client-visible snapshot of an exploration
+	// session (the paper's expand/contract browse loop as an API).
+	ExploreState = api.ExploreState
+	// ExploreStats reports the exploration-session counters.
+	ExploreStats = api.ExploreStats
+)
+
+// Typed API errors: branch with errors.Is. The HTTP layer maps these onto
+// 404 (dataset/vertex/session not found), 400 (unknown algorithm, invalid
+// query), 499 (canceled), and 504 (timed out).
+var (
+	ErrDatasetNotFound  = api.ErrDatasetNotFound
+	ErrVertexNotFound   = api.ErrVertexNotFound
+	ErrSessionNotFound  = api.ErrSessionNotFound
+	ErrUnknownAlgorithm = api.ErrUnknownAlgorithm
+	ErrInvalidQuery     = api.ErrInvalidQuery
+	ErrCanceled         = api.ErrCanceled
+	ErrTimeout          = api.ErrTimeout
 )
 
 // NewExplorer returns an Explorer with the built-in algorithms (ACQ,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -99,7 +100,7 @@ func runSearch(args []string) {
 	_, err := exp.AddGraph("g", g)
 	fatal(err)
 	v := resolveVertex(g, *q)
-	comms, err := exp.Search("g", *algo, api.Query{
+	comms, err := exp.Search(context.Background(), "g", *algo, api.Query{
 		Vertices: []int32{v}, K: *k, Keywords: strings.Fields(*keywords),
 	})
 	fatal(err)
@@ -135,7 +136,7 @@ func runDetect(args []string) {
 	exp := api.NewExplorer()
 	_, err := exp.AddGraph("g", g)
 	fatal(err)
-	comms, err := exp.Detect("g", *algo)
+	comms, err := exp.Detect(context.Background(), "g", *algo)
 	fatal(err)
 	printed := 0
 	for _, c := range comms {
@@ -165,14 +166,14 @@ func runAnalyze(args []string) {
 	fmt.Printf("%-8s %12s %9s %7s %7s %7s %7s\n",
 		"Method", "Communities", "Vertices", "Edges", "Degree", "CPJ", "CMF")
 	for _, algo := range []string{"Global", "Local", "ACQ"} {
-		comms, err := exp.Search("g", algo, api.Query{Vertices: []int32{v}, K: *k})
+		comms, err := exp.Search(context.Background(), "g", algo, api.Query{Vertices: []int32{v}, K: *k})
 		if err != nil {
 			fmt.Printf("%-8s error: %v\n", algo, err)
 			continue
 		}
 		var nv, ne, nd, cpj, cmf float64
 		for _, c := range comms {
-			a, err := exp.Analyze("g", c, v)
+			a, err := exp.Analyze(context.Background(), "g", c, v)
 			if err != nil {
 				continue
 			}

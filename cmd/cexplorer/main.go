@@ -51,14 +51,16 @@ func main() {
 
 func runServer() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		dataDir     = flag.String("data.dir", "", "snapshot catalog directory (enables persistence + warm restarts)")
-		edges       = flag.String("edges", "", "edge-list file to serve (optional)")
-		attrs       = flag.String("attrs", "", "vertex-attribute file (optional, with -edges)")
-		name        = flag.String("name", "uploaded", "dataset name for -edges")
-		dblpN       = flag.Int("dblp.n", 20000, "synthetic DBLP size (0 disables)")
-		dblpSeed    = flag.Int64("dblp.seed", 1, "synthetic DBLP seed")
-		searchLimit = flag.Int("search.limit", 0, "max concurrent searches (0 = 2×GOMAXPROCS)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		dataDir       = flag.String("data.dir", "", "snapshot catalog directory (enables persistence + warm restarts)")
+		edges         = flag.String("edges", "", "edge-list file to serve (optional)")
+		attrs         = flag.String("attrs", "", "vertex-attribute file (optional, with -edges)")
+		name          = flag.String("name", "uploaded", "dataset name for -edges")
+		dblpN         = flag.Int("dblp.n", 20000, "synthetic DBLP size (0 disables)")
+		dblpSeed      = flag.Int64("dblp.seed", 1, "synthetic DBLP seed")
+		searchLimit   = flag.Int("search.limit", 0, "max concurrent searches (0 = 2×GOMAXPROCS)")
+		searchTimeout = flag.Duration("search.timeout", 0, "deadline per search-class request, queue wait included (0 = none)")
+		exploreTTL    = flag.Duration("explore.ttl", 0, "idle lifetime of exploration sessions (0 = 15m default)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,12 @@ func runServer() {
 	srv := server.New(exp, log.Printf)
 	if *searchLimit > 0 {
 		srv.SetSearchLimit(*searchLimit)
+	}
+	if *searchTimeout > 0 {
+		srv.SetSearchTimeout(*searchTimeout)
+	}
+	if *exploreTTL > 0 {
+		exp.SetExploreTTL(*exploreTTL)
 	}
 
 	if *dataDir != "" {

@@ -33,10 +33,40 @@
 //
 //	exp := cexplorer.NewExplorer()
 //	exp.AddGraph("dblp", cexplorer.GenerateDBLP(cexplorer.DefaultDBLPConfig()).Graph)
-//	comms, _ := exp.Search("dblp", "ACQ", cexplorer.Query{Vertices: []int32{0}, K: 4})
+//	comms, _ := exp.Search(ctx, "dblp", "ACQ", cexplorer.Query{Vertices: []int32{0}, K: 4})
 //
 // See the examples/ directory for runnable walkthroughs of Figures 1, 2,
 // and 6, and cmd/cexplorer for the web server.
+//
+// # Contexts and typed errors
+//
+// Every Explorer query method (Search, Detect, Analyze, Display, Explore,
+// ExploreStep) takes a context.Context as its first argument, and the
+// CSAlgorithm/CDAlgorithm plugin interfaces receive it too. Cancellation
+// propagates into the algorithm kernels — the ACQ engine polls per
+// candidate verification, the core/truss decompositions every few thousand
+// vertices/edges — so canceling the context (or letting its deadline
+// expire) stops the computation promptly rather than after it finishes.
+//
+// Failures wrap typed sentinels: ErrDatasetNotFound, ErrVertexNotFound,
+// ErrSessionNotFound, ErrUnknownAlgorithm, ErrInvalidQuery, ErrCanceled,
+// ErrTimeout. Branch with errors.Is; the HTTP layer maps them onto
+// 404 / 400 / 499 / 504 with a JSON error envelope {"error", "code"}.
+//
+// # API versioning policy
+//
+// The HTTP surface is versioned by path. The /api/v1 tree is the stable
+// contract: resource-oriented routes (datasets, vertices, exploration
+// sessions as sub-resources), limit/offset pagination with totals on
+// community lists, and the typed error envelope. Within v1, changes are
+// additive only — new endpoints, new optional request fields, new response
+// fields; existing fields never change meaning or disappear. Breaking
+// changes require a new version prefix (/api/v2) served alongside v1. The
+// pre-v1 flat routes (/api/search, /api/graphs, ...) are maintained as
+// thin aliases of the v1 handler cores for the embedded UI and existing
+// clients; new integrations should target /api/v1. The contract is pinned
+// by the TestV1* suite (run in CI with -count=2) and documented in
+// openapi.yaml at the repository root.
 //
 // # Concurrency model
 //
@@ -60,7 +90,9 @@
 //
 // The HTTP layer (internal/server) additionally bounds concurrent search
 // execution with a worker limit (default 2×GOMAXPROCS, -search.limit on the
-// cexplorer command) and reports request-level counters at /api/stats.
+// cexplorer command), deadline-bounds search-class requests when
+// -search.timeout is set (the budget covers queue wait plus computation),
+// and reports request-level counters at /api/stats.
 //
 // # Persistence & warm restarts
 //

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -37,7 +38,7 @@ func main() {
 
 	for _, algo := range []string{"Global", "Local", "ACQ"} {
 		start := time.Now()
-		comms, err := exp.Search("dblp", algo, cexplorer.Query{Vertices: []int32{q}, K: k})
+		comms, err := exp.Search(context.Background(), "dblp", algo, cexplorer.Query{Vertices: []int32{q}, K: k})
 		if err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}
@@ -45,7 +46,7 @@ func main() {
 	}
 	// CODICIL detects all communities; the query's community is looked up.
 	start := time.Now()
-	detected, err := exp.Detect("dblp", "CODICIL")
+	detected, err := exp.Detect(context.Background(), "dblp", "CODICIL")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func summarize(exp *cexplorer.Explorer, method string, comms []cexplorer.APIComm
 	r.comms = len(comms)
 	r.elapsed = elapsed
 	for _, c := range comms {
-		a, err := exp.Analyze("dblp", c, q)
+		a, err := exp.Analyze(context.Background(), "dblp", c, q)
 		if err != nil {
 			continue
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -91,11 +92,37 @@ func main() {
 	if _, err := exp.AddGraph("dblp", g); err != nil {
 		log.Fatal(err)
 	}
-	pl, err := exp.Display("dblp", cexplorer.APICommunity{Vertices: c.Vertices},
+	pl, err := exp.Display(context.Background(), "dblp", cexplorer.APICommunity{Vertices: c.Vertices},
 		cexplorer.LayoutOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nlayout: %d positioned vertices, %d edges (ready for the canvas)\n",
 		len(pl.Points), len(pl.Edges))
+
+	// The Figure-6(b) browse loop as an API: open an exploration session at
+	// the query vertex and walk the community-ring hierarchy — contract to a
+	// denser core, expand back out. The session pins a warm engine and its
+	// CL-tree position, so each step is incremental.
+	ctx := context.Background()
+	st, err := exp.Explore(ctx, "dblp", cexplorer.Query{Vertices: []int32{q}, K: int(k)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- Exploration session %s ---\n", st.ID[:8])
+	fmt.Printf("k=%d: ring of %d vertices (max k=%d)\n", st.K, st.RingSize, st.MaxK)
+	for st.K < st.MaxK {
+		if st, err = exp.ExploreStep(ctx, "dblp", st.ID, "contract", 0); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("contract → k=%d: ring of %d vertices\n", st.K, st.RingSize)
+	}
+	if st, err = exp.ExploreStep(ctx, "dblp", st.ID, "set", int(k)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expand back → k=%d: ring of %d vertices after %d steps\n",
+		st.K, st.RingSize, st.Steps)
+	if err := exp.ExploreClose("dblp", st.ID); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ type TriangleCS struct{}
 func (TriangleCS) Name() string { return "Triangle" }
 
 // Search implements cexplorer.CSAlgorithm.
-func (TriangleCS) Search(ds *cexplorer.Dataset, q cexplorer.Query) ([]cexplorer.APICommunity, error) {
+func (TriangleCS) Search(ctx context.Context, ds *cexplorer.Dataset, q cexplorer.Query) ([]cexplorer.APICommunity, error) {
 	g := ds.Graph
 	start := q.Vertices[0]
 	in := map[int32]bool{start: true}
@@ -71,7 +72,7 @@ type ComponentsCD struct{}
 func (ComponentsCD) Name() string { return "Components" }
 
 // Detect implements cexplorer.CDAlgorithm.
-func (ComponentsCD) Detect(ds *cexplorer.Dataset) ([]cexplorer.APICommunity, error) {
+func (ComponentsCD) Detect(ctx context.Context, ds *cexplorer.Dataset) ([]cexplorer.APICommunity, error) {
 	labels, count := ds.Graph.ConnectedComponents()
 	comms := make([][]int32, count)
 	for v, l := range labels {
@@ -100,12 +101,12 @@ func main() {
 	q, _ := g.VertexByName("A")
 	fmt.Printf("\nquery %q on the Figure-5 graph:\n", g.Name(q))
 	for _, algo := range []string{"ACQ", "Global", "Triangle"} {
-		comms, err := exp.Search("fig5", algo, cexplorer.Query{Vertices: []int32{q}, K: 2})
+		comms, err := exp.Search(context.Background(), "fig5", algo, cexplorer.Query{Vertices: []int32{q}, K: 2})
 		if err != nil {
 			log.Fatalf("%s: %v", algo, err)
 		}
 		for _, c := range comms {
-			a, err := exp.Analyze("fig5", c, q)
+			a, err := exp.Analyze(context.Background(), "fig5", c, q)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -117,7 +118,7 @@ func main() {
 		}
 	}
 
-	comms, err := exp.Detect("fig5", "Components")
+	comms, err := exp.Detect(context.Background(), "fig5", "Components")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package cexplorer
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -202,7 +203,7 @@ func TestServerMatchesLibrary(t *testing.T) {
 	defer ts.Close()
 
 	q, _ := d.Graph.VertexByName("jim gray")
-	direct, err := exp.Search("dblp", "ACQ", Query{Vertices: []int32{q}, K: 3})
+	direct, err := exp.Search(context.Background(), "dblp", "ACQ", Query{Vertices: []int32{q}, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,11 @@
 package api
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"slices"
-	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,8 +33,90 @@ type Query struct {
 	Vertices []int32
 	K        int
 	Keywords []string
-	// Algorithm-specific free-form parameters.
+	// Params carries algorithm-specific knobs as strings. Every built-in
+	// accepts "maxResults" (cap the community list); ACQ additionally
+	// accepts "variant" (Dec, Inc-S, Inc-T, Basic) and Local accepts
+	// "budget" (candidate-set cap). Unknown keys are rejected with
+	// ErrInvalidQuery so typos fail loudly instead of being ignored.
 	Params map[string]string
+}
+
+// queryParams is the parsed form of Query.Params shared by the built-ins.
+type queryParams struct {
+	maxResults int
+	budget     int
+	variant    core.Algorithm
+	hasVariant bool
+}
+
+// parseParams validates q.Params against the keys an algorithm accepts
+// ("maxResults" is always accepted) and parses the values. Unknown keys and
+// malformed values wrap ErrInvalidQuery.
+func parseParams(q Query, accepted ...string) (queryParams, error) {
+	p := queryParams{}
+	for key, val := range q.Params {
+		switch {
+		case key == "maxResults":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("%w: param maxResults=%q (want a non-negative integer)", ErrInvalidQuery, val)
+			}
+			p.maxResults = n
+		case key == "budget" && slices.Contains(accepted, "budget"):
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("%w: param budget=%q (want a non-negative integer)", ErrInvalidQuery, val)
+			}
+			p.budget = n
+		case key == "variant" && slices.Contains(accepted, "variant"):
+			switch val {
+			case "Dec", "dec":
+				p.variant = core.Dec
+			case "Inc-S", "IncS", "inc-s", "incs":
+				p.variant = core.IncS
+			case "Inc-T", "IncT", "inc-t", "inct":
+				p.variant = core.IncT
+			case "Basic", "basic":
+				p.variant = core.Basic
+			default:
+				return p, fmt.Errorf("%w: param variant=%q (want Dec, Inc-S, Inc-T, or Basic)", ErrInvalidQuery, val)
+			}
+			p.hasVariant = true
+		default:
+			return p, fmt.Errorf("%w: unknown param %q", ErrInvalidQuery, key)
+		}
+	}
+	return p, nil
+}
+
+// truncate applies the maxResults cap (0 = unlimited).
+func (p queryParams) truncate(comms []Community) []Community {
+	if p.maxResults > 0 && len(comms) > p.maxResults {
+		return comms[:p.maxResults]
+	}
+	return comms
+}
+
+// resolveKeywords maps query keyword strings to sorted interned vocab IDs.
+// The nil/empty distinction is load-bearing for the ACQ engine: nil (no
+// keywords requested) means "default to W(q)", while a non-nil empty slice
+// (keywords requested, none exist in this graph) must stay empty so the
+// engine does not silently fall back to W(q).
+func resolveKeywords(g *graph.Graph, words []string) []int32 {
+	if len(words) == 0 {
+		return nil
+	}
+	var S []int32
+	for _, w := range words {
+		if id, ok := g.Vocab().ID(w); ok {
+			S = append(S, id)
+		}
+	}
+	slices.Sort(S)
+	if S == nil {
+		S = []int32{}
+	}
+	return S
 }
 
 // Community is the algorithm-independent result record shown in the UI.
@@ -45,17 +128,20 @@ type Community struct {
 }
 
 // CSAlgorithm is a pluggable community-search algorithm (query-based,
-// online — Global, Local, ACQ, k-truss, or user-provided).
+// online — Global, Local, ACQ, k-truss, or user-provided). Search must
+// observe ctx: return ctx.Err() (or a wrapper) promptly once the context is
+// canceled, so a dropped client or an expired deadline frees the worker.
 type CSAlgorithm interface {
 	Name() string
-	Search(ds *Dataset, q Query) ([]Community, error)
+	Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error)
 }
 
 // CDAlgorithm is a pluggable community-detection algorithm (whole-graph,
-// offline — CODICIL or user-provided).
+// offline — CODICIL or user-provided). Detect must observe ctx like
+// CSAlgorithm.Search does.
 type CDAlgorithm interface {
 	Name() string
-	Detect(ds *Dataset) ([]Community, error)
+	Detect(ctx context.Context, ds *Dataset) ([]Community, error)
 }
 
 // Dataset bundles a graph with its indexes and a pool of warm query
@@ -201,34 +287,26 @@ func (a *ACQAlgorithm) Name() string {
 }
 
 // Search implements CSAlgorithm.
-func (a *ACQAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+func (a *ACQAlgorithm) Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error) {
 	if len(q.Vertices) == 0 {
-		return nil, fmt.Errorf("acq: no query vertex")
+		return nil, fmt.Errorf("%w: acq: no query vertex", ErrInvalidQuery)
+	}
+	p, err := parseParams(q, "variant", "maxResults")
+	if err != nil {
+		return nil, err
+	}
+	variant := a.Variant
+	if p.hasVariant {
+		variant = p.variant
 	}
 	eng := ds.AcquireEngine()
 	defer ds.ReleaseEngine(eng)
-	var S []int32
-	if len(q.Keywords) > 0 {
-		for _, w := range q.Keywords {
-			if id, ok := ds.Graph.Vocab().ID(w); ok {
-				S = append(S, id)
-			}
-		}
-		slices.Sort(S)
-		if len(S) == 0 {
-			// None of the requested keywords exist; keep S empty but
-			// non-nil so the engine does not default to W(q).
-			S = []int32{}
-		}
-	}
-	var (
-		res []core.Community
-		err error
-	)
+	S := resolveKeywords(ds.Graph, q.Keywords)
+	var res []core.Community
 	if len(q.Vertices) == 1 {
-		res, err = eng.Search(q.Vertices[0], int32(q.K), S, a.Variant)
+		res, err = eng.SearchContext(ctx, q.Vertices[0], int32(q.K), S, variant)
 	} else {
-		res, err = eng.SearchMulti(q.Vertices, int32(q.K), S)
+		res, err = eng.SearchMultiContext(ctx, q.Vertices, int32(q.K), S)
 	}
 	if err != nil {
 		return nil, err
@@ -242,7 +320,7 @@ func (a *ACQAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
 			Theme:          metrics.Theme(ds.Graph, c.Vertices, 5),
 		})
 	}
-	return out, nil
+	return p.truncate(out), nil
 }
 
 // GlobalAlgorithm is the Sozio–Gionis baseline.
@@ -252,19 +330,26 @@ type GlobalAlgorithm struct{}
 func (GlobalAlgorithm) Name() string { return "Global" }
 
 // Search implements CSAlgorithm.
-func (GlobalAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+func (GlobalAlgorithm) Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error) {
 	if len(q.Vertices) == 0 {
-		return nil, fmt.Errorf("global: no query vertex")
+		return nil, fmt.Errorf("%w: global: no query vertex", ErrInvalidQuery)
 	}
-	r := csearch.Global(ds.Graph, ds.CoreNumbers(), q.Vertices[0], int32(q.K))
+	p, err := parseParams(q)
+	if err != nil {
+		return nil, err
+	}
+	r, err := csearch.GlobalContext(ctx, ds.Graph, ds.CoreNumbers(), q.Vertices[0], int32(q.K))
+	if err != nil {
+		return nil, err
+	}
 	if r == nil {
 		return nil, nil
 	}
-	return []Community{{
+	return p.truncate([]Community{{
 		Method:   "Global",
 		Vertices: r.Vertices,
 		Theme:    metrics.Theme(ds.Graph, r.Vertices, 5),
-	}}, nil
+	}}), nil
 }
 
 // LocalAlgorithm is the Cui et al. baseline.
@@ -276,19 +361,30 @@ type LocalAlgorithm struct {
 func (LocalAlgorithm) Name() string { return "Local" }
 
 // Search implements CSAlgorithm.
-func (l LocalAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+func (l LocalAlgorithm) Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error) {
 	if len(q.Vertices) == 0 {
-		return nil, fmt.Errorf("local: no query vertex")
+		return nil, fmt.Errorf("%w: local: no query vertex", ErrInvalidQuery)
 	}
-	r := csearch.Local(ds.Graph, q.Vertices[0], int32(q.K), csearch.LocalOptions{Budget: l.Budget})
+	p, err := parseParams(q, "budget")
+	if err != nil {
+		return nil, err
+	}
+	budget := l.Budget
+	if p.budget > 0 {
+		budget = p.budget
+	}
+	r, err := csearch.LocalContext(ctx, ds.Graph, q.Vertices[0], int32(q.K), csearch.LocalOptions{Budget: budget})
+	if err != nil {
+		return nil, err
+	}
 	if r == nil {
 		return nil, nil
 	}
-	return []Community{{
+	return p.truncate([]Community{{
 		Method:   "Local",
 		Vertices: r.Vertices,
 		Theme:    metrics.Theme(ds.Graph, r.Vertices, 5),
-	}}, nil
+	}}), nil
 }
 
 // KTrussAlgorithm is the Huang et al. k-truss community search.
@@ -298,15 +394,22 @@ type KTrussAlgorithm struct{}
 func (KTrussAlgorithm) Name() string { return "KTruss" }
 
 // Search implements CSAlgorithm.
-func (KTrussAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
+func (KTrussAlgorithm) Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error) {
 	if len(q.Vertices) == 0 {
-		return nil, fmt.Errorf("ktruss: no query vertex")
+		return nil, fmt.Errorf("%w: ktruss: no query vertex", ErrInvalidQuery)
+	}
+	p, err := parseParams(q)
+	if err != nil {
+		return nil, err
 	}
 	k := int32(q.K)
 	if k < 2 {
 		k = 2
 	}
-	comms := ds.Truss().Communities(q.Vertices[0], k)
+	comms, err := ds.Truss().CommunitiesContext(ctx, q.Vertices[0], k)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Community, 0, len(comms))
 	for _, vs := range comms {
 		out = append(out, Community{
@@ -315,7 +418,7 @@ func (KTrussAlgorithm) Search(ds *Dataset, q Query) ([]Community, error) {
 			Theme:    metrics.Theme(ds.Graph, vs, 5),
 		})
 	}
-	return out, nil
+	return p.truncate(out), nil
 }
 
 // --- built-in CD algorithm ---
@@ -329,8 +432,11 @@ type CODICILAlgorithm struct {
 func (CODICILAlgorithm) Name() string { return "CODICIL" }
 
 // Detect implements CDAlgorithm.
-func (c CODICILAlgorithm) Detect(ds *Dataset) ([]Community, error) {
-	r := codicil.Detect(ds.Graph, c.Opts)
+func (c CODICILAlgorithm) Detect(ctx context.Context, ds *Dataset) ([]Community, error) {
+	r, err := codicil.DetectContext(ctx, ds.Graph, c.Opts)
+	if err != nil {
+		return nil, err
+	}
 	comms := r.Partition.Communities()
 	out := make([]Community, 0, len(comms))
 	for _, vs := range comms {
@@ -355,12 +461,19 @@ func (c CODICILAlgorithm) Detect(ds *Dataset) ([]Community, error) {
 //	    public void display(Community community);
 //	}
 //
-// plus registration hooks for user algorithms.
+// plus registration hooks for user algorithms. All query methods take a
+// context.Context as their first argument (the go-native rendering of the
+// paper's request lifecycle): cancellation and deadlines propagate from the
+// HTTP layer down into the algorithm kernels.
 type Explorer struct {
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 	cs       map[string]CSAlgorithm
 	cd       map[string]CDAlgorithm
+
+	// explore holds the live exploration sessions (the paper's Figure 1/6
+	// browse loop as server-side state; see explore.go).
+	explore exploreManager
 }
 
 // NewExplorer returns an Explorer with the built-in algorithms registered
@@ -371,6 +484,7 @@ func NewExplorer() *Explorer {
 		cs:       make(map[string]CSAlgorithm),
 		cd:       make(map[string]CDAlgorithm),
 	}
+	e.explore.init()
 	e.RegisterCS(&ACQAlgorithm{Variant: core.Dec})
 	e.RegisterCS(GlobalAlgorithm{})
 	e.RegisterCS(LocalAlgorithm{})
@@ -402,7 +516,7 @@ func (e *Explorer) CSAlgorithms() []string {
 	for n := range e.cs {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
@@ -414,7 +528,7 @@ func (e *Explorer) CDAlgorithms() []string {
 	for n := range e.cd {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
@@ -459,38 +573,49 @@ func (e *Explorer) Datasets() []string {
 	for n := range e.datasets {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
-// Search runs a registered CS algorithm (Figure 4's search).
-func (e *Explorer) Search(dataset, algo string, q Query) ([]Community, error) {
+// Search runs a registered CS algorithm (Figure 4's search). It observes
+// ctx: cancellation or an expired deadline stops the computation inside the
+// algorithm kernel, and the error wraps ErrCanceled or ErrTimeout.
+func (e *Explorer) Search(ctx context.Context, dataset, algo string, q Query) ([]Community, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapContextErr(err)
+	}
 	ds, ok := e.Dataset(dataset)
 	if !ok {
-		return nil, fmt.Errorf("search: unknown dataset %q", dataset)
+		return nil, fmt.Errorf("%w: search: %q", ErrDatasetNotFound, dataset)
 	}
 	e.mu.RLock()
 	a, ok := e.cs[algo]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("search: unknown CS algorithm %q", algo)
+		return nil, fmt.Errorf("%w: search: no CS algorithm %q", ErrUnknownAlgorithm, algo)
 	}
-	return a.Search(ds, q)
+	out, err := a.Search(ctx, ds, q)
+	return out, wrapContextErr(err)
 }
 
-// Detect runs a registered CD algorithm (Figure 4's detect).
-func (e *Explorer) Detect(dataset, algo string) ([]Community, error) {
+// Detect runs a registered CD algorithm (Figure 4's detect), observing ctx
+// like Search does.
+func (e *Explorer) Detect(ctx context.Context, dataset, algo string) ([]Community, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapContextErr(err)
+	}
 	ds, ok := e.Dataset(dataset)
 	if !ok {
-		return nil, fmt.Errorf("detect: unknown dataset %q", dataset)
+		return nil, fmt.Errorf("%w: detect: %q", ErrDatasetNotFound, dataset)
 	}
 	e.mu.RLock()
 	a, ok := e.cd[algo]
 	e.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("detect: unknown CD algorithm %q", algo)
+		return nil, fmt.Errorf("%w: detect: no CD algorithm %q", ErrUnknownAlgorithm, algo)
 	}
-	return a.Detect(ds)
+	out, err := a.Detect(ctx, ds)
+	return out, wrapContextErr(err)
 }
 
 // Analysis is the report the analyze function produces for one community —
@@ -505,13 +630,16 @@ type Analysis struct {
 
 // Analyze computes quality metrics for a community against query vertex q
 // (Figure 4's analyze).
-func (e *Explorer) Analyze(dataset string, c Community, q int32) (*Analysis, error) {
+func (e *Explorer) Analyze(ctx context.Context, dataset string, c Community, q int32) (*Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapContextErr(err)
+	}
 	ds, ok := e.Dataset(dataset)
 	if !ok {
-		return nil, fmt.Errorf("analyze: unknown dataset %q", dataset)
+		return nil, fmt.Errorf("%w: analyze: %q", ErrDatasetNotFound, dataset)
 	}
 	if q < 0 || int(q) >= ds.Graph.N() {
-		return nil, fmt.Errorf("analyze: query vertex %d out of range", q)
+		return nil, fmt.Errorf("%w: analyze: query vertex %d out of range", ErrInvalidQuery, q)
 	}
 	return &Analysis{
 		Method: c.Method,
@@ -532,10 +660,13 @@ type Placement struct {
 }
 
 // Display computes the community layout (Figure 4's display).
-func (e *Explorer) Display(dataset string, c Community, opts layout.Options) (*Placement, error) {
+func (e *Explorer) Display(ctx context.Context, dataset string, c Community, opts layout.Options) (*Placement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, wrapContextErr(err)
+	}
 	ds, ok := e.Dataset(dataset)
 	if !ok {
-		return nil, fmt.Errorf("display: unknown dataset %q", dataset)
+		return nil, fmt.Errorf("%w: display: %q", ErrDatasetNotFound, dataset)
 	}
 	sub := ds.Graph.Induce(c.Vertices)
 	el := layout.EdgeList{Count: sub.N()}

@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -37,7 +38,7 @@ func TestBuiltinsRegistered(t *testing.T) {
 
 func TestSearchACQ(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	comms, err := e.Search("fig5", "ACQ", Query{Vertices: []int32{0}, K: 2, Keywords: []string{"w", "x", "y"}})
+	comms, err := e.Search(context.Background(), "fig5", "ACQ", Query{Vertices: []int32{0}, K: 2, Keywords: []string{"w", "x", "y"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSearchACQ(t *testing.T) {
 
 func TestSearchACQMultiVertex(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	comms, err := e.Search("fig5", "ACQ", Query{Vertices: []int32{0, 3}, K: 2})
+	comms, err := e.Search(context.Background(), "fig5", "ACQ", Query{Vertices: []int32{0, 3}, K: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestSearchACQMultiVertex(t *testing.T) {
 func TestSearchUnknownKeywordsFallBack(t *testing.T) {
 	e, _ := figure5Explorer(t)
 	// Nonexistent keyword: ACQ treats it as an empty S → keywordless k-core.
-	comms, err := e.Search("fig5", "ACQ", Query{Vertices: []int32{0}, K: 2, Keywords: []string{"nosuch"}})
+	comms, err := e.Search(context.Background(), "fig5", "ACQ", Query{Vertices: []int32{0}, K: 2, Keywords: []string{"nosuch"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestSearchUnknownKeywordsFallBack(t *testing.T) {
 func TestSearchGlobalLocalKTruss(t *testing.T) {
 	e, _ := figure5Explorer(t)
 	for _, algo := range []string{"Global", "Local", "KTruss"} {
-		comms, err := e.Search("fig5", algo, Query{Vertices: []int32{0}, K: 3})
+		comms, err := e.Search(context.Background(), "fig5", algo, Query{Vertices: []int32{0}, K: 3})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -101,20 +102,20 @@ func TestSearchGlobalLocalKTruss(t *testing.T) {
 
 func TestSearchErrors(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	if _, err := e.Search("nope", "ACQ", Query{Vertices: []int32{0}}); err == nil {
+	if _, err := e.Search(context.Background(), "nope", "ACQ", Query{Vertices: []int32{0}}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if _, err := e.Search("fig5", "nope", Query{Vertices: []int32{0}}); err == nil {
+	if _, err := e.Search(context.Background(), "fig5", "nope", Query{Vertices: []int32{0}}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := e.Search("fig5", "ACQ", Query{}); err == nil {
+	if _, err := e.Search(context.Background(), "fig5", "ACQ", Query{}); err == nil {
 		t.Fatal("empty query accepted")
 	}
 }
 
 func TestDetectCODICIL(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	comms, err := e.Detect("fig5", "CODICIL")
+	comms, err := e.Detect(context.Background(), "fig5", "CODICIL")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestDetectCODICIL(t *testing.T) {
 	if len(seen) != 10 {
 		t.Fatalf("partition covers %d vertices", len(seen))
 	}
-	if _, err := e.Detect("fig5", "nope"); err == nil {
+	if _, err := e.Detect(context.Background(), "fig5", "nope"); err == nil {
 		t.Fatal("unknown CD accepted")
 	}
 }
 
 func TestAnalyze(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	a, err := e.Analyze("fig5", Community{Method: "ACQ", Vertices: []int32{0, 2, 3}}, 0)
+	a, err := e.Analyze(context.Background(), "fig5", Community{Method: "ACQ", Vertices: []int32{0, 2, 3}}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,17 +148,17 @@ func TestAnalyze(t *testing.T) {
 	if a.Stats.Vertices != 3 || a.Stats.Edges != 3 {
 		t.Fatalf("stats = %+v", a.Stats)
 	}
-	if _, err := e.Analyze("fig5", Community{}, -1); err == nil {
+	if _, err := e.Analyze(context.Background(), "fig5", Community{}, -1); err == nil {
 		t.Fatal("bad q accepted")
 	}
-	if _, err := e.Analyze("nope", Community{}, 0); err == nil {
+	if _, err := e.Analyze(context.Background(), "nope", Community{}, 0); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
 
 func TestDisplay(t *testing.T) {
 	e, _ := figure5Explorer(t)
-	pl, err := e.Display("fig5", Community{Vertices: []int32{0, 1, 2, 3}}, layout.Options{Seed: 1})
+	pl, err := e.Display(context.Background(), "fig5", Community{Vertices: []int32{0, 1, 2, 3}}, layout.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestDisplay(t *testing.T) {
 	if pl.Names[0] != "A" {
 		t.Fatalf("names = %v", pl.Names)
 	}
-	if _, err := e.Display("nope", Community{}, layout.Options{}); err == nil {
+	if _, err := e.Display(context.Background(), "nope", Community{}, layout.Options{}); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
@@ -206,7 +207,7 @@ type customCS struct{}
 
 func (customCS) Name() string { return "Neighborhood" }
 
-func (customCS) Search(ds *Dataset, q Query) ([]Community, error) {
+func (customCS) Search(ctx context.Context, ds *Dataset, q Query) ([]Community, error) {
 	v := q.Vertices[0]
 	vs := append([]int32{v}, ds.Graph.Neighbors(v)...)
 	return []Community{{Method: "Neighborhood", Vertices: vs}}, nil
@@ -215,7 +216,7 @@ func (customCS) Search(ds *Dataset, q Query) ([]Community, error) {
 func TestCustomPluginRegistration(t *testing.T) {
 	e, _ := figure5Explorer(t)
 	e.RegisterCS(customCS{})
-	comms, err := e.Search("fig5", "Neighborhood", Query{Vertices: []int32{0}})
+	comms, err := e.Search(context.Background(), "fig5", "Neighborhood", Query{Vertices: []int32{0}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func TestConcurrentPooledSearchMatchesSerial(t *testing.T) {
 	expected := make([][]Community, len(jobs))
 	for i, j := range jobs {
 		alg := &ACQAlgorithm{Variant: j.algo}
-		res, err := alg.Search(ds, Query{Vertices: []int32{j.q}, K: j.k})
+		res, err := alg.Search(context.Background(), ds, Query{Vertices: []int32{j.q}, K: j.k})
 		if err != nil {
 			t.Fatalf("serial job %d: %v", i, err)
 		}
@@ -56,7 +57,7 @@ func TestConcurrentPooledSearchMatchesSerial(t *testing.T) {
 			go func(i int, j job) {
 				defer wg.Done()
 				alg := &ACQAlgorithm{Variant: j.algo}
-				res, err := alg.Search(ds, Query{Vertices: []int32{j.q}, K: j.k})
+				res, err := alg.Search(context.Background(), ds, Query{Vertices: []int32{j.q}, K: j.k})
 				if err != nil {
 					errs <- err
 					return

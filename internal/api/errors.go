@@ -1,0 +1,76 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The typed error model of the v1 API. Every error the Explorer returns
+// wraps exactly one of these sentinels, so callers branch with errors.Is
+// instead of string matching, and the HTTP layer maps each sentinel to one
+// status code (404, 400, 499, 504) instead of a blanket 500.
+var (
+	// ErrDatasetNotFound: the named dataset is not registered.
+	ErrDatasetNotFound = errors.New("dataset not found")
+	// ErrVertexNotFound: a vertex referenced by name or id does not exist
+	// in the dataset.
+	ErrVertexNotFound = errors.New("vertex not found")
+	// ErrSessionNotFound: the exploration session id is unknown, expired,
+	// or belongs to a different dataset.
+	ErrSessionNotFound = errors.New("exploration session not found")
+	// ErrUnknownAlgorithm: the named CS/CD algorithm is not registered.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+	// ErrInvalidQuery: the request is structurally valid but semantically
+	// wrong — no query vertex, out-of-range vertex, unknown Params key,
+	// malformed parameter value.
+	ErrInvalidQuery = errors.New("invalid query")
+	// ErrCanceled: the caller canceled the request mid-computation.
+	ErrCanceled = errors.New("request canceled")
+	// ErrTimeout: the request exceeded its deadline mid-computation.
+	ErrTimeout = errors.New("request timed out")
+)
+
+// ErrorCode returns the stable machine-readable code for err — the "code"
+// field of the JSON error envelope. Unrecognized errors map to "internal".
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDatasetNotFound):
+		return "dataset_not_found"
+	case errors.Is(err, ErrVertexNotFound):
+		return "vertex_not_found"
+	case errors.Is(err, ErrSessionNotFound):
+		return "session_not_found"
+	case errors.Is(err, ErrUnknownAlgorithm):
+		return "unknown_algorithm"
+	case errors.Is(err, ErrInvalidQuery):
+		return "invalid_query"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// wrapContextErr lifts the raw context errors that the internal kernels
+// return (context.Canceled, context.DeadlineExceeded) into the API's typed
+// sentinels. Errors already carrying an API sentinel, and nil, pass through
+// unchanged.
+func wrapContextErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled) || errors.Is(err, ErrTimeout):
+		return err
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package api
+
+// raceEnabled reports that the race detector instruments this build; the
+// cancellation-promptness bounds are loosened there (instrumented kernels
+// run an order of magnitude slower between ctx polls).
+const raceEnabled = true

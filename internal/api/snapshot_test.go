@@ -2,6 +2,7 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -76,8 +77,8 @@ func TestSnapshotRoundTripSearchFidelity(t *testing.T) {
 			for _, a := range algos {
 				for q := 0; q < n; q += stride {
 					query := Query{Vertices: []int32{int32(q)}, K: tc.k}
-					want, werr := a.Search(orig, query)
-					got, gerr := a.Search(loaded, query)
+					want, werr := a.Search(context.Background(), orig, query)
+					got, gerr := a.Search(context.Background(), loaded, query)
 					if (werr == nil) != (gerr == nil) {
 						t.Fatalf("%s q=%d: error mismatch: %v vs %v", a.Name(), q, werr, gerr)
 					}
@@ -137,7 +138,7 @@ func TestAddDataset(t *testing.T) {
 	if !ok || ds != loaded {
 		t.Fatalf("registered dataset not returned")
 	}
-	comms, err := exp.Search("g", "ACQ", Query{Vertices: []int32{0}, K: 2})
+	comms, err := exp.Search(context.Background(), "g", "ACQ", Query{Vertices: []int32{0}, K: 2})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}

@@ -20,6 +20,7 @@
 package codicil
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -27,6 +28,10 @@ import (
 	"cexplorer/internal/ds"
 	"cexplorer/internal/graph"
 )
+
+// cancelCheckStride is how many vertices the context-aware pipeline stages
+// process between ctx.Err() polls.
+const cancelCheckStride = 512
 
 // Options configures the pipeline.
 type Options struct {
@@ -74,8 +79,22 @@ func (r *Result) CommunityOf(q int32) []int32 { return r.Partition.CommunityOf(q
 
 // Detect runs the full pipeline on g.
 func Detect(g *graph.Graph, opts Options) *Result {
+	r, _ := DetectContext(context.Background(), g, opts)
+	return r
+}
+
+// DetectContext is Detect with cooperative cancellation: the content-edge
+// scan and the sparsification ranking — the two per-vertex passes that
+// dominate the pipeline — poll ctx every few hundred vertices and return
+// ctx.Err() when the request is canceled or past its deadline. (The final
+// clustering step is not interruptible; it runs on an already-sparsified
+// graph and is the cheapest stage.)
+func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	opts.fill(g.N())
-	content := contentEdges(g, opts)
+	content, err := contentEdges(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
 
 	// Union adjacency with content-similarity weights (topology edges get
 	// weight from their endpoints' similarity too, so the blend is uniform).
@@ -96,11 +115,22 @@ func Detect(g *graph.Graph, opts Options) *Result {
 		return int64(u)<<32 | int64(v)
 	}
 	tfidf := newTFIDF(g, opts.MaxDF)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	edgeCount := 0
 	g.Edges(func(u, v int32) bool {
+		edgeCount++
+		if edgeCount%cancelCheckStride == 0 && ctx.Err() != nil {
+			return false
+		}
 		seen[key(u, v)] = true
 		addEdge(u, v, tfidf.cosine(u, v))
 		return true
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	unionEdges := g.M()
 	for _, e := range content {
 		if !seen[key(e.u, e.v)] {
@@ -113,6 +143,11 @@ func Detect(g *graph.Graph, opts Options) *Result {
 	// Structural Jaccard on the union graph + blending.
 	nbrSet := make([][]int32, g.N())
 	for v := int32(0); v < int32(g.N()); v++ {
+		if v%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		lst := make([]int32, 0, len(adj[v]))
 		for _, e := range adj[v] {
 			lst = append(lst, e.to)
@@ -123,6 +158,11 @@ func Detect(g *graph.Graph, opts Options) *Result {
 	kept := make(map[int64]float64)
 	if opts.NoSparsify {
 		for v := int32(0); v < int32(g.N()); v++ {
+			if v%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			for _, e := range adj[v] {
 				if v < e.to {
 					w := opts.Alpha*e.sim + (1-opts.Alpha)*ds.JaccardSorted(nbrSet[v], nbrSet[e.to])
@@ -136,6 +176,11 @@ func Detect(g *graph.Graph, opts Options) *Result {
 			w  float64
 		}
 		for v := int32(0); v < int32(g.N()); v++ {
+			if v%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			es := adj[v]
 			if len(es) == 0 {
 				continue
@@ -176,6 +221,11 @@ func Detect(g *graph.Graph, opts Options) *Result {
 	})
 	wg := cluster.NewWeighted(g.N(), wedges)
 
+	// Last bail-out point before the (uninterruptible) clustering stage.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	var p *cluster.Partition
 	if opts.UseLabelLP {
 		p = cluster.LabelPropagation(newWeightedView(g.N(), wedges), 0, opts.Seed)
@@ -187,7 +237,7 @@ func Detect(g *graph.Graph, opts Options) *Result {
 		ContentEdges:    len(content),
 		UnionEdges:      unionEdges,
 		SparsifiedEdges: len(kept),
-	}
+	}, nil
 }
 
 // weightedView adapts the sparsified edge list to the unweighted interface
@@ -275,7 +325,7 @@ func (t *tfidf) cosine(u, v int32) float64 {
 // keyword inverted index, skipping keywords with document frequency above
 // MaxDF for candidate generation (their IDF contribution is negligible and
 // they would pair everyone with everyone).
-func contentEdges(g *graph.Graph, opts Options) []contentEdge {
+func contentEdges(ctx context.Context, g *graph.Graph, opts Options) ([]contentEdge, error) {
 	t := newTFIDF(g, opts.MaxDF)
 	// Inverted index keyword -> vertices, df-filtered.
 	nWords := g.Vocab().Len()
@@ -288,6 +338,11 @@ func contentEdges(g *graph.Graph, opts Options) []contentEdge {
 	var out []contentEdge
 	scores := make(map[int32]float64)
 	for v := int32(0); v < int32(g.N()); v++ {
+		if v%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if t.norm[v] == 0 {
 			continue
 		}
@@ -351,5 +406,5 @@ func contentEdges(g *graph.Graph, opts Options) []contentEdge {
 		}
 		dedup = append(dedup, e)
 	}
-	return dedup
+	return dedup, nil
 }

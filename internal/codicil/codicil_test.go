@@ -1,6 +1,7 @@
 package codicil
 
 import (
+	"context"
 	"testing"
 
 	"cexplorer/internal/gen"
@@ -65,7 +66,7 @@ func TestContentEdgesCreated(t *testing.T) {
 	b.AddEdge(3, 4)
 	b.AddEdge(4, 5)
 	g := b.MustBuild()
-	edges := contentEdges(g, func() Options { o := Options{ContentK: 2}; o.fill(g.N()); return o }())
+	edges, _ := contentEdges(context.Background(), g, func() Options { o := Options{ContentK: 2}; o.fill(g.N()); return o }())
 	if len(edges) == 0 {
 		t.Fatal("no content edges for identical vocabularies")
 	}

@@ -9,24 +9,34 @@ package core
 // candidate universe is comparable across algorithms; its defining cost is
 // the exhaustive top-down enumeration without anti-monotone pruning or
 // keyword pre-filtering. Complexity is exponential in |S|.
-func (e *Engine) searchBasic(qc *queryContext, S []int32) []Community {
+func (e *Engine) searchBasic(qc *queryContext, S []int32) ([]Community, error) {
 	var answers []Community
 	for size := len(S); size >= 1 && len(answers) == 0; size-- {
-		forEachSubset(S, size, func(T []int32) {
+		err := forEachSubset(S, size, func(T []int32) error {
 			e.stats.CandidateSets++
-			if comp := qc.verify(T); comp != nil {
+			comp, err := qc.verify(T)
+			if err != nil {
+				return err
+			}
+			if comp != nil {
 				answers = append(answers, qc.finish(comp, S))
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return qc.dedupAnswers(answers)
+	return qc.dedupAnswers(answers), nil
 }
 
 // forEachSubset enumerates all size-r subsets of S in lexicographic order,
-// invoking fn with a reused buffer (fn must not retain it).
-func forEachSubset(S []int32, r int, fn func(T []int32)) {
+// invoking fn with a reused buffer (fn must not retain it). A non-nil error
+// from fn stops the enumeration and is returned — the escape hatch that lets
+// a canceled query abandon the exponential walk mid-way.
+func forEachSubset(S []int32, r int, fn func(T []int32) error) error {
 	if r > len(S) || r <= 0 {
-		return
+		return nil
 	}
 	idx := make([]int, r)
 	for i := range idx {
@@ -37,14 +47,16 @@ func forEachSubset(S []int32, r int, fn func(T []int32)) {
 		for i, x := range idx {
 			buf[i] = S[x]
 		}
-		fn(buf)
+		if err := fn(buf); err != nil {
+			return err
+		}
 		// Advance.
 		i := r - 1
 		for i >= 0 && idx[i] == len(S)-r+i {
 			i--
 		}
 		if i < 0 {
-			return
+			return nil
 		}
 		idx[i]++
 		for j := i + 1; j < r; j++ {

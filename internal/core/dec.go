@@ -16,14 +16,17 @@ import "slices"
 // first level with an admissible set holds exactly the maximal-L answers,
 // because the top-down walk generates every subset of S* of each size while
 // no larger set has succeeded.
-func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
-	admissible, comms := qc.filterAdmissibleKeywords(S)
+func (e *Engine) searchDec(qc *queryContext, S []int32) ([]Community, error) {
+	admissible, comms, err := qc.filterAdmissibleKeywords(S)
+	if err != nil {
+		return nil, err
+	}
 	e.stats.CandidateSets += len(S)
 	if len(admissible) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(admissible) == 1 {
-		return []Community{qc.finish(comms[admissible[0]], S)}
+		return []Community{qc.finish(comms[admissible[0]], S)}, nil
 	}
 
 	current := [][]int32{admissible} // start from the full admissible set
@@ -39,7 +42,10 @@ func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
 			if size == 1 {
 				comp = comms[T[0]] // already verified by the filter
 			} else {
-				comp = qc.verify(T)
+				comp, err = qc.verify(T)
+				if err != nil {
+					return nil, err
+				}
 			}
 			if comp != nil {
 				answers = append(answers, qc.finish(comp, S))
@@ -58,11 +64,11 @@ func (e *Engine) searchDec(qc *queryContext, S []int32) []Community {
 			}
 		}
 		if len(answers) > 0 {
-			return qc.dedupAnswers(answers)
+			return qc.dedupAnswers(answers), nil
 		}
 		// Deterministic processing order for the next level.
 		slices.SortFunc(next, slices.Compare)
 		current = next
 	}
-	return nil
+	return nil, nil
 }

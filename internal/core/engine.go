@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 
@@ -110,6 +111,15 @@ func (e *Engine) LastStats() Stats { return e.stats }
 // k-core is returned with an empty SharedKeywords (the keywordless answer).
 // A nil result means q has no community at this k.
 func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Community, error) {
+	return e.SearchContext(context.Background(), q, k, S, algo)
+}
+
+// SearchContext is Search with cooperative cancellation: every candidate
+// verification — the unit of work all four query algorithms are built from —
+// polls ctx first, so a canceled or deadline-expired request stops after at
+// most one in-flight peel and returns ctx.Err() instead of burning a worker
+// to the end of the lattice walk.
+func (e *Engine) SearchContext(ctx context.Context, q int32, k int32, S []int32, algo Algorithm) ([]Community, error) {
 	if q < 0 || int(q) >= e.g.N() {
 		return nil, fmt.Errorf("acq: query vertex %d out of range", q)
 	}
@@ -126,28 +136,35 @@ func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Communit
 		S = ds.IntersectSorted(sortedCopy(S), e.g.Keywords(q))
 	}
 
-	qc := newQueryContext(e, q, k)
+	qc := newQueryContext(ctx, e, q, k)
 	if qc == nil {
 		return nil, nil // core(q) < k: no community at all
 	}
 	e.stats.UniverseSize = len(qc.universe)
 
 	var answers []Community
+	var err error
 	switch algo {
 	case Basic:
-		answers = e.searchBasic(qc, S)
+		answers, err = e.searchBasic(qc, S)
 	case IncS:
-		answers = e.searchIncS(qc, S)
+		answers, err = e.searchIncS(qc, S)
 	case IncT:
-		answers = e.searchIncT(qc, S)
+		answers, err = e.searchIncT(qc, S)
 	case Dec:
-		answers = e.searchDec(qc, S)
+		answers, err = e.searchDec(qc, S)
 	default:
 		return nil, fmt.Errorf("acq: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	if len(answers) == 0 {
 		// Keywordless fallback: the connected k-core containing q.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		comp := e.peeler.ConnectedKCoreContaining(qc.universe, k, q)
 		if comp == nil {
 			return nil, nil
@@ -160,6 +177,7 @@ func (e *Engine) Search(q int32, k int32, S []int32, algo Algorithm) ([]Communit
 // queryContext carries the per-query candidate universe: the CL-tree anchor
 // subtree for (q,k) and lazily materialized per-keyword vertex lists.
 type queryContext struct {
+	ctx      context.Context
 	e        *Engine
 	q        int32
 	k        int32
@@ -169,7 +187,7 @@ type queryContext struct {
 	multi    []int32 // non-nil for multi-vertex queries: all must be in the AC
 }
 
-func newQueryContext(e *Engine, q, k int32) *queryContext {
+func newQueryContext(ctx context.Context, e *Engine, q, k int32) *queryContext {
 	anchor := e.tree.Anchor(q, k)
 	if anchor == nil {
 		return nil
@@ -177,6 +195,7 @@ func newQueryContext(e *Engine, q, k int32) *queryContext {
 	universe := e.tree.SubtreeVertices(anchor, nil)
 	slices.Sort(universe)
 	return &queryContext{
+		ctx:      ctx,
 		e:        e,
 		q:        q,
 		k:        k,
@@ -252,14 +271,19 @@ func (qc *queryContext) peelContaining(cand []int32) []int32 {
 // verify checks whether keyword set T admits an AC: it computes the k-core
 // of the subgraph induced by T's candidates and returns the connected
 // component containing the query vertices (nil if none). The returned
-// vertices are in BFS order.
-func (qc *queryContext) verify(T []int32) []int32 {
+// vertices are in BFS order. It polls the query context first — every
+// candidate keyword set funnels through here (or refineVerify), so this is
+// the cancellation point of all four query algorithms.
+func (qc *queryContext) verify(T []int32) ([]int32, error) {
+	if err := qc.ctx.Err(); err != nil {
+		return nil, err
+	}
 	qc.e.stats.Verifications++
 	cand := qc.candidates(T)
 	if len(cand) < int(qc.k)+1 {
-		return nil
+		return nil, nil
 	}
-	return qc.peelContaining(cand)
+	return qc.peelContaining(cand), nil
 }
 
 // refineVerify re-peels an already-known parent community restricted to the
@@ -267,15 +291,18 @@ func (qc *queryContext) verify(T []int32) []int32 {
 // be the AC for some T' with the refined set being T' ∪ {w}, in ascending
 // order (level entries store their communities sorted so the parent is
 // sorted once, not once per join partner).
-func (qc *queryContext) refineVerify(parent []int32, w int32) []int32 {
+func (qc *queryContext) refineVerify(parent []int32, w int32) ([]int32, error) {
+	if err := qc.ctx.Err(); err != nil {
+		return nil, err
+	}
 	qc.e.stats.Verifications++
 	e := qc.e
 	cand := ds.IntersectSortedInto(e.candBuf[:0], parent, qc.keywordVertices(w))
 	e.candBuf = cand
 	if len(cand) < int(qc.k)+1 {
-		return nil
+		return nil, nil
 	}
-	return qc.peelContaining(cand)
+	return qc.peelContaining(cand), nil
 }
 
 // finish converts a verified vertex set into a Community, recomputing the
@@ -290,16 +317,20 @@ func (qc *queryContext) finish(vertices []int32, S []int32) Community {
 // the admissible keywords with their communities (in BFS order, as verify
 // produces them). Anti-monotonicity makes this a complete filter: a keyword
 // whose singleton fails appears in no admissible set.
-func (qc *queryContext) filterAdmissibleKeywords(S []int32) ([]int32, map[int32][]int32) {
+func (qc *queryContext) filterAdmissibleKeywords(S []int32) ([]int32, map[int32][]int32, error) {
 	admissible := make([]int32, 0, len(S))
 	comms := make(map[int32][]int32, len(S))
 	for _, w := range S {
-		if comp := qc.verify([]int32{w}); comp != nil {
+		comp, err := qc.verify([]int32{w})
+		if err != nil {
+			return nil, nil, err
+		}
+		if comp != nil {
 			admissible = append(admissible, w)
 			comms[w] = comp
 		}
 	}
-	return admissible, comms
+	return admissible, comms, nil
 }
 
 func sortedCopy(s []int32) []int32 {

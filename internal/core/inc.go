@@ -21,18 +21,24 @@ type levelEntry struct {
 }
 
 // searchIncS is the space-efficient incremental algorithm.
-func (e *Engine) searchIncS(qc *queryContext, S []int32) []Community {
-	admissible, _ := qc.filterAdmissibleKeywords(S)
+func (e *Engine) searchIncS(qc *queryContext, S []int32) ([]Community, error) {
+	admissible, _, err := qc.filterAdmissibleKeywords(S)
+	if err != nil {
+		return nil, err
+	}
 	e.stats.CandidateSets += len(S)
 	if len(admissible) == 0 {
-		return nil
+		return nil, nil
 	}
 	level := make([]levelEntry, 0, len(admissible))
 	for _, w := range admissible {
 		level = append(level, levelEntry{set: []int32{w}})
 	}
 	for {
-		next := joinAndVerify(qc, level, false)
+		next, err := joinAndVerify(qc, level, false)
+		if err != nil {
+			return nil, err
+		}
 		e.stats.CandidateSets += len(next) // generated candidates that passed
 		if len(next) == 0 {
 			break
@@ -43,19 +49,26 @@ func (e *Engine) searchIncS(qc *queryContext, S []int32) []Community {
 	// keep them).
 	answers := make([]Community, 0, len(level))
 	for _, ent := range level {
-		if comp := qc.verify(ent.set); comp != nil {
+		comp, err := qc.verify(ent.set)
+		if err != nil {
+			return nil, err
+		}
+		if comp != nil {
 			answers = append(answers, qc.finish(comp, S))
 		}
 	}
-	return qc.dedupAnswers(answers)
+	return qc.dedupAnswers(answers), nil
 }
 
 // searchIncT is the time-efficient incremental algorithm.
-func (e *Engine) searchIncT(qc *queryContext, S []int32) []Community {
-	admissible, comms := qc.filterAdmissibleKeywords(S)
+func (e *Engine) searchIncT(qc *queryContext, S []int32) ([]Community, error) {
+	admissible, comms, err := qc.filterAdmissibleKeywords(S)
+	if err != nil {
+		return nil, err
+	}
 	e.stats.CandidateSets += len(S)
 	if len(admissible) == 0 {
-		return nil
+		return nil, nil
 	}
 	level := make([]levelEntry, 0, len(admissible))
 	for _, w := range admissible {
@@ -63,7 +76,10 @@ func (e *Engine) searchIncT(qc *queryContext, S []int32) []Community {
 		level = append(level, levelEntry{set: []int32{w}, comm: comms[w]})
 	}
 	for {
-		next := joinAndVerify(qc, level, true)
+		next, err := joinAndVerify(qc, level, true)
+		if err != nil {
+			return nil, err
+		}
 		e.stats.CandidateSets += len(next)
 		if len(next) == 0 {
 			break
@@ -74,16 +90,16 @@ func (e *Engine) searchIncT(qc *queryContext, S []int32) []Community {
 	for _, ent := range level {
 		answers = append(answers, qc.finish(ent.comm, S))
 	}
-	return qc.dedupAnswers(answers)
+	return qc.dedupAnswers(answers), nil
 }
 
 // joinAndVerify produces the next lattice level: Apriori join of the
 // current admissible level, subset pruning, then verification — refined
 // from the parent community when refine is true (Inc-T), from scratch
 // otherwise (Inc-S).
-func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEntry {
+func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) ([]levelEntry, error) {
 	if len(level) < 2 {
-		return nil
+		return nil, nil
 	}
 	sets := &qc.e.sets
 	admissibleKeys := make(map[int32]int, len(level))
@@ -120,13 +136,17 @@ func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEnt
 				continue
 			}
 			var comp []int32
+			var err error
 			if refine {
 				// cand = a ∪ {b[r-1]} by construction, so restricting a's
 				// community to the vertices carrying b[r-1] and re-peeling
 				// yields exactly cand's AC (see refineVerify).
-				comp = qc.refineVerify(level[i].comm, last)
+				comp, err = qc.refineVerify(level[i].comm, last)
 			} else {
-				comp = qc.verify(cand)
+				comp, err = qc.verify(cand)
+			}
+			if err != nil {
+				return nil, err
 			}
 			if comp != nil {
 				if refine {
@@ -138,7 +158,7 @@ func joinAndVerify(qc *queryContext, level []levelEntry, refine bool) []levelEnt
 			}
 		}
 	}
-	return next
+	return next, nil
 }
 
 func samePrefix(a, b []int32, n int) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cexplorer/internal/ds"
@@ -16,6 +17,12 @@ import (
 // component of all query vertices; a query whose vertices sit in different
 // k-core components has no answer.
 func (e *Engine) SearchMulti(qs []int32, k int32, S []int32) ([]Community, error) {
+	return e.SearchMultiContext(context.Background(), qs, k, S)
+}
+
+// SearchMultiContext is SearchMulti with cooperative cancellation, observing
+// ctx exactly as SearchContext does.
+func (e *Engine) SearchMultiContext(ctx context.Context, qs []int32, k int32, S []int32) ([]Community, error) {
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("acq: empty query vertex set")
 	}
@@ -32,7 +39,7 @@ func (e *Engine) SearchMulti(qs []int32, k int32, S []int32) ([]Community, error
 	qs = sortedCopy(qs)
 	qs = dedupSorted(qs)
 	if len(qs) == 1 {
-		return e.Search(qs[0], k, S, Dec)
+		return e.SearchContext(ctx, qs[0], k, S, Dec)
 	}
 
 	// All query vertices must share one k-core component: same anchor node.
@@ -56,15 +63,21 @@ func (e *Engine) SearchMulti(qs []int32, k int32, S []int32) ([]Community, error
 		S = ds.IntersectSorted(S, e.g.Keywords(q))
 	}
 
-	qc := newQueryContext(e, qs[0], k)
+	qc := newQueryContext(ctx, e, qs[0], k)
 	if qc == nil {
 		return nil, nil
 	}
 	e.stats.UniverseSize = len(qc.universe)
 	qc.multi = qs
 
-	answers := e.searchDec(qc, S)
+	answers, err := e.searchDec(qc, S)
+	if err != nil {
+		return nil, err
+	}
 	if len(answers) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		comp := e.peeler.ConnectedKCoreContainingAll(qc.universe, k, qs)
 		if comp == nil {
 			return nil, nil

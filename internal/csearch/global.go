@@ -2,9 +2,15 @@
 // that C-Explorer ships alongside ACQ (§2, §3): Global [Sozio & Gionis,
 // SIGKDD'10] and Local [Cui et al., SIGMOD'14]. Both use minimum degree as
 // the structure-cohesiveness measure, as the paper notes.
+//
+// Every search has a Context variant (GlobalContext, LocalContext) that
+// polls ctx cooperatively and returns ctx.Err() when the request is
+// canceled or past its deadline; the plain functions run uncancellable on
+// context.Background for callers that do not serve requests.
 package csearch
 
 import (
+	"context"
 	"sort"
 
 	"cexplorer/internal/graph"
@@ -26,17 +32,33 @@ type GlobalResult struct {
 // core may be nil (recomputed, touching the whole graph — Global's defining
 // cost); pass a cached decomposition for repeated queries.
 func Global(g *graph.Graph, core []int32, q int32, k int32) *GlobalResult {
+	r, _ := GlobalContext(context.Background(), g, core, q, k)
+	return r
+}
+
+// GlobalContext is Global with cooperative cancellation: the whole-graph
+// core decomposition (Global's defining cost when core is nil) observes ctx
+// and the search returns ctx.Err() promptly after cancellation. A nil
+// result with a nil error means q has no community at this k.
+func GlobalContext(ctx context.Context, g *graph.Graph, core []int32, q int32, k int32) (*GlobalResult, error) {
 	if q < 0 || int(q) >= g.N() || k < 0 {
-		return nil
+		return nil, nil
 	}
 	visited := 0
 	if core == nil {
-		core = kcore.Decompose(g)
+		var err error
+		core, err = kcore.DecomposeContext(ctx, g)
+		if err != nil {
+			return nil, err
+		}
 		visited = g.N()
 	}
 	comp := kcore.ConnectedKCore(g, core, q, k)
 	if comp == nil {
-		return nil
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
 	if visited == 0 {
@@ -46,7 +68,7 @@ func Global(g *graph.Graph, core []int32, q int32, k int32) *GlobalResult {
 		Vertices:  comp,
 		MinDegree: minInducedDegree(g, comp),
 		Visited:   visited,
-	}
+	}, nil
 }
 
 // GlobalMax solves the original optimization form: maximize the minimum

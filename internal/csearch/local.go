@@ -1,6 +1,7 @@
 package csearch
 
 import (
+	"context"
 	"sort"
 
 	"cexplorer/internal/ds"
@@ -30,11 +31,20 @@ type LocalOptions struct {
 // is returned — a *small* community, in contrast to Global's maximal one.
 // Returns nil if the budget is exhausted without success.
 func Local(g *graph.Graph, q int32, k int32, opts LocalOptions) *LocalResult {
+	r, _ := LocalContext(context.Background(), g, q, k, opts)
+	return r
+}
+
+// LocalContext is Local with cooperative cancellation: the expansion loop
+// polls ctx between frontier pops and returns ctx.Err() when the request is
+// canceled or past its deadline. A nil result with a nil error means the
+// budget was exhausted without success.
+func LocalContext(ctx context.Context, g *graph.Graph, q int32, k int32, opts LocalOptions) (*LocalResult, error) {
 	if q < 0 || int(q) >= g.N() || k < 0 {
-		return nil
+		return nil, nil
 	}
 	if int32(g.Degree(q)) < k {
-		return nil // q can never reach internal degree k
+		return nil, nil // q can never reach internal degree k
 	}
 	budget := opts.Budget
 	if budget <= 0 {
@@ -63,13 +73,19 @@ func Local(g *graph.Graph, q int32, k int32, opts LocalOptions) *LocalResult {
 	nextCheck := int(k) + 1
 	for {
 		if len(cand) >= nextCheck {
+			// Each periodic k-core test is the expensive step of the loop, so
+			// polling ctx here bounds the work done after a cancellation by
+			// one peel plus one back-off window of cheap expansions.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
 				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
 				return &LocalResult{
 					Vertices:  comp,
 					MinDegree: minInducedDegree(g, comp),
 					Visited:   len(cand),
-				}
+				}, nil
 			}
 			// Exponential back-off on checks to amortize peeling.
 			nextCheck = len(cand) + len(cand)/2 + 1
@@ -84,6 +100,9 @@ func Local(g *graph.Graph, q int32, k int32, opts LocalOptions) *LocalResult {
 			push(u)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Final check before giving up.
 	if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
 		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
@@ -91,7 +110,7 @@ func Local(g *graph.Graph, q int32, k int32, opts LocalOptions) *LocalResult {
 			Vertices:  comp,
 			MinDegree: minInducedDegree(g, comp),
 			Visited:   len(cand),
-		}
+		}, nil
 	}
-	return nil
+	return nil, nil
 }

@@ -5,6 +5,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -395,23 +396,23 @@ func E10APIRoundTrip(w io.Writer) error {
 	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
 		return err
 	}
-	comms, err := exp.Search("fig5", "ACQ", api.Query{Vertices: []int32{0}, K: 2})
+	comms, err := exp.Search(context.Background(), "fig5", "ACQ", api.Query{Vertices: []int32{0}, K: 2})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "search: %d communities\n", len(comms))
-	det, err := exp.Detect("fig5", "CODICIL")
+	det, err := exp.Detect(context.Background(), "fig5", "CODICIL")
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "detect: %d communities\n", len(det))
 	if len(comms) > 0 {
-		a, err := exp.Analyze("fig5", comms[0], 0)
+		a, err := exp.Analyze(context.Background(), "fig5", comms[0], 0)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "analyze: CPJ=%.3f CMF=%.3f vertices=%d\n", a.CPJ, a.CMF, a.Stats.Vertices)
-		pl, err := exp.Display("fig5", comms[0], layout.Options{Seed: 1})
+		pl, err := exp.Display(context.Background(), "fig5", comms[0], layout.Options{Seed: 1})
 		if err != nil {
 			return err
 		}

@@ -5,15 +5,34 @@
 // graph G, such that for any vertex in Hk, its degree is at least k").
 package kcore
 
-import "cexplorer/internal/graph"
+import (
+	"context"
+
+	"cexplorer/internal/graph"
+)
+
+// cancelCheckStride is how many loop iterations the context-aware kernels
+// run between ctx.Err() polls: frequent enough that a canceled request stops
+// within a few microseconds of work, rare enough that the poll (a mutex-free
+// load for the common context kinds) never shows up in profiles.
+const cancelCheckStride = 4096
 
 // Decompose computes the core number of every vertex with the
 // Batagelj–Zaveršnik bin-sort peeling algorithm in O(n+m) time.
 func Decompose(g *graph.Graph) []int32 {
+	core, _ := DecomposeContext(context.Background(), g)
+	return core
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: the peel loop
+// polls ctx every few thousand vertices and returns ctx.Err() when the
+// request is canceled or past its deadline, so a dropped connection stops
+// the O(n+m) walk instead of burning a worker.
+func DecomposeContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
 	n := g.N()
 	core := make([]int32, n)
 	if n == 0 {
-		return core
+		return core, nil
 	}
 	maxDeg := 0
 	deg := make([]int32, n)
@@ -44,6 +63,11 @@ func Decompose(g *graph.Graph) []int32 {
 	}
 
 	for i := 0; i < n; i++ {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v := vert[i]
 		core[v] = deg[v]
 		for _, u := range g.Neighbors(v) {
@@ -63,7 +87,7 @@ func Decompose(g *graph.Graph) []int32 {
 			deg[u]--
 		}
 	}
-	return core
+	return core, nil
 }
 
 // NaiveDecompose computes core numbers by repeated vertex removal, O(n·m)

@@ -10,10 +10,15 @@
 package ktruss
 
 import (
+	"context"
 	"sort"
 
 	"cexplorer/internal/graph"
 )
+
+// cancelCheckStride is how many edges the context-aware decomposition
+// processes between ctx.Err() polls.
+const cancelCheckStride = 4096
 
 // Decomposition holds per-edge trussness for one graph.
 type Decomposition struct {
@@ -32,6 +37,14 @@ func edgeKey(u, v int32) int64 {
 
 // Decompose computes the trussness of every edge via support peeling.
 func Decompose(g *graph.Graph) *Decomposition {
+	d, _ := DecomposeContext(context.Background(), g)
+	return d
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: the support
+// computation and the peel loop poll ctx every few thousand edges and return
+// ctx.Err() when the request is canceled or past its deadline.
+func DecomposeContext(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
 	m := g.M()
 	d := &Decomposition{
 		g:     g,
@@ -48,6 +61,11 @@ func Decompose(g *graph.Graph) *Decomposition {
 	// Support = triangle count per edge.
 	support := make([]int32, m)
 	for id, e := range d.edges {
+		if id%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		support[id] = int32(countCommon(g.Neighbors(e[0]), g.Neighbors(e[1])))
 	}
 
@@ -64,7 +82,14 @@ func Decompose(g *graph.Graph) *Decomposition {
 	for _, id := range order {
 		pq.push(id)
 	}
+	pops := 0
 	for pq.len() > 0 {
+		if pops%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pops++
 		id := pq.popMin()
 		if removed[id] {
 			continue
@@ -89,7 +114,7 @@ func Decompose(g *graph.Graph) *Decomposition {
 			}
 		})
 	}
-	return d
+	return d, nil
 }
 
 // lookup resolves edge {u,v} to its id via the hash index when present
@@ -155,25 +180,38 @@ type Community struct {
 // edges are connected when they share a triangle whose three edges all have
 // trussness ≥ k.
 func (d *Decomposition) Communities(q int32, k int32) [][]int32 {
-	full := d.CommunitiesWithEdges(q, k)
-	if full == nil {
-		return nil
+	out, _ := d.CommunitiesContext(context.Background(), q, k)
+	return out
+}
+
+// CommunitiesContext is Communities with cooperative cancellation: the
+// triangle-connectivity BFS polls ctx every few thousand edge expansions.
+func (d *Decomposition) CommunitiesContext(ctx context.Context, q int32, k int32) ([][]int32, error) {
+	full, err := d.communitiesWithEdges(ctx, q, k)
+	if err != nil || full == nil {
+		return nil, err
 	}
 	out := make([][]int32, len(full))
 	for i, c := range full {
 		out[i] = c.Vertices
 	}
-	return out
+	return out, nil
 }
 
 // CommunitiesWithEdges is Communities with the defining edge classes
 // retained (used by analysis and by invariant tests).
 func (d *Decomposition) CommunitiesWithEdges(q int32, k int32) []Community {
+	out, _ := d.communitiesWithEdges(context.Background(), q, k)
+	return out
+}
+
+func (d *Decomposition) communitiesWithEdges(ctx context.Context, q int32, k int32) ([]Community, error) {
 	if q < 0 || int(q) >= d.g.N() || k < 2 {
-		return nil
+		return nil, nil
 	}
 	visited := make(map[int32]bool)
 	var out []Community
+	expansions := 0
 	for _, v := range d.g.Neighbors(q) {
 		seed, ok := d.lookup(q, v)
 		if !ok || d.truss[seed] < k || visited[seed] {
@@ -185,6 +223,12 @@ func (d *Decomposition) CommunitiesWithEdges(q int32, k int32) []Community {
 		queue := []int32{seed}
 		visited[seed] = true
 		for len(queue) > 0 {
+			if expansions%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			expansions++
 			id := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
 			u, w := d.edges[id][0], d.edges[id][1]
@@ -226,7 +270,7 @@ func (d *Decomposition) CommunitiesWithEdges(q int32, k int32) []Community {
 		}
 		return out[i].Vertices[0] < out[j].Vertices[0]
 	})
-	return out
+	return out, nil
 }
 
 // supportQueue is a monotone lazy priority queue over edge ids keyed by

@@ -1,7 +1,12 @@
 // Package server implements the browser–server model of Figure 3: a JSON
 // HTTP API over the api.Explorer engine plus an embedded single-page UI.
-// The paper's stack is JSP + Tomcat; here it is net/http. Endpoints map 1:1
-// onto the Figure-4 functions:
+// The paper's stack is JSP + Tomcat; here it is net/http.
+//
+// The stable, versioned surface is the resource-oriented /api/v1 tree (see
+// v1.go): datasets are resources, searches and explorations are
+// sub-resources, community lists paginate, and errors arrive in one typed
+// JSON envelope. The original flat routes remain as thin aliases that
+// delegate to the same handler cores:
 //
 //	POST /api/upload    — upload a graph (JSON wire format)
 //	GET  /api/graphs    — list datasets and registered algorithms
@@ -14,13 +19,20 @@
 //	GET  /api/stats     — request-level serving statistics
 //
 // Handlers run concurrently (one goroutine per request, as net/http does);
-// search-class work (search, detect, compare) is additionally bounded by a
-// worker limit so a burst of heavy queries cannot oversubscribe the CPU —
-// excess requests queue for a slot rather than piling onto the scheduler.
+// search-class work (search, detect, compare, explore) is additionally
+// bounded by a worker limit so a burst of heavy queries cannot
+// oversubscribe the CPU — excess requests queue for a slot rather than
+// piling onto the scheduler. Every search-class request carries a
+// context.Context derived from the client connection (plus the optional
+// server-wide search timeout): a dropped client or an expired deadline
+// cancels the computation inside the algorithm kernels and frees the
+// worker slot instead of burning it.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -50,6 +62,11 @@ type Server struct {
 	// a slot frees or the client gives up.
 	searchSem chan struct{}
 
+	// searchTimeout, when positive, deadline-bounds every search-class
+	// request (queue wait + computation). Atomic so SetSearchTimeout is safe
+	// mid-serve.
+	searchTimeout atomic.Int64 // nanoseconds
+
 	stats serverStats
 }
 
@@ -69,6 +86,10 @@ type serverStats struct {
 	snapshotLoadErrors   atomic.Int64
 	snapshotPersists     atomic.Int64
 	snapshotPersistNanos atomic.Int64
+
+	// Early-exit counters for search-class requests.
+	canceled atomic.Int64
+	timedOut atomic.Int64
 }
 
 // StatsSnapshot is the /api/stats payload.
@@ -91,6 +112,19 @@ type StatsSnapshot struct {
 	SnapshotLoadErrors int64   `json:"snapshotLoadErrors,omitempty"`
 	SnapshotPersists   int64   `json:"snapshotPersists"`
 	SnapshotPersistMS  float64 `json:"snapshotPersistMs"`
+
+	// Canceled and TimedOut count search-class requests that ended early
+	// because the client went away or the search timeout expired — both
+	// freed their worker slot at that moment.
+	Canceled int64 `json:"canceled"`
+	TimedOut int64 `json:"timedOut"`
+	// SearchTimeoutMS echoes the configured search deadline (0 = none).
+	SearchTimeoutMS float64 `json:"searchTimeoutMs"`
+
+	// Explore reports the exploration-session manager (the /api/v1
+	// explore sub-resources): live sessions, cumulative creations, steps,
+	// TTL evictions, and explicit closes.
+	Explore api.ExploreStats `json:"explore"`
 }
 
 // New returns a server over the given engine. logf may be nil (silent). The
@@ -130,6 +164,24 @@ func (s *Server) searchSemaphore() chan struct{} {
 	return s.searchSem
 }
 
+// SetSearchTimeout deadline-bounds every search-class request (search,
+// detect, compare, explore): the budget covers both the wait for a worker
+// slot and the computation itself, and an expired deadline cancels the
+// kernel and answers 504. d ≤ 0 disables the bound (the default).
+func (s *Server) SetSearchTimeout(d time.Duration) {
+	s.searchTimeout.Store(int64(d))
+}
+
+// searchContext derives the context a search-class request runs under:
+// the client connection's context, deadline-bounded when a search timeout
+// is configured.
+func (s *Server) searchContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if d := time.Duration(s.searchTimeout.Load()); d > 0 {
+		return context.WithTimeout(r.Context(), d)
+	}
+	return r.Context(), func() {}
+}
+
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() StatsSnapshot {
 	snap := StatsSnapshot{
@@ -144,6 +196,10 @@ func (s *Server) Stats() StatsSnapshot {
 		SnapshotLoadErrors:    s.stats.snapshotLoadErrors.Load(),
 		SnapshotPersists:      s.stats.snapshotPersists.Load(),
 		SnapshotPersistMS:     float64(s.stats.snapshotPersistNanos.Load()) / 1e6,
+		Canceled:              s.stats.canceled.Load(),
+		TimedOut:              s.stats.timedOut.Load(),
+		SearchTimeoutMS:       float64(time.Duration(s.searchTimeout.Load())) / float64(time.Millisecond),
+		Explore:               s.exp.ExploreStats(),
 	}
 	if snap.Searches > 0 {
 		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
@@ -166,6 +222,9 @@ func (s *Server) SetProfiles(dataset string, profiles map[int32]gen.Profile) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
+
+	// Legacy flat routes: thin aliases over the same handler cores the v1
+	// tree uses, kept so pre-v1 clients and the embedded UI work unchanged.
 	mux.HandleFunc("POST /api/upload", s.handleUpload)
 	mux.HandleFunc("GET /api/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /api/vertex", s.handleVertex)
@@ -175,6 +234,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/display", s.handleDisplay)
 	mux.HandleFunc("POST /api/compare", s.handleCompare)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+
+	// The versioned, resource-oriented surface (see v1.go).
+	s.registerV1(mux)
 	return s.logging(mux)
 }
 
@@ -232,20 +294,23 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// acquireSearchSlot blocks until a search worker slot is free or the request
-// is abandoned; the returned release must be called when the work is done.
-// It covers every search-class endpoint (search, detect, compare), so a
-// burst of heavy queries of any flavor is bounded by the same worker limit.
-func (s *Server) acquireSearchSlot(r *http.Request) (release func(), ok bool) {
+// acquireSearchSlot blocks until a search worker slot is free or ctx is
+// done (client gone, or past the search deadline while still queued); the
+// returned release must be called when the work is done. It covers every
+// search-class endpoint (search, detect, compare, explore), so a burst of
+// heavy queries of any flavor is bounded by the same worker limit. On
+// failure it returns the typed error for the envelope (ErrTimeout or
+// ErrCanceled).
+func (s *Server) acquireSearchSlot(ctx context.Context) (release func(), err error) {
 	sem := s.searchSemaphore()
 	select {
 	case sem <- struct{}{}:
 		// When a slot and the cancellation are both ready, select may pick
 		// the slot: recheck so a disconnected client queued behind a slow
 		// search does not burn a worker on a response nobody reads.
-		if r.Context().Err() != nil {
+		if ctx.Err() != nil {
 			<-sem
-			return nil, false
+			return nil, slotErr(ctx)
 		}
 		// The in-flight gauge counts slot holders — search, detect, and
 		// compare alike — so /api/stats reflects true worker saturation.
@@ -253,16 +318,81 @@ func (s *Server) acquireSearchSlot(r *http.Request) (release func(), ok bool) {
 		return func() {
 			s.stats.searchInFlight.Add(-1)
 			<-sem
-		}, true
-	case <-r.Context().Done():
-		return nil, false
+		}, nil
+	case <-ctx.Done():
+		return nil, slotErr(ctx)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+func slotErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: while queued for a search slot", api.ErrTimeout)
+	}
+	return fmt.Errorf("%w: while queued for a search slot", api.ErrCanceled)
+}
+
+// StatusClientClosedRequest is the (de facto, nginx-originated) status for
+// a request whose client went away before the response: our mapping for
+// api.ErrCanceled.
+const StatusClientClosedRequest = 499
+
+// errStatus maps a typed API error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, api.ErrDatasetNotFound),
+		errors.Is(err, api.ErrVertexNotFound),
+		errors.Is(err, api.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, api.ErrUnknownAlgorithm),
+		errors.Is(err, api.ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, api.ErrCanceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, api.ErrTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError renders the single JSON error envelope for a typed error:
+//
+//	{"error": "<human message>", "code": "<machine code>"}
+//
+// The "error" field stays a plain string for compatibility with pre-v1
+// clients (and the embedded UI) that surface it directly. Cancellations and
+// timeouts also bump their stats counters here, the one funnel every
+// search-class failure passes through.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, api.ErrCanceled):
+		s.stats.canceled.Add(1)
+	case errors.Is(err, api.ErrTimeout):
+		s.stats.timedOut.Add(1)
+	}
+	writeEnvelope(w, errStatus(err), err.Error(), api.ErrorCode(err))
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, msg, code string) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}
+
+// httpError is the envelope writer for handler-level failures that carry no
+// typed error (malformed bodies, upload validation); the code is derived
+// from the status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	c := "internal"
+	switch code {
+	case http.StatusBadRequest:
+		c = "bad_request"
+	case http.StatusNotFound:
+		c = "not_found"
+	case http.StatusServiceUnavailable:
+		c = "unavailable"
+	}
+	writeEnvelope(w, code, fmt.Sprintf(format, args...), c)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -280,14 +410,20 @@ type uploadRequest struct {
 }
 
 type searchRequest struct {
-	Dataset   string   `json:"dataset"`
+	Dataset   string   `json:"dataset"` // legacy routes only; v1 takes it from the path
 	Algorithm string   `json:"algorithm"`
 	Names     []string `json:"names,omitempty"` // author names (resolved server-side)
 	Vertices  []int32  `json:"vertices,omitempty"`
 	K         int      `json:"k"`
 	Keywords  []string `json:"keywords,omitempty"`
+	// Params carries algorithm-specific knobs (api.Query.Params): budget,
+	// variant, maxResults. Unknown keys are rejected with invalid_query.
+	Params map[string]string `json:"params,omitempty"`
 	// Layout=true attaches a Placement per community.
 	Layout bool `json:"layout,omitempty"`
+	// Limit/Offset paginate the community list (v1 routes only).
+	Limit  int `json:"limit,omitempty"`
+	Offset int `json:"offset,omitempty"`
 }
 
 type searchResponse struct {
@@ -302,12 +438,15 @@ type communityDTO struct {
 }
 
 type detectRequest struct {
-	Dataset   string `json:"dataset"`
+	Dataset   string `json:"dataset"` // legacy routes only; v1 takes it from the path
 	Algorithm string `json:"algorithm"`
 	// MinSize filters out tiny detected communities from the response.
 	MinSize int `json:"minSize,omitempty"`
-	// Limit caps the number of returned communities (largest first).
+	// Limit caps the number of returned communities (largest first). On the
+	// v1 route it is the page size, combined with Offset.
 	Limit int `json:"limit,omitempty"`
+	// Offset is the v1 pagination offset into the largest-first order.
+	Offset int `json:"offset,omitempty"`
 }
 
 type analyzeRequest struct {
@@ -383,58 +522,59 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	type graphInfo struct {
-		Name     string `json:"name"`
-		Vertices int    `json:"vertices"`
-		Edges    int    `json:"edges"`
-		// Bytes is the in-memory graph footprint; Source, LoadMS, and
-		// SnapshotBytes describe provenance (built in process vs loaded
-		// from the catalog); Indexes reports which indexes are resident.
-		Bytes         int64           `json:"bytes"`
-		Source        string          `json:"source"`
-		LoadMS        float64         `json:"loadMs,omitempty"`
-		SnapshotBytes int64           `json:"snapshotBytes,omitempty"`
-		Indexes       api.IndexStatus `json:"indexes"`
+// graphInfo is the per-dataset record of /api/graphs and /api/v1/datasets.
+type graphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Bytes is the in-memory graph footprint; Source, LoadMS, and
+	// SnapshotBytes describe provenance (built in process vs loaded
+	// from the catalog); Indexes reports which indexes are resident.
+	Bytes         int64           `json:"bytes"`
+	Source        string          `json:"source"`
+	LoadMS        float64         `json:"loadMs,omitempty"`
+	SnapshotBytes int64           `json:"snapshotBytes,omitempty"`
+	Indexes       api.IndexStatus `json:"indexes"`
+}
+
+func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
+	return graphInfo{
+		Name:          name,
+		Vertices:      ds.Graph.N(),
+		Edges:         ds.Graph.M(),
+		Bytes:         ds.Graph.Bytes(),
+		Source:        ds.Info.Source,
+		LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
+		SnapshotBytes: ds.Info.SnapshotBytes,
+		Indexes:       ds.Indexes(),
 	}
+}
+
+func (s *Server) datasetInfos() []graphInfo {
 	var infos []graphInfo
 	for _, name := range s.exp.Datasets() {
 		ds, _ := s.exp.Dataset(name)
-		infos = append(infos, graphInfo{
-			Name:          name,
-			Vertices:      ds.Graph.N(),
-			Edges:         ds.Graph.M(),
-			Bytes:         ds.Graph.Bytes(),
-			Source:        ds.Info.Source,
-			LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
-			SnapshotBytes: ds.Info.SnapshotBytes,
-			Indexes:       ds.Indexes(),
-		})
+		infos = append(infos, s.datasetInfo(name, ds))
 	}
+	return infos
+}
+
+// handleGraphs is the legacy flat alias of GET /api/v1/datasets.
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
-		"graphs":       infos,
+		"graphs":       s.datasetInfos(),
 		"csAlgorithms": s.exp.CSAlgorithms(),
 		"cdAlgorithms": s.exp.CDAlgorithms(),
 		"dataDir":      s.DataDir(),
 	})
 }
 
-func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
-	dataset := r.URL.Query().Get("dataset")
-	name := r.URL.Query().Get("name")
-	ds, ok := s.exp.Dataset(dataset)
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown dataset %q", dataset)
-		return
-	}
-	v, ok := ds.Graph.VertexByName(name)
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown vertex %q", name)
-		return
-	}
+// vertexPayload builds the vertex-resource record shared by the legacy
+// /api/vertex route and GET /api/v1/datasets/{name}/vertices/{id}.
+func (s *Server) vertexPayload(dataset string, ds *api.Dataset, v int32) map[string]any {
 	resp := map[string]any{
 		"id":       v,
-		"name":     name,
+		"name":     ds.Graph.Name(v),
 		"degree":   ds.Graph.Degree(v),
 		"core":     ds.CoreNumbers()[v],
 		"keywords": ds.Graph.KeywordStrings(v),
@@ -446,86 +586,147 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.RUnlock()
-	writeJSON(w, resp)
+	return resp
+}
+
+// handleVertex is the legacy flat alias of the vertex resource (lookup by
+// name only, as the original UI does).
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	dataset := r.URL.Query().Get("dataset")
+	name := r.URL.Query().Get("name")
+	ds, ok := s.exp.Dataset(dataset)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %q", api.ErrDatasetNotFound, dataset))
+		return
+	}
+	v, ok := ds.Graph.VertexByName(name)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %q", api.ErrVertexNotFound, name))
+		return
+	}
+	writeJSON(w, s.vertexPayload(dataset, ds, v))
 }
 
 func (s *Server) resolveQuery(ds *api.Dataset, names []string, vertices []int32) ([]int32, error) {
 	out := append([]int32(nil), vertices...)
+	for _, v := range out {
+		if v < 0 || int(v) >= ds.Graph.N() {
+			return nil, fmt.Errorf("%w: vertex %d out of range", api.ErrInvalidQuery, v)
+		}
+	}
 	for _, n := range names {
 		v, ok := ds.Graph.VertexByName(n)
 		if !ok {
-			return nil, fmt.Errorf("unknown vertex %q", n)
+			return nil, fmt.Errorf("%w: %q", api.ErrVertexNotFound, n)
 		}
 		out = append(out, v)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("no query vertex given")
+		return nil, fmt.Errorf("%w: no query vertex given", api.ErrInvalidQuery)
 	}
 	return out, nil
 }
 
+// handleSearch is the legacy flat alias: dataset comes from the body, no
+// pagination. It delegates to the same execSearch core as POST
+// /api/v1/datasets/{name}/search.
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	ds, ok := s.exp.Dataset(req.Dataset)
-	if !ok {
-		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+	comms, _, elapsed, err := s.execSearch(r, req.Dataset, req)
+	if err != nil {
+		s.writeError(w, err)
 		return
+	}
+	writeJSON(w, searchResponse{Communities: comms, ElapsedMS: msec(elapsed)})
+}
+
+// execSearch is the shared search core: resolve the query, wait for a
+// worker slot under the request's (possibly deadline-bounded) context, run
+// the algorithm, paginate, and build the community DTOs. Pagination
+// happens BEFORE the DTO loop so per-community layout (the expensive part
+// when Layout is set) is computed only for the page actually returned.
+// Both the legacy route (no limit/offset in its requests — full list) and
+// the v1 sub-resource funnel through here; total is the pre-pagination
+// community count.
+func (s *Server) execSearch(r *http.Request, dataset string, req searchRequest) ([]communityDTO, int, time.Duration, error) {
+	ctx, cancel := s.searchContext(r)
+	defer cancel()
+	ds, ok := s.exp.Dataset(dataset)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("%w: %q", api.ErrDatasetNotFound, dataset)
 	}
 	qv, err := s.resolveQuery(ds, req.Names, req.Vertices)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, 0, 0, err
 	}
 	if req.Algorithm == "" {
 		req.Algorithm = "ACQ"
 	}
-	comms, elapsed, ok, err := s.runSearch(r, req, qv)
-	if !ok {
-		httpError(w, http.StatusServiceUnavailable, "search queue abandoned")
-		return
-	}
+	comms, elapsed, err := s.runSearch(ctx, dataset, req, qv)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "search: %v", err)
-		return
+		return nil, 0, 0, err
 	}
-	resp := searchResponse{ElapsedMS: float64(elapsed.Microseconds()) / 1000}
-	for _, c := range comms {
+	page, total := pageOf(comms, req.Limit, req.Offset)
+	out := make([]communityDTO, 0, len(page))
+	for _, c := range page {
 		dto := communityDTO{Community: c, Names: vertexNames(ds, c.Vertices)}
 		if req.Layout {
-			pl, err := s.exp.Display(req.Dataset, c, layout.Options{Seed: 1})
+			pl, err := s.exp.Display(ctx, dataset, c, layout.Options{Seed: 1})
 			if err == nil {
 				dto.Placement = pl
 			}
 		}
-		resp.Communities = append(resp.Communities, dto)
+		out = append(out, dto)
 	}
-	writeJSON(w, resp)
+	return out, total, elapsed, nil
 }
 
+func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// handleDetect is the legacy flat alias; it delegates to the execDetect
+// core (legacy Limit semantics: cap after the largest-first sort).
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req detectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	comms, elapsed, err := s.execDetect(r, req.Dataset, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.Limit > 0 && len(comms) > req.Limit {
+		comms = comms[:req.Limit]
+	}
+	writeJSON(w, map[string]any{
+		"communities": comms,
+		"elapsedMs":   msec(elapsed),
+	})
+}
+
+// execDetect is the shared detection core: run the CD algorithm under the
+// request context, filter by MinSize, and sort largest-first. Pagination or
+// the legacy Limit cap is applied by the caller.
+func (s *Server) execDetect(r *http.Request, dataset string, req detectRequest) ([]api.Community, time.Duration, error) {
+	ctx, cancel := s.searchContext(r)
+	defer cancel()
 	if req.Algorithm == "" {
 		req.Algorithm = "CODICIL"
 	}
-	release, ok := s.acquireSearchSlot(r)
-	if !ok {
-		httpError(w, http.StatusServiceUnavailable, "detect queue abandoned")
-		return
+	release, err := s.acquireSearchSlot(ctx)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer release()
 	start := time.Now()
-	comms, err := s.exp.Detect(req.Dataset, req.Algorithm)
+	comms, err := s.exp.Detect(ctx, dataset, req.Algorithm)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "detect: %v", err)
-		return
+		return nil, 0, err
 	}
 	if req.MinSize > 0 {
 		filtered := comms[:0]
@@ -537,87 +738,99 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		comms = filtered
 	}
 	sort.Slice(comms, func(i, j int) bool { return len(comms[i].Vertices) > len(comms[j].Vertices) })
-	if req.Limit > 0 && len(comms) > req.Limit {
-		comms = comms[:req.Limit]
-	}
-	writeJSON(w, map[string]any{
-		"communities": comms,
-		"elapsedMs":   float64(time.Since(start).Microseconds()) / 1000,
-	})
+	return comms, time.Since(start), nil
 }
 
+// handleAnalyze is the legacy flat alias over the analyze core.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	a, err := s.exp.Analyze(req.Dataset, api.Community{Method: req.Method, Vertices: req.Vertices}, req.Query)
+	s.execAnalyze(w, r, req.Dataset, req)
+}
+
+func (s *Server) execAnalyze(w http.ResponseWriter, r *http.Request, dataset string, req analyzeRequest) {
+	a, err := s.exp.Analyze(r.Context(), dataset, api.Community{Method: req.Method, Vertices: req.Vertices}, req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "analyze: %v", err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, a)
 }
 
+// handleDisplay is the legacy flat alias over the display core.
 func (s *Server) handleDisplay(w http.ResponseWriter, r *http.Request) {
 	var req displayRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	pl, err := s.exp.Display(req.Dataset, api.Community{Vertices: req.Vertices}, layout.Options{
+	s.execDisplay(w, r, req.Dataset, req)
+}
+
+func (s *Server) execDisplay(w http.ResponseWriter, r *http.Request, dataset string, req displayRequest) {
+	pl, err := s.exp.Display(r.Context(), dataset, api.Community{Vertices: req.Vertices}, layout.Options{
 		Width: req.Width, Height: req.Height, Seed: req.Seed,
 	})
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "display: %v", err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, pl)
 }
 
-// runSearch executes the bounded, instrumented part of handleSearch. The
+// runSearch executes the bounded, instrumented part of the search core. The
 // worker slot and in-flight gauge are released by defer so that a panicking
 // search (recovered by the logging middleware) cannot leak a slot and wedge
-// the search path. ok=false means the client abandoned the queue.
-func (s *Server) runSearch(r *http.Request, req searchRequest, qv []int32) (comms []api.Community, elapsed time.Duration, ok bool, err error) {
-	release, ok := s.acquireSearchSlot(r)
-	if !ok {
-		return nil, 0, false, nil
+// the search path — and a canceled or timed-out search frees its slot the
+// moment the kernel observes ctx and returns.
+func (s *Server) runSearch(ctx context.Context, dataset string, req searchRequest, qv []int32) (comms []api.Community, elapsed time.Duration, err error) {
+	release, err := s.acquireSearchSlot(ctx)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer release()
 	start := time.Now()
-	comms, err = s.exp.Search(req.Dataset, req.Algorithm, api.Query{
-		Vertices: qv, K: req.K, Keywords: req.Keywords,
+	comms, err = s.exp.Search(ctx, dataset, req.Algorithm, api.Query{
+		Vertices: qv, K: req.K, Keywords: req.Keywords, Params: req.Params,
 	})
 	elapsed = time.Since(start)
 	s.stats.searchNanos.Add(elapsed.Nanoseconds())
 	s.stats.searches.Add(1)
-	return comms, elapsed, true, err
+	return comms, elapsed, err
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
-// handleCompare renders the Figure 6(a) experience as one API call: run
-// several algorithms for the same query and report statistics + CPJ/CMF.
+// handleCompare is the legacy flat alias over the compare core, which
+// renders the Figure 6(a) experience as one API call: run several
+// algorithms for the same query and report statistics + CPJ/CMF.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req compareRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	ds, ok := s.exp.Dataset(req.Dataset)
+	s.execCompare(w, r, req.Dataset, req)
+}
+
+func (s *Server) execCompare(w http.ResponseWriter, r *http.Request, dataset string, req compareRequest) {
+	ctx, cancel := s.searchContext(r)
+	defer cancel()
+	ds, ok := s.exp.Dataset(dataset)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		s.writeError(w, fmt.Errorf("%w: %q", api.ErrDatasetNotFound, dataset))
 		return
 	}
 	var q int32
 	if req.Name != "" {
 		v, ok := ds.Graph.VertexByName(req.Name)
 		if !ok {
-			httpError(w, http.StatusNotFound, "unknown vertex %q", req.Name)
+			s.writeError(w, fmt.Errorf("%w: %q", api.ErrVertexNotFound, req.Name))
 			return
 		}
 		q = v
@@ -625,7 +838,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		q = req.Vertex
 	}
 	if q < 0 || int(q) >= ds.Graph.N() {
-		httpError(w, http.StatusBadRequest, "vertex %d out of range", q)
+		s.writeError(w, fmt.Errorf("%w: vertex %d out of range", api.ErrInvalidQuery, q))
 		return
 	}
 	algos := req.Algorithms
@@ -634,20 +847,20 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	// One worker slot covers the whole comparison: the rows run serially,
 	// so a compare request is one unit of heavy work like a search.
-	release, ok := s.acquireSearchSlot(r)
-	if !ok {
-		httpError(w, http.StatusServiceUnavailable, "compare queue abandoned")
+	release, err := s.acquireSearchSlot(ctx)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
 	defer release()
 	rows := make([]compareRow, 0, len(algos))
 	for _, name := range algos {
-		rows = append(rows, s.compareOne(req.Dataset, ds, name, q, req.K))
+		rows = append(rows, s.compareOne(ctx, dataset, ds, name, q, req.K))
 	}
 	writeJSON(w, map[string]any{"query": q, "rows": rows})
 }
 
-func (s *Server) compareOne(dataset string, ds *api.Dataset, algo string, q int32, k int) compareRow {
+func (s *Server) compareOne(ctx context.Context, dataset string, ds *api.Dataset, algo string, q int32, k int) compareRow {
 	row := compareRow{Method: algo}
 	start := time.Now()
 	var comms []api.Community
@@ -660,7 +873,7 @@ func (s *Server) compareOne(dataset string, ds *api.Dataset, algo string, q int3
 	}
 	if isCD {
 		var all []api.Community
-		all, err = s.exp.Detect(dataset, algo)
+		all, err = s.exp.Detect(ctx, dataset, algo)
 		if err == nil {
 			for _, c := range all {
 				for _, v := range c.Vertices {
@@ -672,16 +885,16 @@ func (s *Server) compareOne(dataset string, ds *api.Dataset, algo string, q int3
 			}
 		}
 	} else {
-		comms, err = s.exp.Search(dataset, algo, api.Query{Vertices: []int32{q}, K: k})
+		comms, err = s.exp.Search(ctx, dataset, algo, api.Query{Vertices: []int32{q}, K: k})
 	}
-	row.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	row.ElapsedMS = msec(time.Since(start))
 	if err != nil {
 		row.Error = err.Error()
 		return row
 	}
 	stats := make([]metricsRow, 0, len(comms))
 	for _, c := range comms {
-		a, aerr := s.exp.Analyze(dataset, c, q)
+		a, aerr := s.exp.Analyze(ctx, dataset, c, q)
 		if aerr != nil {
 			continue
 		}

@@ -5,12 +5,22 @@
 //	detect  -edges g.txt [-attrs a.txt] [-algo CODICIL] [-min 3]
 //	analyze -edges g.txt [-attrs a.txt] -q NAME|ID -k 4
 //	index   -edges g.txt [-attrs a.txt] -out index.clt
+//	mutate  -server URL -dataset NAME -op addEdge -u 1 -v 2   (single op)
+//	mutate  -server URL -dataset NAME -file ops.json          (batch)
+//
+// mutate is the one networked subcommand: it posts streaming graph edits to
+// a running server's /api/v1/datasets/{name}/mutations route, since
+// mutations only make sense against live, versioned serving state.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -34,13 +44,15 @@ func main() {
 		runAnalyze(args)
 	case "index":
 		runIndex(args)
+	case "mutate":
+		runMutate(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index|mutate} [flags]")
 	os.Exit(2)
 }
 
@@ -211,4 +223,56 @@ func runIndex(args []string) {
 	fatal(err)
 	fmt.Printf("CL-tree: %d nodes, depth %d, %d bytes on disk (%d in memory)\n",
 		tr.NumNodes(), tr.Depth(), n, tr.Bytes())
+}
+
+// runMutate posts one mutation (or a -file batch) to a running server and
+// reports the resulting version.
+func runMutate(args []string) {
+	fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "server base URL")
+	dataset := fs.String("dataset", "", "dataset name")
+	op := fs.String("op", "", "addEdge, removeEdge, or addVertex")
+	u := fs.Int("u", 0, "edge endpoint u")
+	v := fs.Int("v", 0, "edge endpoint v")
+	name := fs.String("name", "", "new vertex display name (addVertex)")
+	keywords := fs.String("keywords", "", "new vertex keywords, space separated (addVertex)")
+	file := fs.String("file", "", "JSON file with a batch: [{\"op\":...},...]")
+	fatal(fs.Parse(args))
+	if *dataset == "" {
+		fmt.Fprintln(os.Stderr, "missing -dataset")
+		os.Exit(2)
+	}
+
+	var body any
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		fatal(err)
+		var ops []api.Mutation
+		fatal(json.Unmarshal(data, &ops))
+		body = map[string]any{"mutations": ops}
+	case *op != "":
+		m := api.Mutation{Op: *op, U: int32(*u), V: int32(*v), Name: *name}
+		if *keywords != "" {
+			m.Keywords = strings.Fields(*keywords)
+		}
+		body = m
+	default:
+		fmt.Fprintln(os.Stderr, "need -op or -file")
+		os.Exit(2)
+	}
+
+	payload, err := json.Marshal(body)
+	fatal(err)
+	url := fmt.Sprintf("%s/api/v1/datasets/%s/mutations", strings.TrimRight(*server, "/"), *dataset)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	fatal(err)
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	fatal(err)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "HTTP %d: %s\n", resp.StatusCode, strings.TrimSpace(string(out)))
+		os.Exit(1)
+	}
+	fmt.Println(strings.TrimSpace(string(out)))
 }

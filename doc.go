@@ -111,4 +111,23 @@
 // and resident indexes, and GET /api/stats accumulates snapshot
 // load/persist timings. Offline precomputation lives in the
 // `cexplorer snapshot build` and `cexplorer snapshot inspect` subcommands.
+//
+// # Dynamic graphs & versioning
+//
+// Datasets are versioned: a Dataset value is one immutable version (graph
+// plus indexes), and a mutation batch (api.Mutation via Explorer.Mutate, or
+// POST /api/v1/datasets/{name}/mutations) derives the successor — core
+// numbers maintained with the incremental subcore kernels (internal/kcore),
+// the CL-tree repaired locally (internal/cltree), the truss invalidated to
+// rebuild lazily. Publishing is one atomic swap: requests in flight keep
+// the exact version they resolved, exploration sessions stay pinned to the
+// version they were created on, and new requests see the successor. The
+// version counter persists in snapshots, and with a catalog configured
+// every acknowledged batch is journaled (.cxjournal, checksummed,
+// tail-tolerant) so a warm restart replays exactly the batches the snapshot
+// predates; the catalog compacts journals into fresh snapshots once they
+// grow. The equivalence harness (internal/dyntest) holds incremental
+// maintenance bit-compatible with from-scratch rebuilds: core numbers,
+// CL-tree communities, and ACQ answers are asserted identical after every
+// random mutation batch, with failing op streams shrunk to minimal repros.
 package cexplorer

@@ -162,6 +162,18 @@ type Dataset struct {
 	// is set before the dataset is published and read-only afterwards.
 	Info DatasetInfo
 
+	// Version counts the mutation batches applied along this dataset's
+	// lineage. A Dataset is an immutable version: Mutate derives a
+	// successor (Version+1) rather than editing in place, and the Explorer
+	// swaps the successor into its map — so queries holding this Dataset
+	// keep a fully consistent graph+index snapshot for their whole
+	// lifetime, while new queries see the new version.
+	Version uint64
+
+	// mutMu serializes mutation batches along the lineage; every successor
+	// shares the pointer. It is never held by the read path.
+	mutMu *sync.Mutex
+
 	treeOnce  sync.Once
 	tree      *cltree.Tree
 	treeReady atomic.Bool
@@ -203,7 +215,7 @@ type IndexStatus struct {
 
 // NewDataset wraps a graph.
 func NewDataset(name string, g *graph.Graph) *Dataset {
-	return &Dataset{Name: name, Graph: g, Info: DatasetInfo{Source: "built"}}
+	return &Dataset{Name: name, Graph: g, Info: DatasetInfo{Source: "built"}, mutMu: &sync.Mutex{}}
 }
 
 // Tree returns the CL-tree, building it on first use if the dataset was not

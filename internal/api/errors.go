@@ -25,6 +25,13 @@ var (
 	// wrong — no query vertex, out-of-range vertex, unknown Params key,
 	// malformed parameter value.
 	ErrInvalidQuery = errors.New("invalid query")
+	// ErrInvalidMutation: a mutation op is structurally invalid — unknown
+	// op name, out-of-range endpoint, self-loop, empty batch.
+	ErrInvalidMutation = errors.New("invalid mutation")
+	// ErrMutationConflict: a mutation op is well-formed but conflicts with
+	// the current graph state — inserting an edge that already exists, or
+	// deleting one that does not.
+	ErrMutationConflict = errors.New("mutation conflict")
 	// ErrCanceled: the caller canceled the request mid-computation.
 	ErrCanceled = errors.New("request canceled")
 	// ErrTimeout: the request exceeded its deadline mid-computation.
@@ -47,6 +54,10 @@ func ErrorCode(err error) string {
 		return "unknown_algorithm"
 	case errors.Is(err, ErrInvalidQuery):
 		return "invalid_query"
+	case errors.Is(err, ErrInvalidMutation):
+		return "invalid_mutation"
+	case errors.Is(err, ErrMutationConflict):
+		return "mutation_conflict"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ErrTimeout):

@@ -1,0 +1,195 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"cexplorer/internal/gen"
+)
+
+// TestMutateConcurrency runs mutations concurrently with searches,
+// exploration-session steps, and snapshot persistence. Its assertions
+// encode the copy-on-write consistency contract: every search resolves one
+// Dataset and must observe a graph+index snapshot that is internally
+// consistent for its whole execution (community members within bounds and
+// meeting the degree constraint in that exact graph), and an exploration
+// session stays pinned to the version it was created on no matter how many
+// versions are published afterwards. Run under -race, the test also makes
+// the memory model do the torn-read hunting.
+func TestMutateConcurrency(t *testing.T) {
+	exp := NewExplorer()
+	base := gen.GNMAttributed(300, 900, 12, 42)
+	baseN := base.N()
+	if _, err := exp.AddGraph("d", base); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := exp.Dataset("d")
+	ds.CoreNumbers()
+	ds.Tree()
+
+	deadline := time.Now().Add(600 * time.Millisecond)
+	if testing.Short() {
+		deadline = time.Now().Add(150 * time.Millisecond)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Mutators: random interleaved inserts/deletes/vertex adds. Conflicts
+	// with a concurrently published version are expected and tolerated;
+	// any other error is a bug.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				cur, _ := exp.Dataset("d")
+				n := int32(cur.Graph.N())
+				var op Mutation
+				u, v := rng.Int31n(n), rng.Int31n(n)
+				switch {
+				case rng.Intn(20) == 0:
+					op = Mutation{Op: OpAddVertex, Keywords: []string{"fresh"}}
+				case u == v:
+					continue
+				case cur.Graph.HasEdge(u, v):
+					op = Mutation{Op: OpRemoveEdge, U: u, V: v}
+				default:
+					op = Mutation{Op: OpAddEdge, U: u, V: v}
+				}
+				if _, err := exp.Mutate(ctx, "d", []Mutation{op}); err != nil &&
+					!errors.Is(err, ErrMutationConflict) && !errors.Is(err, ErrInvalidMutation) {
+					report("mutator: %v", err)
+					return
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	// Searchers: pin a version, search on it, and verify the answer against
+	// that same pinned version — the observable definition of "no torn
+	// reads across a version swap".
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for time.Now().Before(deadline) {
+				pinned, ok := exp.Dataset("d")
+				if !ok {
+					report("searcher: dataset vanished")
+					return
+				}
+				q := int32(rng.Intn(baseN)) // base vertices exist in every version
+				k := 1 + rng.Intn(3)
+				eng := pinned.AcquireEngine()
+				res, err := eng.SearchContext(ctx, q, int32(k), nil, 0)
+				pinned.ReleaseEngine(eng)
+				if err != nil {
+					report("searcher: %v", err)
+					return
+				}
+				g := pinned.Graph
+				for _, c := range res {
+					member := make(map[int32]bool, len(c.Vertices))
+					for _, v := range c.Vertices {
+						if int(v) >= g.N() {
+							report("searcher: vertex %d outside pinned graph (n=%d)", v, g.N())
+							return
+						}
+						member[v] = true
+					}
+					for _, v := range c.Vertices {
+						deg := 0
+						for _, u := range g.Neighbors(v) {
+							if member[u] {
+								deg++
+							}
+						}
+						if deg < k {
+							report("searcher: community member %d has induced degree %d < k=%d on its own version", v, deg, k)
+							return
+						}
+					}
+				}
+			}
+		}(int64(w))
+	}
+
+	// Explore-session driver: the session must keep serving its pinned
+	// version (ring vertices bounded by the creation-time graph) while
+	// mutations publish successors underneath it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st, err := exp.Explore(ctx, "d", Query{Vertices: []int32{1}, K: 1})
+		if err != nil {
+			report("explore create: %v", err)
+			return
+		}
+		// Vertex counts only grow along a lineage, so a bound taken right
+		// after creation can never under-count the session's pinned graph;
+		// a ring escaping it means the session left its version.
+		pinned, _ := exp.Dataset("d")
+		pinnedN := pinned.Graph.N()
+		actions := []string{"contract", "expand"}
+		for i := 0; time.Now().Before(deadline); i++ {
+			next, err := exp.ExploreStep(ctx, "d", st.ID, actions[i%2], 0)
+			if err != nil {
+				if errors.Is(err, ErrInvalidQuery) {
+					continue // probing past the boundary is part of the loop
+				}
+				report("explore step: %v", err)
+				return
+			}
+			for _, v := range next.Ring {
+				if int(v) >= pinnedN {
+					report("explore: ring vertex %d beyond pinned n=%d (session escaped its version)", v, pinnedN)
+					return
+				}
+			}
+		}
+	}()
+
+	// Persister: snapshot the current version concurrently with swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			cur, _ := exp.Dataset("d")
+			if _, err := cur.WriteSnapshot(io.Discard); err != nil {
+				report("persist: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+
+	// The surviving dataset must still be fully coherent.
+	final, _ := exp.Dataset("d")
+	if err := final.Graph.Validate(); err != nil {
+		t.Fatalf("final graph invalid: %v", err)
+	}
+	if err := final.Tree().Validate(); err != nil {
+		t.Fatalf("final tree invalid: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package api
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"cexplorer/internal/snapshot"
@@ -30,12 +31,33 @@ func (d *Dataset) WriteSnapshotFile(path string) (int64, error) {
 func (d *Dataset) makeSnapshot() *snapshot.Snapshot {
 	d.BuildIndexes()
 	return &snapshot.Snapshot{
-		Name:  d.Name,
-		Graph: d.Graph,
-		Core:  d.CoreNumbers(),
-		Tree:  d.Tree(),
-		Truss: d.Truss(),
+		Name:    d.Name,
+		Version: d.Version,
+		Graph:   d.Graph,
+		Core:    d.CoreNumbers(),
+		Tree:    d.Tree(),
+		Truss:   d.Truss(),
 	}
+}
+
+// WriteResidentSnapshotFile persists the dataset with whatever indexes it
+// currently holds — no forced builds. Journal compaction uses it from the
+// mutation request path, where forcing a from-scratch truss decomposition
+// (mutations always invalidate the truss) would stall the response; a
+// snapshot without an index simply reloads with that index lazy, exactly
+// like an unindexed upload.
+func (d *Dataset) WriteResidentSnapshotFile(path string) (int64, error) {
+	s := &snapshot.Snapshot{Name: d.Name, Version: d.Version, Graph: d.Graph}
+	if d.coreReady.Load() {
+		s.Core = d.coreNum
+	}
+	if d.treeReady.Load() {
+		s.Tree = d.tree
+	}
+	if d.trussReady.Load() {
+		s.Truss = d.truss
+	}
+	return snapshot.WriteFile(path, s)
 }
 
 // OpenSnapshot materializes a dataset from a snapshot stream. Every index
@@ -73,8 +95,10 @@ func datasetFromSnapshot(name string, s *snapshot.Snapshot, elapsed time.Duratio
 		return nil, fmt.Errorf("snapshot: no dataset name (none embedded, none given)")
 	}
 	d := &Dataset{
-		Name:  name,
-		Graph: s.Graph,
+		Name:    name,
+		Graph:   s.Graph,
+		Version: s.Version,
+		mutMu:   &sync.Mutex{},
 		Info: DatasetInfo{
 			Source:        "snapshot",
 			LoadDuration:  elapsed,
@@ -118,6 +142,9 @@ func (e *Explorer) AddDataset(ds *Dataset) error {
 	}
 	if ds.Graph == nil {
 		return fmt.Errorf("add dataset %q: nil graph", ds.Name)
+	}
+	if ds.mutMu == nil {
+		ds.mutMu = &sync.Mutex{}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -102,6 +102,6 @@ func BuildBasic(g *graph.Graph) *Tree {
 	}
 	canon(root)
 
-	t.buildInverted()
+	t.buildInverted(nil, nil)
 	return t
 }

@@ -1,0 +1,540 @@
+package cltree
+
+import (
+	"cexplorer/internal/graph"
+)
+
+// Localized CL-tree maintenance under streaming edge mutations.
+//
+// The tree's shape is a function of two things only: the per-vertex core
+// numbers and the component structure of each k-core H_k. A mutation batch
+// therefore leaves the tree bit-for-bit reusable when (a) no core number
+// moved, (b) no vertex was added, and (c) no component of any H_k merged or
+// split. Repair proves (c) locally, per edge op, without touching the rest
+// of the graph:
+//
+//   - An inserted edge {u,v} can only merge components, and only in H_k for
+//     k ≤ A = min(core(u), core(v)). If u and v already share the old
+//     tree's anchor node at level A, they were already in one component of
+//     H_A — and, since k-cores nest, in one component of every H_k below.
+//     The insert changes nothing structural.
+//   - A deleted edge can only split components, again only for k ≤ A. If u
+//     and v are still connected inside H_A of the post-mutation graph
+//     (checked by a bidirectional BFS over vertices with core ≥ A), no H_k
+//     splits: connectivity in H_A implies connectivity in every larger
+//     H_k below it, and the witness path survives in all of them.
+//
+// The per-op checks compose across a batch: inserts are checked against the
+// old partition (merges can only coarsen it) and deletes against the final
+// graph (a deleted edge whose endpoints reconnect through edges inserted in
+// the same batch keeps its component whole). When every op passes, the new
+// tree shares every node of the old one — O(1) repair. Otherwise the
+// skeleton is rebuilt from the (incrementally maintained) core numbers,
+// while every node whose vertex set is unchanged adopts the old node's
+// inverted keyword lists, so only the lists the repair can no longer trust
+// are re-sorted.
+
+// EdgeOp records one applied edge mutation for Repair's locality analysis.
+type EdgeOp struct {
+	U, V   int32
+	Insert bool // true for an insertion, false for a deletion
+}
+
+// Repair produces a tree valid for g — the post-mutation graph — given old
+// (the tree of the pre-mutation graph), the maintained core numbers of g
+// (adopted, not copied), the batch's maximum core-change level (see below;
+// 0 when no core number moved), how many vertices the batch added, and the
+// batch's edge ops. The boolean result reports whether the structural fast
+// path applied (the returned tree shares all nodes with old) or a rebuild
+// ran.
+//
+// changedLevel is the deepest tree level a core-number change can have
+// touched: for each promoted vertex its new core, for each demoted vertex
+// its old core (new+1), maxed over the batch. Together with each edge op's
+// min-endpoint core it bounds the levels whose k-core components can
+// differ from old's, so the rebuild is a frontier rebuild: every subtree
+// strictly deeper than the bound is preserved (skeleton cloned, arenas
+// shared), and the union-find never walks the dense deep-core edges at
+// all.
+//
+// Old trees are never modified; pinned queries on previous versions are
+// unaffected. Shared node slices are immutable after build on both paths.
+// changed lists the vertices whose core number the batch moved, but is
+// consulted only for single-op batches (where a surgical level-move patch
+// may apply — see patchLevelMove); multi-op batches may pass nil.
+func Repair(old *Tree, g *graph.Graph, core []int32, changedLevel int32, verticesAdded int, ops []EdgeOp, changed []int32) (*Tree, bool) {
+	if old != nil && changedLevel == 0 && verticesAdded == 0 && structureUnchanged(old, g, core, ops) {
+		return &Tree{
+			g:      g,
+			root:   old.root,
+			nodeOf: old.nodeOf,
+			core:   core,
+			nodes:  old.nodes,
+		}, true
+	}
+	if old != nil && verticesAdded == 0 && len(ops) == 1 && len(changed) > 0 {
+		if t := patchLevelMove(old, g, core, changed, ops[0]); t != nil {
+			return t, false
+		}
+	}
+	upTo := changedLevel
+	for _, op := range ops {
+		a := core[op.U]
+		if core[op.V] < a {
+			a = core[op.V]
+		}
+		// a uses final core values; an endpoint whose core moved during the
+		// batch is covered by changedLevel, which tracks every level its
+		// trajectory touched.
+		if a > upTo {
+			upTo = a
+		}
+	}
+	if old == nil {
+		return buildTree(g, core, nil, -1), false
+	}
+	return buildTree(g, core, old, upTo), false
+}
+
+// patchLevelMove is the surgical repair for the most common non-trivial
+// mutation: a single edge op whose only effect on the hierarchy is moving
+// the changed vertices between two adjacent levels of one branch — every
+// single-edge core promotion or demotion has this shape. When the
+// locality conditions below all hold, the new tree is the old one with the
+// node skeleton cloned (struct copies; vertex and inverted arenas shared),
+// the source node's lists spliced down by the moved vertices, and the
+// destination node's spliced up — no union-find, no level scans. Any
+// condition failing returns nil and the caller falls back to the frontier
+// rebuild, so this path never has to handle a case it cannot prove.
+func patchLevelMove(old *Tree, g *graph.Graph, core []int32, changed []int32, op EdgeOp) *Tree {
+	newLvl := core[changed[0]]
+	inChanged := func(x int32) bool { return containsSorted(changed, x) }
+	for _, w := range changed[1:] {
+		if core[w] != newLvl {
+			return nil // mixed levels: not a pure level move
+		}
+	}
+
+	var src, dst *Node
+	if op.Insert {
+		// Promotion: changed rose from newLvl-1 into newLvl.
+		r := newLvl - 1
+		src = old.nodeOf[changed[0]]
+		if src == nil || src.Core != r {
+			return nil
+		}
+		for _, w := range changed[1:] {
+			if old.nodeOf[w] != src {
+				return nil
+			}
+		}
+		if len(changed) == len(src.Vertices) && src != old.root {
+			return nil // source node would empty: structural change
+		}
+		// No component of H_k (k ≤ r) may merge: the inserted edge's
+		// endpoints must already have shared their component at the
+		// deepest level the edge reaches in the old graph.
+		aOld := oldCoreOf(core, inChanged, op.U)
+		if b := oldCoreOf(core, inChanged, op.V); b < aOld {
+			aOld = b
+		}
+		if au, av := old.Anchor(op.U, aOld), old.Anchor(op.V, aOld); au == nil || au != av {
+			return nil
+		}
+		// The promoted set must attach to at most one existing component of
+		// H_{newLvl} and every promoted vertex must reach it; with no
+		// attachment at all, the promoted set itself becomes one new
+		// deepest node under src (the "grew a new top core" shape, e.g.
+		// promoting part of the graph's maximum core one level further).
+		for _, w := range changed {
+			ok := true
+			g.ForEachNeighbor(w, func(x int32) bool {
+				if core[x] < newLvl || inChanged(x) {
+					return true
+				}
+				a := old.Anchor(x, newLvl)
+				if dst == nil {
+					dst = a
+				}
+				if a != dst {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return nil
+			}
+		}
+		if dst == nil {
+			if !connectedAmong(g, changed) {
+				return nil // several new components would form
+			}
+			return cloneRestructure(old, g, core, src, nil, changed, modeCreate, newLvl)
+		}
+		if dst.Core != newLvl || dst.Parent != src {
+			return nil
+		}
+		if !movedSetAttaches(g, core, changed, old, dst, newLvl) {
+			return nil
+		}
+	} else {
+		// Demotion: changed fell from newLvl+1 to newLvl.
+		r := newLvl + 1
+		src = old.nodeOf[changed[0]]
+		if src == nil || src.Core != r {
+			return nil
+		}
+		for _, w := range changed[1:] {
+			if old.nodeOf[w] != src {
+				return nil
+			}
+		}
+		dst = src.Parent
+		if dst == nil || dst.Core != newLvl {
+			return nil // level skip below src: a node would need inserting
+		}
+		// No component of H_k (k ≤ newLvl) may split: the deleted edge's
+		// endpoints must still be connected inside H_{newLvl} (vertex sets
+		// there are unchanged, so the one removed edge is the only risk).
+		if newLvl >= 1 && !connectedWithin(g, core, newLvl, op.U, op.V) {
+			return nil
+		}
+		if len(changed) == len(src.Vertices) {
+			// The whole node demotes: a childless src simply dissolves into
+			// its parent (the inverse of the node-create case above);
+			// anything with children would need reparenting — bail.
+			if len(src.Children) > 0 {
+				return nil
+			}
+			return cloneRestructure(old, g, core, src, dst, changed, modeDelete, 0)
+		}
+		// The component of H_r that lost the demoted vertices (and possibly
+		// the edge) must remain a single piece.
+		if !componentIntact(g, core, old, src, len(changed), r) {
+			return nil
+		}
+	}
+	return cloneRestructure(old, g, core, src, dst, changed, modeMove, 0)
+}
+
+// connectedAmong reports whether the vertices of set form one connected
+// subgraph of g using only edges inside the set.
+func connectedAmong(g *graph.Graph, set []int32) bool {
+	if len(set) == 0 {
+		return false
+	}
+	seen := map[int32]bool{set[0]: true}
+	queue := []int32{set[0]}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range g.Neighbors(w) {
+			if containsSorted(set, x) && !seen[x] {
+				seen[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return len(seen) == len(set)
+}
+
+// oldCoreOf recovers a vertex's pre-batch core number: changed vertices of
+// an insert were one level lower (this helper is only used on the insert
+// path).
+func oldCoreOf(core []int32, inChanged func(int32) bool, x int32) int32 {
+	if inChanged(x) {
+		return core[x] - 1
+	}
+	return core[x]
+}
+
+// movedSetAttaches verifies every promoted vertex reaches the destination
+// component through promoted vertices and direct supporters: a promoted
+// blob with only internal support would form a new H_{newLvl} component of
+// its own, which the surgical patch must not absorb into dst.
+func movedSetAttaches(g *graph.Graph, core []int32, changed []int32, old *Tree, dst *Node, newLvl int32) bool {
+	attached := make(map[int32]bool, len(changed))
+	queue := make([]int32, 0, len(changed))
+	for _, w := range changed {
+		g.ForEachNeighbor(w, func(x int32) bool {
+			if core[x] >= newLvl && !containsSorted(changed, x) && old.Anchor(x, newLvl) == dst {
+				if !attached[w] {
+					attached[w] = true
+					queue = append(queue, w)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		g.ForEachNeighbor(w, func(x int32) bool {
+			if containsSorted(changed, x) && !attached[x] {
+				attached[x] = true
+				queue = append(queue, x)
+			}
+			return true
+		})
+	}
+	return len(attached) == len(changed)
+}
+
+// componentIntact checks that src's k-core component minus the demoted
+// vertices is still one connected piece of H_r in g: a BFS from any
+// remaining vertex over core ≥ r must reach them all.
+//
+// The walk costs O(component), which is the deep-core region — exactly the
+// region a frontier rebuild (whose cost is the shallow region, core ≤ r)
+// gets to skip. The two are complementary, so the BFS runs whenever the
+// component is at most two thirds of the graph (high- and mid-level
+// demotions, where the frontier would reprocess almost everything) and
+// bails to the frontier only for shallow components, where the frontier is
+// nearly free.
+func componentIntact(g *graph.Graph, core []int32, old *Tree, src *Node, demoted int, r int32) bool {
+	sub := old.SubtreeVertices(src, nil)
+	want := len(sub) - demoted
+	if want <= 0 || want > 2*g.N()/3 {
+		return false
+	}
+	var start int32 = -1
+	for _, v := range sub {
+		if core[v] >= r {
+			start = v
+			break
+		}
+	}
+	if start < 0 {
+		return false
+	}
+	seen := make([]bool, g.N())
+	seen[start] = true
+	queue := []int32{start}
+	reached := 1
+	for len(queue) > 0 && reached <= want {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range g.Neighbors(v) {
+			if core[x] >= r && !seen[x] {
+				seen[x] = true
+				reached++
+				queue = append(queue, x)
+			}
+		}
+	}
+	return reached == want
+}
+
+// Surgical restructure modes.
+const (
+	modeMove   = iota // moved leaves src's vertex list and joins dst's
+	modeCreate        // moved leaves src and becomes a new child node of src
+	modeDelete        // src (childless, fully demoted) dissolves into dst
+)
+
+// cloneRestructure copies the old tree's node skeleton and applies one
+// local restructuring: a vertex move between two nodes, the creation of one
+// new deepest node, or the dissolution of one childless node. Every
+// untouched node shares its vertex and inverted arenas with the old tree;
+// the affected nodes' inverted lists are spliced, not re-sorted.
+func cloneRestructure(old *Tree, g *graph.Graph, core []int32, src, dst *Node, moved []int32, mode int, createCore int32) *Tree {
+	t := &Tree{g: g, core: core, nodeOf: make([]*Node, g.N())}
+	filler := newInvFiller(g.Vocab().Len())
+	respliceSub := func(on *Node, nn *Node) {
+		nn.Vertices = subtractSorted(on.Vertices, moved)
+		if kw, vs, ok := spliceLists(g, on, moved, nil); ok {
+			nn.invKw, nn.invV = kw, vs
+		} else {
+			nn.invKw, nn.invV = nil, nil
+			filler.fill(g, nn)
+		}
+	}
+	respliceAdd := func(on *Node, nn *Node) {
+		nn.Vertices = mergeSorted(on.Vertices, moved)
+		if kw, vs, ok := spliceLists(g, on, nil, moved); ok {
+			nn.invKw, nn.invV = kw, vs
+		} else {
+			nn.invKw, nn.invV = nil, nil
+			filler.fill(g, nn)
+		}
+	}
+	var walk func(on *Node) *Node
+	walk = func(on *Node) *Node {
+		nn := &Node{Core: on.Core, Vertices: on.Vertices, invKw: on.invKw, invV: on.invV}
+		switch {
+		case on == src && mode != modeDelete:
+			respliceSub(on, nn)
+		case on == dst && mode != modeCreate:
+			respliceAdd(on, nn)
+		}
+		for _, v := range nn.Vertices {
+			t.nodeOf[v] = nn
+		}
+		keep := on.Children
+		if mode == modeDelete && on == dst {
+			keep = nil
+			for _, ch := range on.Children {
+				if ch != src {
+					keep = append(keep, ch)
+				}
+			}
+		}
+		extra := 0
+		if mode == modeCreate && on == src {
+			extra = 1
+		}
+		if len(keep)+extra > 0 {
+			nn.Children = make([]*Node, 0, len(keep)+extra)
+			for _, ch := range keep {
+				c := walk(ch)
+				c.Parent = nn
+				nn.Children = append(nn.Children, c)
+			}
+			if extra == 1 {
+				fresh := &Node{Core: createCore, Vertices: moved, Parent: nn}
+				filler.fill(g, fresh)
+				for _, v := range moved {
+					t.nodeOf[v] = fresh
+				}
+				nn.Children = append(nn.Children, fresh)
+				t.nodes++
+			}
+		}
+		t.nodes++
+		return nn
+	}
+	t.root = walk(old.root)
+	return t
+}
+
+// subtractSorted returns a ∖ b for ascending slices (b ⊆ a expected).
+func subtractSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)-len(b))
+	j := 0
+	for _, v := range a {
+		if j < len(b) && b[j] == v {
+			j++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// mergeSorted merges two disjoint ascending slices.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i] < b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+func containsSorted(s []int32, v int32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}
+
+// structureUnchanged reports whether every edge op provably left the
+// component structure of every H_k intact (see the package comment above
+// for why the per-op checks are sound across a whole batch).
+func structureUnchanged(old *Tree, g *graph.Graph, core []int32, ops []EdgeOp) bool {
+	for _, op := range ops {
+		a := core[op.U]
+		if core[op.V] < a {
+			a = core[op.V]
+		}
+		if a < 1 {
+			return false
+		}
+		if op.Insert {
+			au, av := old.Anchor(op.U, a), old.Anchor(op.V, a)
+			if au == nil || au != av {
+				return false
+			}
+		} else if !connectedWithin(g, core, a, op.U, op.V) {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedWithin reports whether u and v are connected inside H_k of g
+// (the subgraph induced by vertices with core ≥ k), via bidirectional BFS:
+// the smaller frontier expands each round, so the walk is bounded by the
+// smaller side of any separation rather than the whole component.
+func connectedWithin(g *graph.Graph, core []int32, k, u, v int32) bool {
+	if u == v {
+		return true
+	}
+	if core[u] < k || core[v] < k {
+		return false
+	}
+	// Triangle shortcut: in clustered graphs a removed edge almost always
+	// leaves a two-hop path through a common neighbor; one sorted-list
+	// intersection answers that without any BFS.
+	nu, nv := g.Neighbors(u), g.Neighbors(v)
+	for i, j := 0, 0; i < len(nu) && j < len(nv); {
+		switch {
+		case nu[i] == nv[j]:
+			if core[nu[i]] >= k {
+				return true
+			}
+			i++
+			j++
+		case nu[i] < nv[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	const sideU, sideV = 1, 2
+	side := map[int32]uint8{u: sideU, v: sideV}
+	frontU := []int32{u}
+	frontV := []int32{v}
+	for len(frontU) > 0 && len(frontV) > 0 {
+		front, mine, theirs := frontU, uint8(sideU), uint8(sideV)
+		if len(frontV) < len(frontU) {
+			front, mine, theirs = frontV, sideV, sideU
+		}
+		var next []int32
+		for _, w := range front {
+			for _, x := range g.Neighbors(w) {
+				if core[x] < k {
+					continue
+				}
+				switch side[x] {
+				case theirs:
+					return true
+				case mine:
+					continue
+				}
+				side[x] = mine
+				next = append(next, x)
+			}
+		}
+		if mine == sideU {
+			frontU = next
+		} else {
+			frontV = next
+		}
+	}
+	return false
+}

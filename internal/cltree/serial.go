@@ -141,7 +141,7 @@ func Read(r io.Reader, g *graph.Graph) (*Tree, error) {
 			return nil, fmt.Errorf("cltree: vertex %d missing from index", v)
 		}
 	}
-	t.buildInverted()
+	t.buildInverted(nil, nil)
 	return t, nil
 }
 

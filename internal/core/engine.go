@@ -79,6 +79,14 @@ type Stats struct {
 // safe for concurrent use (it carries per-query scratch); create one per
 // goroutine — they can share the same *cltree.Tree — or check warm engines
 // out of a pool (api.Dataset does this for query serving).
+//
+// Under streaming mutations an Engine doubles as a version pin: it holds
+// one tree and that tree's graph, both immutable, so every search it runs
+// observes a single consistent dataset version no matter how many
+// successor versions are published meanwhile. Engine pools are therefore
+// per-version (each api.Dataset owns its own), and exploration sessions
+// keep their pinned engine — and with it their version — for their whole
+// lifetime.
 type Engine struct {
 	tree   *cltree.Tree
 	g      *graph.Graph

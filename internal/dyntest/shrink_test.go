@@ -1,0 +1,53 @@
+package dyntest
+
+import (
+	"slices"
+	"testing"
+
+	"cexplorer/internal/api"
+)
+
+// TestShrinkFindsMinimalRepro proves the shrinker minimizes for real: a
+// synthetic "bug" — any scenario whose final graph contains edge {2,5} —
+// is planted in a 600-op stream, and shrinking must isolate the single op
+// that triggers it.
+func TestShrinkFindsMinimalRepro(t *testing.T) {
+	sc := Scenario{Seed: 11, N: 50, M: 100, Vocab: 8, BatchSize: 25}
+	base := baseGraph(sc)
+	if base.HasEdge(2, 5) {
+		t.Skip("edge in base")
+	}
+	sc.Ops = GenOps(base, 600, 123)
+	// ensure the stream inserts {2,5} at some point
+	has := slices.ContainsFunc(sc.Ops, func(m api.Mutation) bool {
+		return m.Op == api.OpAddEdge && ((m.U == 2 && m.V == 5) || (m.U == 5 && m.V == 2))
+	})
+	if !has {
+		sc.Ops = append(sc.Ops, api.Mutation{Op: api.OpAddEdge, U: 2, V: 5})
+	}
+	min := shrinkWith(sc.Ops, 600, func(ops []api.Mutation) bool {
+		cand := sc
+		cand.Ops = Sanitize(base, ops)
+		if len(cand.Ops) == 0 {
+			return false
+		}
+		// replay and test the synthetic property on the final graph
+		ds := api.NewDataset("p", base)
+		for off := 0; off < len(cand.Ops); off += cand.BatchSize {
+			end := off + cand.BatchSize
+			if end > len(cand.Ops) {
+				end = len(cand.Ops)
+			}
+			next, _, err := ds.Mutate(t.Context(), cand.Ops[off:end])
+			if err != nil {
+				return false
+			}
+			ds = next
+		}
+		return ds.Graph.HasEdge(2, 5)
+	})
+	t.Logf("shrunk from %d to %d ops: %v", len(sc.Ops), len(min), min)
+	if len(min) > 3 {
+		t.Fatalf("shrinker left %d ops", len(min))
+	}
+}

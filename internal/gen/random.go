@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"cexplorer/internal/graph"
@@ -12,6 +13,54 @@ func GNM(n, m int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder(n, m)
 	b.AddVertexIDs(int32(n - 1))
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]bool, m)
+	for len(seen) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{u, v}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.AddEdge(u, v)
+	}
+	return b.MustBuild()
+}
+
+// GNMAttributed returns a G(n, m) random graph whose vertices carry random
+// keyword sets drawn from a synthetic vocabulary of vocab words (each
+// vertex gets 1..4 keywords, Zipf-leaning so some words are common and
+// some rare — the shape ACQ keyword pruning actually sees). Deterministic
+// in seed. The dynamic-graph equivalence harness uses it so incremental
+// CL-tree repair is exercised with real inverted lists, not empty ones.
+func GNMAttributed(n, m, vocab int, seed int64) *graph.Graph {
+	if vocab < 1 {
+		vocab = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n, m)
+	for v := 0; v < n; v++ {
+		nk := 1 + rng.Intn(4)
+		kws := make([]string, 0, nk)
+		for i := 0; i < nk; i++ {
+			// Squaring biases draws toward low word ids: a few hot words
+			// shared widely, a long tail of rare ones.
+			f := rng.Float64()
+			kws = append(kws, fmt.Sprintf("w%d", int(f*f*float64(vocab))))
+		}
+		b.AddVertex("", kws...)
+	}
 	maxEdges := n * (n - 1) / 2
 	if m > maxEdges {
 		m = maxEdges

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList drives arbitrary text through the edge-list parser: it
+// must either return a valid graph or an error — never panic, and never
+// accept input that produces a structurally broken graph. Oversized vertex
+// ids are screened in the harness (the parser's own MaxLoadVertexID cap is
+// far above what a fuzz worker should allocate; dedicated tests cover the
+// cap itself).
+func FuzzLoadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n\n3 4\n4 3\n")
+	f.Add("0 0\n")   // self loop: dropped
+	f.Add("1\n")     // too few fields
+	f.Add("a b\n")   // non-numeric
+	f.Add("-1 2\n")  // negative
+	f.Add("0 1 9\n") // trailing fields tolerated
+	f.Add("99999999999999999999 1\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		// Keep implicit vertex allocation fuzz-sized: any token longer than
+		// five digits would ask the builder for >100k vertices per line.
+		for _, fld := range strings.Fields(s) {
+			if len(fld) > 5 {
+				t.Skip("oversized token")
+			}
+		}
+		g, err := LoadEdgeList(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser accepted %q but built an invalid graph: %v", s, err)
+		}
+	})
+}
+
+// FuzzLoadAttributed fuzzes the vertex-attribute parser against a fixed
+// tiny edge list (the attribute file is the untrusted half: ids, names, and
+// keyword fields all come from the user).
+func FuzzLoadAttributed(f *testing.F) {
+	f.Add("0\tAlice\tgraphs cores\n1\tBob\n")
+	f.Add("2\t\tkw only\n")
+	f.Add("-5\tEve\tboom\n")
+	f.Add("0\n")
+	f.Add("bad\tX\n")
+
+	f.Fuzz(func(t *testing.T, attrs string) {
+		for _, line := range strings.Split(attrs, "\n") {
+			id, _, _ := strings.Cut(line, "\t")
+			if len(strings.TrimSpace(id)) > 5 {
+				t.Skip("oversized id token")
+			}
+		}
+		g, err := LoadAttributed(strings.NewReader("0 1\n1 2\n"), strings.NewReader(attrs))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("attribute parser accepted %q but built an invalid graph: %v", attrs, err)
+		}
+	})
+}

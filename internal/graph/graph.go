@@ -47,6 +47,24 @@ func (g *Graph) Neighbors(v int32) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// ForEachNeighbor calls fn for every neighbor of v in ascending order; fn
+// returning false stops the walk. It exists so Graph and graph.Overlay
+// satisfy the same adjacency surface (kcore.Adjacency) and incremental
+// index maintenance can run against either.
+func (g *Graph) ForEachNeighbor(v int32, fn func(u int32) bool) {
+	for _, u := range g.Neighbors(v) {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// FlatNeighbors is the slice-returning fast path of the adjacency surface
+// (always available on a frozen graph; see Overlay.FlatNeighbors).
+func (g *Graph) FlatNeighbors(v int32) ([]int32, bool) {
+	return g.Neighbors(v), true
+}
+
 // HasEdge reports whether {u,v} is an edge, via binary search on the shorter
 // adjacency list.
 func (g *Graph) HasEdge(u, v int32) bool {

@@ -17,6 +17,12 @@ import (
 //     id optional.
 //   - A single JSON document combining both (the format the web UI posts).
 
+// MaxLoadVertexID bounds vertex ids accepted by the text loaders: ids are
+// dense, so a single absurd id would force allocation of that many implicit
+// vertices. 1<<26 (67M) is far above any graph this system targets while
+// keeping a hostile or corrupt input from requesting gigabytes.
+const MaxLoadVertexID = 1 << 26
+
 // LoadEdgeList parses an edge-list stream into a new Graph with anonymous,
 // keyword-less vertices.
 func LoadEdgeList(r io.Reader) (*Graph, error) {
@@ -53,6 +59,9 @@ func readEdgeList(r io.Reader, b *Builder) error {
 		if u < 0 || v < 0 {
 			return fmt.Errorf("edge list line %d: negative vertex id", lineno)
 		}
+		if u > MaxLoadVertexID || v > MaxLoadVertexID {
+			return fmt.Errorf("edge list line %d: vertex id exceeds limit %d", lineno, MaxLoadVertexID)
+		}
 		b.AddEdge(int32(u), int32(v))
 	}
 	return sc.Err()
@@ -87,6 +96,9 @@ func readAttributes(r io.Reader, b *Builder) error {
 		id64, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 32)
 		if err != nil {
 			return fmt.Errorf("attributes line %d: bad id: %v", lineno, err)
+		}
+		if id64 < 0 || id64 > MaxLoadVertexID {
+			return fmt.Errorf("attributes line %d: vertex id %d out of range [0,%d]", lineno, id64, MaxLoadVertexID)
 		}
 		id := int32(id64)
 		b.AddVertexIDs(id)
@@ -133,8 +145,8 @@ func LoadJSON(r io.Reader) (*Graph, error) {
 func FromJSONGraph(jg *JSONGraph) (*Graph, error) {
 	b := NewBuilder(len(jg.Vertices), len(jg.Edges))
 	for _, v := range jg.Vertices {
-		if v.ID < 0 {
-			return nil, fmt.Errorf("graph json: negative vertex id %d", v.ID)
+		if v.ID < 0 || v.ID > MaxLoadVertexID {
+			return nil, fmt.Errorf("graph json: vertex id %d out of range [0,%d]", v.ID, MaxLoadVertexID)
 		}
 		b.AddVertexIDs(v.ID)
 		if v.Name != "" {
@@ -149,8 +161,8 @@ func FromJSONGraph(jg *JSONGraph) (*Graph, error) {
 		}
 	}
 	for _, e := range jg.Edges {
-		if e[0] < 0 || e[1] < 0 {
-			return nil, fmt.Errorf("graph json: negative vertex id in edge %v", e)
+		if e[0] < 0 || e[1] < 0 || e[0] > MaxLoadVertexID || e[1] > MaxLoadVertexID {
+			return nil, fmt.Errorf("graph json: vertex id out of range [0,%d] in edge %v", MaxLoadVertexID, e)
 		}
 		b.AddEdge(e[0], e[1])
 	}

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Vocab interns keyword strings to dense int32 IDs. The ACQ engine, CL-tree
 // inverted lists, and all metric code operate on interned IDs; strings only
@@ -68,6 +71,20 @@ func VocabFromWords(words []string) (*Vocab, error) {
 		v.byWord[w] = int32(i)
 	}
 	return v, nil
+}
+
+// Clone returns an independent copy of the vocabulary. Overlay materialization
+// uses it for copy-on-write: mutation batches that intern new keywords clone
+// first, so graphs sharing the original vocabulary never observe a write.
+func (v *Vocab) Clone() *Vocab {
+	c := &Vocab{
+		byWord: make(map[string]int32, len(v.byWord)),
+		words:  slices.Clone(v.words),
+	}
+	for w, id := range v.byWord {
+		c.byWord[w] = id
+	}
+	return c
 }
 
 // InternAll interns every string in ws and returns the sorted, deduplicated

@@ -1,0 +1,331 @@
+// Incremental core-number maintenance under streaming edge mutations: the
+// subcore algorithms of Sarıyüce et al. ("Streaming Algorithms for k-Core
+// Decomposition", VLDB 2013). A single edge insertion can raise core
+// numbers by at most one, and only for vertices in the subcore reachable
+// from the lower-core endpoint; a single deletion can lower them by at most
+// one, and the drop propagates only through vertices at that exact core
+// level. Both updates therefore visit O(|affected region|) vertices instead
+// of re-peeling the whole graph — the step the community-search survey
+// names as what separates an offline index demo from an online system.
+package kcore
+
+import "slices"
+
+// Adjacency is the read surface the incremental kernels need. Both
+// *graph.Graph (frozen CSR) and *graph.Overlay (CSR plus an in-flight
+// mutation batch) satisfy it, so core numbers can be maintained op by op
+// while a batch is still accumulating.
+type Adjacency interface {
+	N() int
+	ForEachNeighbor(v int32, fn func(u int32) bool)
+}
+
+// FlatAdjacency is the optional slice fast path: both graph types provide
+// it, and the kernels use it to iterate adjacency with plain range loops
+// instead of per-neighbor callback dispatch.
+type FlatAdjacency interface {
+	FlatNeighbors(v int32) ([]int32, bool)
+}
+
+// Maintainer owns a core-number array and updates it in place as edges
+// stream in and out. All bookkeeping is epoch-stamped dense scratch (the
+// same discipline as Peeler): starting an update is O(1) and the steady
+// state allocates nothing, so a large affected region costs array walks,
+// never hash-map traffic. A Maintainer is a single-goroutine object; create
+// one per mutation batch — or take one from a pool and Reset it, which
+// reuses the scratch without any clearing.
+type Maintainer struct {
+	core []int32
+
+	mark    []int32 // visited by the current update iff mark[v] == epoch
+	dead    []int32 // evicted from current update iff dead[v] == epoch
+	cd      []int32 // qualified degree, valid while stamped
+	seen    []int32 // candidate / cd-computed iff seen[v] == epoch
+	epoch   int32
+	stack   []int32
+	queue   []int32
+	subcore []int32
+	nbufA   []int32 // neighbor-gather scratch, outer nesting level
+	nbufB   []int32 // neighbor-gather scratch, inner nesting level
+}
+
+// NewMaintainer adopts core (it is updated in place; the caller may keep
+// reading it between updates but must not write it).
+func NewMaintainer(core []int32) *Maintainer {
+	m := &Maintainer{}
+	m.Reset(core)
+	return m
+}
+
+// Reset re-targets the maintainer at a new core array, growing scratch as
+// needed. Existing epoch stamps stay valid (they are all below the next
+// epoch), so a reset costs no clearing — the point of pooling Maintainers
+// across mutation batches.
+func (m *Maintainer) Reset(core []int32) {
+	m.core = core
+	n := len(core)
+	if cap(m.mark) < n {
+		m.mark = make([]int32, n)
+		m.dead = make([]int32, n)
+		m.cd = make([]int32, n)
+		m.seen = make([]int32, n)
+		// Fresh arrays are all zero; keep the running epoch (stamps in the
+		// new arrays can never collide with it, and stamps in any retained
+		// older arrays stay below it).
+		return
+	}
+	m.mark = m.mark[:n]
+	m.dead = m.dead[:n]
+	m.cd = m.cd[:n]
+	m.seen = m.seen[:n]
+}
+
+// Core returns the maintained array.
+func (m *Maintainer) Core() []int32 { return m.core }
+
+// AddVertex extends the array for one appended (isolated, core-0) vertex.
+func (m *Maintainer) AddVertex() {
+	m.core = append(m.core, 0)
+	m.mark = append(m.mark, 0)
+	m.dead = append(m.dead, 0)
+	m.cd = append(m.cd, 0)
+	m.seen = append(m.seen, 0)
+}
+
+// bump starts a new update epoch.
+func (m *Maintainer) bump() {
+	m.epoch++
+	if m.epoch == 0 { // wrapped; re-zero and restart
+		for i := range m.mark {
+			m.mark[i], m.dead[i], m.seen[i] = 0, 0, 0
+		}
+		m.epoch = 1
+	}
+}
+
+// neighborsInto returns w's adjacency as a plain slice: the graph's own
+// storage on the flat fast path, else gathered into buf. Nested sweeps must
+// pass distinct buffers (nbufA for the outer level, nbufB for the inner).
+func neighborsInto(g Adjacency, flat FlatAdjacency, w int32, buf *[]int32) []int32 {
+	if flat != nil {
+		if ns, ok := flat.FlatNeighbors(w); ok {
+			return ns
+		}
+	}
+	out := (*buf)[:0]
+	g.ForEachNeighbor(w, func(x int32) bool {
+		out = append(out, x)
+		return true
+	})
+	*buf = out
+	return out
+}
+
+// InsertEdge updates core numbers after the edge {u,v} has been inserted
+// into g (the edge must already be visible through g). It returns the
+// vertices whose core number rose (by exactly one), ascending; the slice is
+// only valid until the next update.
+//
+// Let r = min(core[u], core[v]). Only vertices with core number exactly r
+// reachable from the root endpoint(s) through promotable vertices of core r
+// can change. The walk is MCD-pruned: a level-r vertex with fewer than r+1
+// neighbors at core ≥ r can never reach degree r+1 in the (r+1)-core, so it
+// is a barrier the search never expands — promoted vertices always form a
+// connected set through promotable vertices, so nothing behind a barrier
+// can change. The kernel then counts each candidate's qualified degree
+// (neighbors already above r, or fellow candidates) and peels candidates
+// that cannot reach degree r+1; the survivors are exactly the vertices
+// promoted to r+1.
+func (m *Maintainer) InsertEdge(g Adjacency, u, v int32) []int32 {
+	flat, _ := g.(FlatAdjacency)
+	core := m.core
+	r := core[u]
+	if core[v] < r {
+		r = core[v]
+	}
+	m.bump()
+
+	mcdOK := func(w int32) bool {
+		n := int32(0)
+		for _, x := range neighborsInto(g, flat, w, &m.nbufB) {
+			if core[x] >= r {
+				n++
+				if n > r {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	m.stack = m.stack[:0]
+	m.subcore = m.subcore[:0]
+	if core[u] == r {
+		m.mark[u] = m.epoch
+		if mcdOK(u) {
+			m.stack = append(m.stack, u)
+		}
+	}
+	if core[v] == r && m.mark[v] != m.epoch {
+		m.mark[v] = m.epoch
+		if mcdOK(v) {
+			m.stack = append(m.stack, v)
+		}
+	}
+	for len(m.stack) > 0 {
+		w := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		m.subcore = append(m.subcore, w)
+		for _, x := range neighborsInto(g, flat, w, &m.nbufA) {
+			if core[x] == r && m.mark[x] != m.epoch {
+				m.mark[x] = m.epoch
+				if mcdOK(x) {
+					m.stack = append(m.stack, x)
+				}
+			}
+		}
+	}
+	// mark stamped every visited vertex, barriers included; candidacy is
+	// "collected into subcore". Restamp candidates in seen so the passes
+	// below tell the two apart in O(1).
+	for _, w := range m.subcore {
+		m.seen[w] = m.epoch
+	}
+
+	// Qualified degree: support a candidate would have in the (r+1)-core if
+	// every current candidate survived. Barriers never qualify, so they are
+	// excluded exactly like any other level-r outsider.
+	for _, w := range m.subcore {
+		n := int32(0)
+		for _, x := range neighborsInto(g, flat, w, &m.nbufA) {
+			if core[x] > r || m.seen[x] == m.epoch {
+				n++
+			}
+		}
+		m.cd[w] = n
+	}
+
+	// Peel candidates that cannot reach degree r+1; evictions propagate.
+	m.queue = m.queue[:0]
+	for _, w := range m.subcore {
+		if m.cd[w] < r+1 {
+			m.dead[w] = m.epoch
+			m.queue = append(m.queue, w)
+		}
+	}
+	for len(m.queue) > 0 {
+		w := m.queue[len(m.queue)-1]
+		m.queue = m.queue[:len(m.queue)-1]
+		for _, x := range neighborsInto(g, flat, w, &m.nbufA) {
+			if m.seen[x] == m.epoch && m.dead[x] != m.epoch {
+				m.cd[x]--
+				if m.cd[x] < r+1 {
+					m.dead[x] = m.epoch
+					m.queue = append(m.queue, x)
+				}
+			}
+		}
+	}
+
+	changed := m.subcore[:0]
+	for _, w := range m.subcore {
+		if m.dead[w] != m.epoch {
+			core[w] = r + 1
+			changed = append(changed, w)
+		}
+	}
+	m.subcore = changed
+	slices.Sort(changed)
+	return changed
+}
+
+// RemoveEdge updates core numbers after the edge {u,v} has been removed
+// from g (the edge must no longer be visible through g). It returns the
+// vertices whose core number dropped (by exactly one), ascending; the slice
+// is only valid until the next update.
+//
+// Let r = min(core[u], core[v]). Only vertices at level r can drop, and
+// only via an eviction cascade seeded at the endpoint(s) sitting at r: a
+// vertex stays at r iff it keeps at least r neighbors with core ≥ r.
+// Qualified degrees are computed lazily, so the kernel touches exactly the
+// cascade's frontier and nothing else.
+func (m *Maintainer) RemoveEdge(g Adjacency, u, v int32) []int32 {
+	flat, _ := g.(FlatAdjacency)
+	core := m.core
+	r := core[u]
+	if core[v] < r {
+		r = core[v]
+	}
+	if r <= 0 {
+		return nil
+	}
+	m.bump()
+
+	// An evicted vertex has its core set to r-1 when dequeued — before its
+	// neighbors are examined — so a lazy qualified-degree computation never
+	// counts a vertex that has already fallen, and the explicit decrement
+	// covers exactly the vertices that fall later.
+	qualified := func(w int32) int32 {
+		n := int32(0)
+		for _, x := range neighborsInto(g, flat, w, &m.nbufB) {
+			if core[x] >= r {
+				n++
+			}
+		}
+		return n
+	}
+	m.queue = m.queue[:0]
+	seed := func(w int32) {
+		if core[w] != r || m.seen[w] == m.epoch {
+			return
+		}
+		m.seen[w] = m.epoch
+		m.cd[w] = qualified(w)
+		if m.cd[w] < r {
+			m.dead[w] = m.epoch
+			m.queue = append(m.queue, w)
+		}
+	}
+	seed(u)
+	seed(v)
+
+	m.subcore = m.subcore[:0]
+	for len(m.queue) > 0 {
+		w := m.queue[len(m.queue)-1]
+		m.queue = m.queue[:len(m.queue)-1]
+		core[w] = r - 1
+		m.subcore = append(m.subcore, w)
+		for _, x := range neighborsInto(g, flat, w, &m.nbufA) {
+			if core[x] != r || m.dead[x] == m.epoch {
+				continue
+			}
+			if m.seen[x] != m.epoch {
+				// First touch: the count below already excludes w (its core
+				// was lowered above), so no extra decrement.
+				m.seen[x] = m.epoch
+				m.cd[x] = qualified(x)
+			} else {
+				m.cd[x]--
+			}
+			if m.cd[x] < r {
+				m.dead[x] = m.epoch
+				m.queue = append(m.queue, x)
+			}
+		}
+	}
+	changed := m.subcore
+	slices.Sort(changed)
+	return changed
+}
+
+// InsertEdge is the one-shot form of Maintainer.InsertEdge: it updates core
+// in place and returns the promoted vertices. Convenient for tests and
+// single updates; batch paths should hold a Maintainer instead (this
+// allocates O(n) scratch per call).
+func InsertEdge(g Adjacency, core []int32, u, v int32) []int32 {
+	return slices.Clone(NewMaintainer(core).InsertEdge(g, u, v))
+}
+
+// RemoveEdge is the one-shot form of Maintainer.RemoveEdge.
+func RemoveEdge(g Adjacency, core []int32, u, v int32) []int32 {
+	return slices.Clone(NewMaintainer(core).RemoveEdge(g, u, v))
+}

@@ -1,0 +1,135 @@
+package kcore
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"cexplorer/internal/graph"
+)
+
+// TestIncrementalMatchesDecompose drives long random insert/delete streams
+// through the subcore kernels and checks, after every single op, that the
+// maintained core numbers equal a from-scratch Batagelj–Zaveršnik peel of
+// the current graph — the defining invariant of the dynamic subsystem.
+func TestIncrementalMatchesDecompose(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24 + rng.Intn(40)
+		b := graph.NewBuilder(n, 2*n)
+		b.AddVertexIDs(int32(n - 1))
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		o := graph.NewOverlay(b.MustBuild())
+		core := Decompose(mustMaterialize(t, o))
+
+		for step := 0; step < 400; step++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			var changed []int32
+			if o.HasEdge(u, v) {
+				if err := o.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				changed = RemoveEdge(o, core, u, v)
+			} else {
+				if err := o.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				changed = InsertEdge(o, core, u, v)
+			}
+			want := Decompose(mustMaterialize(t, o))
+			if !slices.Equal(core, want) {
+				t.Fatalf("seed %d step %d: after op on {%d,%d} (changed %v):\n got %v\nwant %v",
+					seed, step, u, v, changed, core, want)
+			}
+			for _, c := range changed {
+				if core[c] != want[c] {
+					t.Fatalf("seed %d step %d: changed list lies about %d", seed, step, c)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalOnOverlayMidBatch checks the kernels read the overlay's
+// merged adjacency, not the frozen base: several ops accumulate without
+// materializing and the final numbers still match a rebuild.
+func TestIncrementalOnOverlayMidBatch(t *testing.T) {
+	b := graph.NewBuilder(8, 10)
+	b.AddVertexIDs(7)
+	// Two triangles joined by a bridge.
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	o := graph.NewOverlay(b.MustBuild())
+	core := Decompose(mustMaterialize(t, o))
+
+	ops := [][3]int32{ // {u, v, 1=insert 0=delete}
+		{0, 3, 1}, {1, 4, 1}, {2, 5, 1}, // weld the triangles into a dense block
+		{2, 3, 0},            // then cut the original bridge
+		{6, 7, 1}, {6, 0, 1}, // and grow a pendant path
+	}
+	for _, op := range ops {
+		u, v := op[0], op[1]
+		if op[2] == 1 {
+			if err := o.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			InsertEdge(o, core, u, v)
+		} else {
+			if err := o.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			RemoveEdge(o, core, u, v)
+		}
+	}
+	want := Decompose(mustMaterialize(t, o))
+	if !slices.Equal(core, want) {
+		t.Fatalf("mid-batch maintenance diverged:\n got %v\nwant %v", core, want)
+	}
+}
+
+// TestInsertIsolatedVertices covers the r=0 boundary: the first edge of an
+// isolated vertex, and a fresh vertex appended mid-stream.
+func TestInsertIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder(3, 1)
+	b.AddVertexIDs(2)
+	o := graph.NewOverlay(b.MustBuild())
+	core := []int32{0, 0, 0}
+
+	if err := o.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	changed := InsertEdge(o, core, 0, 1)
+	if !slices.Equal(core, []int32{1, 1, 0}) {
+		t.Fatalf("after first edge: core %v", core)
+	}
+	if !slices.Equal(changed, []int32{0, 1}) {
+		t.Fatalf("changed %v, want [0 1]", changed)
+	}
+
+	id := o.AddVertex("", nil)
+	core = append(core, 0)
+	if err := o.AddEdge(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	InsertEdge(o, core, id, 0)
+	want := Decompose(mustMaterialize(t, o))
+	if !slices.Equal(core, want) {
+		t.Fatalf("after appending vertex: core %v want %v", core, want)
+	}
+}
+
+func mustMaterialize(t *testing.T, o *graph.Overlay) *graph.Graph {
+	t.Helper()
+	g, err := o.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

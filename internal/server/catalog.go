@@ -93,6 +93,16 @@ func (s *Server) LoadSnapshots() (int, error) {
 		s.logf("catalog: %s ready from %s in %s (%d vertices, %d edges, %d bytes)",
 			ds.Name, fname, elapsed.Round(time.Millisecond),
 			ds.Graph.N(), ds.Graph.M(), ds.Info.SnapshotBytes)
+		// Replay the mutation journal's tail: batches acknowledged after
+		// the snapshot was last written, so a warm restart resumes at the
+		// exact version the previous process served.
+		if n, err := s.replayJournal(ds.Name, ds.Version); err != nil {
+			s.logf("catalog: %s: journal replay stopped after %d ops: %v", ds.Name, n, err)
+			s.stats.snapshotLoadErrors.Add(1)
+		} else if n > 0 {
+			cur, _ := s.exp.Dataset(ds.Name)
+			s.logf("catalog: %s replayed %d journaled ops (now version %d)", ds.Name, n, cur.Version)
+		}
 		loaded++
 	}
 	return loaded, nil
@@ -102,18 +112,41 @@ func (s *Server) LoadSnapshots() (int, error) {
 // any missing indexes first) and returns the encoded size. It is a no-op
 // returning (0, nil) when no data dir is configured.
 func (s *Server) PersistDataset(ds *api.Dataset) (int64, error) {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	return s.persistDatasetLocked(ds, false)
+}
+
+// persistDatasetLocked is PersistDataset under an already-held journalMu
+// (the compaction path holds it across the append that triggered it).
+// residentOnly skips forced index builds — compaction runs on the mutation
+// request path and must not pay a from-scratch truss decomposition there.
+func (s *Server) persistDatasetLocked(ds *api.Dataset, residentOnly bool) (int64, error) {
 	dir := s.DataDir()
 	if dir == "" {
 		return 0, nil
 	}
 	start := time.Now()
-	n, err := ds.WriteSnapshotFile(snapshotPath(dir, ds.Name))
+	var (
+		n   int64
+		err error
+	)
+	if residentOnly {
+		n, err = ds.WriteResidentSnapshotFile(snapshotPath(dir, ds.Name))
+	} else {
+		n, err = ds.WriteSnapshotFile(snapshotPath(dir, ds.Name))
+	}
 	if err != nil {
 		return 0, err
 	}
 	elapsed := time.Since(start)
 	s.stats.snapshotPersists.Add(1)
 	s.stats.snapshotPersistNanos.Add(elapsed.Nanoseconds())
+	// A full persist supersedes every journaled batch (the snapshot now
+	// embeds the dataset's version); drop the journal so a restart does not
+	// replay stale records onto a newer — or, after a re-upload, entirely
+	// different — base.
+	s.resetJournalLocked(ds.Name)
 	s.logf("catalog: persisted %s (%d bytes) in %s", ds.Name, n, elapsed.Round(time.Millisecond))
 	return n, nil
 }

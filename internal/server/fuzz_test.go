@@ -1,0 +1,38 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"cexplorer/internal/api"
+)
+
+// FuzzParseMutationRequest drives arbitrary bytes through the mutation
+// request parser: every rejection must be a typed ErrInvalidMutation (so
+// the HTTP layer answers a clean 400) and every acceptance a well-formed,
+// non-empty batch. Panics are outlawed.
+func FuzzParseMutationRequest(f *testing.F) {
+	f.Add([]byte(`{"op":"addEdge","u":1,"v":2}`))
+	f.Add([]byte(`{"mutations":[{"op":"addEdge","u":1,"v":2},{"op":"removeEdge","u":3,"v":4}]}`))
+	f.Add([]byte(`{"op":"addVertex","name":"x","keywords":["a","b"]}`))
+	f.Add([]byte(`{"mutations":[],"op":""}`))
+	f.Add([]byte(`{"mutations":[{"op":"addEdge"}],"op":"addVertex"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"op":123}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ops, err := parseMutationRequest(body)
+		if err != nil {
+			if !errors.Is(err, api.ErrInvalidMutation) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		if len(ops) == 0 {
+			t.Fatalf("parser accepted %q but returned an empty batch", body)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package server
+
+// The one home of the HTTP plumbing shared by the legacy flat routes and
+// the /api/v1 tree: the JSON error envelope, status mapping for typed API
+// errors, response encoding, request decoding, and list pagination. Both
+// route families funnel through these helpers, so the two surfaces cannot
+// drift apart in how they report failures or slice pages.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"cexplorer/internal/api"
+)
+
+// StatusClientClosedRequest is the (de facto, nginx-originated) status for
+// a request whose client went away before the response: our mapping for
+// api.ErrCanceled.
+const StatusClientClosedRequest = 499
+
+// errStatus maps a typed API error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, api.ErrDatasetNotFound),
+		errors.Is(err, api.ErrVertexNotFound),
+		errors.Is(err, api.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, api.ErrUnknownAlgorithm),
+		errors.Is(err, api.ErrInvalidQuery),
+		errors.Is(err, api.ErrInvalidMutation):
+		return http.StatusBadRequest
+	case errors.Is(err, api.ErrMutationConflict):
+		return http.StatusConflict
+	case errors.Is(err, api.ErrCanceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, api.ErrTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeEnvelope renders the single JSON error envelope every failure on
+// both route families arrives in:
+//
+//	{"error": "<human message>", "code": "<machine code>"}
+//
+// The "error" field stays a plain string for compatibility with pre-v1
+// clients (and the embedded UI) that surface it directly.
+func writeEnvelope(w http.ResponseWriter, status int, msg, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}
+
+// httpError is the envelope writer for handler-level failures that carry no
+// typed error (malformed bodies, upload validation); the code is derived
+// from the status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	c := "internal"
+	switch code {
+	case http.StatusBadRequest:
+		c = "bad_request"
+	case http.StatusNotFound:
+		c = "not_found"
+	case http.StatusServiceUnavailable:
+		c = "unavailable"
+	}
+	writeEnvelope(w, code, fmt.Sprintf(format, args...), c)
+}
+
+// writeJSON encodes a success payload.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// decodeBody decodes a JSON request body into v, answering the envelope's
+// 400 itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return false
+	}
+	return true
+}
+
+// pageOf slices list to the (limit, offset) window and reports the total.
+// limit ≤ 0 means "everything after offset"; a negative offset is treated
+// as 0; an offset past the end yields an empty page.
+func pageOf[T any](list []T, limit, offset int) ([]T, int) {
+	total := len(list)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	list = list[offset:]
+	if limit > 0 && len(list) > limit {
+		list = list[:limit]
+	}
+	return list, total
+}
+
+// msec renders a duration as fractional milliseconds for JSON payloads.
+func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"testing"
+
+	"cexplorer/internal/api"
+)
+
+// The consolidated HTTP plumbing (http.go) is the single funnel both route
+// families share; these tables pin its behavior.
+
+func TestPageOf(t *testing.T) {
+	list := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cases := []struct {
+		name          string
+		limit, offset int
+		want          []int
+	}{
+		{"all", 0, 0, list},
+		{"first page", 3, 0, []int{0, 1, 2}},
+		{"middle page", 3, 3, []int{3, 4, 5}},
+		{"ragged last page", 4, 8, []int{8, 9}},
+		{"offset past end", 5, 99, []int{}},
+		{"offset at end", 5, 10, []int{}},
+		{"negative offset", 2, -7, []int{0, 1}},
+		{"negative limit means all", -1, 4, []int{4, 5, 6, 7, 8, 9}},
+		{"limit beyond length", 100, 0, list},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			page, total := pageOf(list, tc.limit, tc.offset)
+			if total != len(list) {
+				t.Fatalf("total = %d, want %d", total, len(list))
+			}
+			if !slices.Equal(page, tc.want) {
+				t.Fatalf("page = %v, want %v", page, tc.want)
+			}
+		})
+	}
+	// Empty input never faults.
+	if page, total := pageOf([]int(nil), 5, 5); total != 0 || len(page) != 0 {
+		t.Fatalf("nil list: page=%v total=%d", page, total)
+	}
+}
+
+func TestErrStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{api.ErrDatasetNotFound, 404, "dataset_not_found"},
+		{api.ErrVertexNotFound, 404, "vertex_not_found"},
+		{api.ErrSessionNotFound, 404, "session_not_found"},
+		{api.ErrUnknownAlgorithm, 400, "unknown_algorithm"},
+		{api.ErrInvalidQuery, 400, "invalid_query"},
+		{api.ErrInvalidMutation, 400, "invalid_mutation"},
+		{api.ErrMutationConflict, 409, "mutation_conflict"},
+		{api.ErrCanceled, StatusClientClosedRequest, "canceled"},
+		{api.ErrTimeout, 504, "timeout"},
+		{errors.New("mystery"), 500, "internal"},
+		{fmt.Errorf("wrapped: %w", api.ErrMutationConflict), 409, "mutation_conflict"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			if got := errStatus(tc.err); got != tc.status {
+				t.Errorf("errStatus(%v) = %d, want %d", tc.err, got, tc.status)
+			}
+			if got := api.ErrorCode(tc.err); got != tc.code {
+				t.Errorf("ErrorCode(%v) = %q, want %q", tc.err, got, tc.code)
+			}
+		})
+	}
+}
+
+func TestHTTPErrorEnvelope(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{http.StatusBadRequest, "bad_request"},
+		{http.StatusNotFound, "not_found"},
+		{http.StatusServiceUnavailable, "unavailable"},
+		{http.StatusInternalServerError, "internal"},
+		{http.StatusTeapot, "internal"}, // anything unmapped stays internal
+	}
+	for _, tc := range cases {
+		t.Run(tc.code, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			httpError(rec, tc.status, "boom %d", tc.status)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content type %q", ct)
+			}
+			var env envelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Code != tc.code || env.Error != fmt.Sprintf("boom %d", tc.status) {
+				t.Fatalf("envelope = %+v", env)
+			}
+		})
+	}
+}

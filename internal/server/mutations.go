@@ -1,0 +1,266 @@
+package server
+
+// The streaming-mutation surface:
+//
+//	POST /api/v1/datasets/{name}/mutations
+//
+// accepts one op or a batch, applies it through Explorer.Mutate (atomic
+// copy-on-write version swap; in-flight searches keep their version), and —
+// when a data directory is configured — appends the batch to the dataset's
+// mutation journal before answering, so a warm restart replays the tail
+// instead of losing acknowledged writes. Once a journal accumulates enough
+// ops the catalog compacts: the snapshot is rewritten at the current
+// version and the journal dropped.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/snapshot"
+)
+
+// DefaultJournalCompactAfter is how many journaled ops trigger a snapshot
+// rewrite + journal reset. Batches are appended whole, so the threshold is
+// a floor, not an exact trigger point.
+const DefaultJournalCompactAfter = 4096
+
+// mutationRequest is the wire shape of the mutations route: either a batch
+// under "mutations" or a single op inline (both at once is rejected).
+type mutationRequest struct {
+	Mutations []api.Mutation `json:"mutations,omitempty"`
+	// Inline single-op fields.
+	Op       string   `json:"op,omitempty"`
+	U        int32    `json:"u,omitempty"`
+	V        int32    `json:"v,omitempty"`
+	Name     string   `json:"name,omitempty"`
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// parseMutationRequest decodes a request body into the op batch it
+// denotes. It is pure (fuzzable) and returns api.ErrInvalidMutation
+// wrappers for every rejection.
+func parseMutationRequest(body []byte) ([]api.Mutation, error) {
+	var req mutationRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("%w: bad request body: %v", api.ErrInvalidMutation, err)
+	}
+	if len(req.Mutations) > 0 && req.Op != "" {
+		return nil, fmt.Errorf("%w: both a batch and an inline op given", api.ErrInvalidMutation)
+	}
+	if len(req.Mutations) > 0 {
+		return req.Mutations, nil
+	}
+	if req.Op == "" {
+		return nil, fmt.Errorf("%w: no mutations given", api.ErrInvalidMutation)
+	}
+	return []api.Mutation{{Op: req.Op, U: req.U, V: req.V, Name: req.Name, Keywords: req.Keywords}}, nil
+}
+
+// mutationResponse is the route's success payload.
+type mutationResponse struct {
+	api.MutationResult
+	ElapsedMS float64 `json:"elapsedMs"`
+	// Journaled reports whether the batch was durably journaled (false when
+	// no data directory is configured — memory-only serving).
+	Journaled bool `json:"journaled"`
+	// Compacted reports that this batch tripped journal compaction (the
+	// snapshot was rewritten and the journal reset).
+	Compacted bool `json:"compacted,omitempty"`
+}
+
+func (s *Server) v1Mutations(w http.ResponseWriter, r *http.Request) {
+	var body json.RawMessage
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	ops, err := parseMutationRequest(body)
+	if err != nil {
+		s.stats.mutationErrors.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	name := r.PathValue("name")
+	start := time.Now()
+	res, err := s.exp.Mutate(r.Context(), name, ops)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.stats.mutationErrors.Add(1)
+		s.writeError(w, err)
+		return
+	}
+	s.stats.mutationBatches.Add(1)
+	s.stats.mutationOps.Add(int64(len(ops)))
+	s.stats.mutationNanos.Add(elapsed.Nanoseconds())
+	resp := mutationResponse{MutationResult: *res, ElapsedMS: msec(elapsed)}
+	if s.DataDir() != "" {
+		journaled, compacted, jerr := s.journalBatch(name, res.Version, ops)
+		// journaled reflects the append alone: a batch whose record was
+		// fsynced IS durable even when the follow-up compaction failed, and
+		// reporting otherwise would invite a client retry that applies the
+		// batch twice. Failures (append or compaction) are logged loudly.
+		resp.Journaled = journaled
+		resp.Compacted = compacted
+		if jerr != nil {
+			s.logf("mutations %s: %v (journaled=%v)", name, jerr, journaled)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// journalPath maps a dataset name to its mutation journal file.
+func journalPath(dir, name string) string {
+	return snapshotPath(dir, name) + snapshot.JournalExt
+}
+
+// journalBatch appends one applied batch to the dataset's journal and runs
+// compaction when the journal has absorbed enough ops. The whole operation
+// — append, counter, and any compaction — holds journalMu, so the dataset
+// re-fetched for a compaction snapshot is always at least as new as every
+// record the compaction deletes (concurrent batches publish before they
+// append, and their appends queue behind the lock).
+func (s *Server) journalBatch(name string, version uint64, ops []api.Mutation) (journaled, compacted bool, err error) {
+	dir := s.DataDir()
+	if dir == "" {
+		return false, false, nil
+	}
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	rec := snapshot.JournalRecord{Version: version, Ops: toJournalOps(ops)}
+	if err := snapshot.AppendJournal(journalPath(dir, name), rec); err != nil {
+		return false, false, err
+	}
+	s.mu.Lock()
+	if s.journalOps == nil {
+		s.journalOps = make(map[string]int)
+	}
+	s.journalOps[name] += len(ops)
+	pending := s.journalOps[name]
+	threshold := s.journalCompactAfter
+	s.mu.Unlock()
+	if threshold <= 0 {
+		threshold = DefaultJournalCompactAfter
+	}
+	if pending < threshold {
+		return true, false, nil
+	}
+	ds, ok := s.exp.Dataset(name)
+	if !ok {
+		return true, false, nil
+	}
+	if _, err := s.persistDatasetLocked(ds, true); err != nil {
+		return true, false, fmt.Errorf("compaction: %w", err)
+	}
+	return true, true, nil
+}
+
+// SetJournalCompactAfter overrides the compaction threshold (ops per
+// journal); n ≤ 0 restores the default. Test hook and ops knob.
+func (s *Server) SetJournalCompactAfter(n int) {
+	s.mu.Lock()
+	s.journalCompactAfter = n
+	s.mu.Unlock()
+}
+
+// resetJournalLocked drops the dataset's journal and pending-op counter;
+// called after every full snapshot persist (upload, compaction), which
+// supersedes the journal's records. Caller holds journalMu.
+func (s *Server) resetJournalLocked(name string) {
+	dir := s.DataDir()
+	if dir == "" {
+		return
+	}
+	if err := os.Remove(journalPath(dir, name)); err != nil && !os.IsNotExist(err) {
+		s.logf("catalog: removing journal for %s: %v", name, err)
+	}
+	s.mu.Lock()
+	delete(s.journalOps, name)
+	s.mu.Unlock()
+}
+
+// replayJournal applies the journal records a freshly loaded snapshot
+// predates, bringing the dataset to its last acknowledged version. Records
+// at or below the snapshot's version are skipped (the snapshot already
+// contains them). Versions are unique per lineage but append order is not
+// publish order (the journal lock is taken after the version swap), so
+// records are sorted by version and required to be contiguous — a gap
+// means records are missing and replay stops rather than applying batches
+// against the wrong base. Returns how many ops were replayed.
+func (s *Server) replayJournal(name string, baseVersion uint64) (int, error) {
+	dir := s.DataDir()
+	if dir == "" {
+		return 0, nil
+	}
+	recs, dropped, err := snapshot.ReadJournal(journalPath(dir, name))
+	if err != nil {
+		return 0, err
+	}
+	if dropped > 0 {
+		s.logf("catalog: journal for %s: dropped %d trailing bytes (crash tail)", name, dropped)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Version < recs[j].Version })
+	replayed := 0
+	next := baseVersion + 1
+	for _, rec := range recs {
+		if rec.Version <= baseVersion {
+			continue
+		}
+		if rec.Version != next {
+			return replayed, fmt.Errorf("journal gap: have version %d, want %d", rec.Version, next)
+		}
+		ops := fromJournalOps(rec.Ops)
+		if _, err := s.exp.Mutate(context.Background(), name, ops); err != nil {
+			return replayed, fmt.Errorf("replaying batch for version %d: %w", rec.Version, err)
+		}
+		replayed += len(ops)
+		next++
+	}
+	if replayed > 0 {
+		s.mu.Lock()
+		if s.journalOps == nil {
+			s.journalOps = make(map[string]int)
+		}
+		s.journalOps[name] += replayed
+		s.mu.Unlock()
+	}
+	return replayed, nil
+}
+
+func toJournalOps(ops []api.Mutation) []snapshot.JournalOp {
+	out := make([]snapshot.JournalOp, len(ops))
+	for i, op := range ops {
+		j := snapshot.JournalOp{U: op.U, V: op.V, Name: op.Name, Keywords: op.Keywords}
+		switch op.Op {
+		case api.OpAddEdge:
+			j.Kind = snapshot.JournalAddEdge
+		case api.OpRemoveEdge:
+			j.Kind = snapshot.JournalRemoveEdge
+		case api.OpAddVertex:
+			j.Kind = snapshot.JournalAddVertex
+		}
+		out[i] = j
+	}
+	return out
+}
+
+func fromJournalOps(ops []snapshot.JournalOp) []api.Mutation {
+	out := make([]api.Mutation, len(ops))
+	for i, j := range ops {
+		op := api.Mutation{U: j.U, V: j.V, Name: j.Name, Keywords: j.Keywords}
+		switch j.Kind {
+		case snapshot.JournalAddEdge:
+			op.Op = api.OpAddEdge
+		case snapshot.JournalRemoveEdge:
+			op.Op = api.OpRemoveEdge
+		case snapshot.JournalAddVertex:
+			op.Op = api.OpAddVertex
+		}
+		out[i] = op
+	}
+	return out
+}

@@ -34,7 +34,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime"
 	"sort"
@@ -54,6 +53,16 @@ type Server struct {
 	mu       sync.RWMutex
 	profiles map[string]map[int32]gen.Profile // dataset -> vertex -> profile
 	dataDir  string                           // snapshot catalog directory; "" disables persistence
+
+	// journalMu serializes every journal append, reset, and compaction (a
+	// compaction persists the dataset it re-fetches under this lock, so a
+	// record appended by a concurrent batch can never be deleted before
+	// the snapshot that supersedes it exists). journalOps tracks ops
+	// journaled per dataset since its last full persist; crossing
+	// journalCompactAfter triggers compaction.
+	journalMu           sync.Mutex
+	journalOps          map[string]int
+	journalCompactAfter int
 
 	logf func(format string, args ...any)
 
@@ -90,6 +99,13 @@ type serverStats struct {
 	// Early-exit counters for search-class requests.
 	canceled atomic.Int64
 	timedOut atomic.Int64
+
+	// Mutation counters: applied batches/ops, rejected requests, and the
+	// wall time spent inside Explorer.Mutate.
+	mutationBatches atomic.Int64
+	mutationOps     atomic.Int64
+	mutationErrors  atomic.Int64
+	mutationNanos   atomic.Int64
 }
 
 // StatsSnapshot is the /api/stats payload.
@@ -112,6 +128,13 @@ type StatsSnapshot struct {
 	SnapshotLoadErrors int64   `json:"snapshotLoadErrors,omitempty"`
 	SnapshotPersists   int64   `json:"snapshotPersists"`
 	SnapshotPersistMS  float64 `json:"snapshotPersistMs"`
+
+	// Mutation counters: applied batches and ops, rejected mutation
+	// requests, and the average in-engine apply time.
+	MutationBatches int64   `json:"mutationBatches"`
+	MutationOps     int64   `json:"mutationOps"`
+	MutationErrors  int64   `json:"mutationErrors,omitempty"`
+	AvgMutationMS   float64 `json:"avgMutationMs"`
 
 	// Canceled and TimedOut count search-class requests that ended early
 	// because the client went away or the search timeout expired — both
@@ -203,6 +226,12 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	if snap.Searches > 0 {
 		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
+	}
+	snap.MutationBatches = s.stats.mutationBatches.Load()
+	snap.MutationOps = s.stats.mutationOps.Load()
+	snap.MutationErrors = s.stats.mutationErrors.Load()
+	if snap.MutationBatches > 0 {
+		snap.AvgMutationMS = float64(s.stats.mutationNanos.Load()) / float64(snap.MutationBatches) / 1e6
 	}
 	return snap
 }
@@ -331,38 +360,9 @@ func slotErr(ctx context.Context) error {
 	return fmt.Errorf("%w: while queued for a search slot", api.ErrCanceled)
 }
 
-// StatusClientClosedRequest is the (de facto, nginx-originated) status for
-// a request whose client went away before the response: our mapping for
-// api.ErrCanceled.
-const StatusClientClosedRequest = 499
-
-// errStatus maps a typed API error to its HTTP status.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, api.ErrDatasetNotFound),
-		errors.Is(err, api.ErrVertexNotFound),
-		errors.Is(err, api.ErrSessionNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, api.ErrUnknownAlgorithm),
-		errors.Is(err, api.ErrInvalidQuery):
-		return http.StatusBadRequest
-	case errors.Is(err, api.ErrCanceled):
-		return StatusClientClosedRequest
-	case errors.Is(err, api.ErrTimeout):
-		return http.StatusGatewayTimeout
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// writeError renders the single JSON error envelope for a typed error:
-//
-//	{"error": "<human message>", "code": "<machine code>"}
-//
-// The "error" field stays a plain string for compatibility with pre-v1
-// clients (and the embedded UI) that surface it directly. Cancellations and
-// timeouts also bump their stats counters here, the one funnel every
-// search-class failure passes through.
+// writeError renders the shared error envelope (see http.go) for a typed
+// error. Cancellations and timeouts also bump their stats counters here,
+// the one funnel every search-class failure passes through.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, api.ErrCanceled):
@@ -371,35 +371,6 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.stats.timedOut.Add(1)
 	}
 	writeEnvelope(w, errStatus(err), err.Error(), api.ErrorCode(err))
-}
-
-func writeEnvelope(w http.ResponseWriter, status int, msg, code string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
-}
-
-// httpError is the envelope writer for handler-level failures that carry no
-// typed error (malformed bodies, upload validation); the code is derived
-// from the status.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	c := "internal"
-	switch code {
-	case http.StatusBadRequest:
-		c = "bad_request"
-	case http.StatusNotFound:
-		c = "not_found"
-	case http.StatusServiceUnavailable:
-		c = "unavailable"
-	}
-	writeEnvelope(w, code, fmt.Sprintf(format, args...), c)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
 }
 
 // --- request/response DTOs ---
@@ -527,6 +498,9 @@ type graphInfo struct {
 	Name     string `json:"name"`
 	Vertices int    `json:"vertices"`
 	Edges    int    `json:"edges"`
+	// Version counts the mutation batches absorbed by this dataset's
+	// lineage (0 for a never-mutated dataset).
+	Version uint64 `json:"version"`
 	// Bytes is the in-memory graph footprint; Source, LoadMS, and
 	// SnapshotBytes describe provenance (built in process vs loaded
 	// from the catalog); Indexes reports which indexes are resident.
@@ -542,6 +516,7 @@ func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 		Name:          name,
 		Vertices:      ds.Graph.N(),
 		Edges:         ds.Graph.M(),
+		Version:       ds.Version,
 		Bytes:         ds.Graph.Bytes(),
 		Source:        ds.Info.Source,
 		LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
@@ -684,8 +659,6 @@ func (s *Server) execSearch(r *http.Request, dataset string, req searchRequest) 
 	}
 	return out, total, elapsed, nil
 }
-
-func msec(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // handleDetect is the legacy flat alias; it delegates to the execDetect
 // core (legacy Limit semantics: cap after the largest-first sort).

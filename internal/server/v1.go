@@ -7,6 +7,7 @@ package server
 //	GET    /api/v1/datasets                         — list datasets
 //	GET    /api/v1/datasets/{name}                  — one dataset
 //	GET    /api/v1/datasets/{name}/vertices/{id}    — vertex by id or name
+//	POST   /api/v1/datasets/{name}/mutations        — streaming graph edits
 //	POST   /api/v1/datasets/{name}/search           — CS query (paginated)
 //	POST   /api/v1/datasets/{name}/detect           — CD run (paginated)
 //	POST   /api/v1/datasets/{name}/compare          — Figure-6 table
@@ -25,7 +26,6 @@ package server
 // results for identical queries.
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -38,6 +38,7 @@ func (s *Server) registerV1(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v1/datasets", s.v1ListDatasets)
 	mux.HandleFunc("GET /api/v1/datasets/{name}", s.v1GetDataset)
 	mux.HandleFunc("GET /api/v1/datasets/{name}/vertices/{id}", s.v1GetVertex)
+	mux.HandleFunc("POST /api/v1/datasets/{name}/mutations", s.v1Mutations)
 	mux.HandleFunc("POST /api/v1/datasets/{name}/search", s.v1Search)
 	mux.HandleFunc("POST /api/v1/datasets/{name}/detect", s.v1Detect)
 	mux.HandleFunc("POST /api/v1/datasets/{name}/compare", s.v1Compare)
@@ -48,32 +49,6 @@ func (s *Server) registerV1(mux *http.ServeMux) {
 	mux.HandleFunc("POST /api/v1/datasets/{name}/explore/{id}/step", s.v1ExploreStep)
 	mux.HandleFunc("DELETE /api/v1/datasets/{name}/explore/{id}", s.v1ExploreClose)
 	mux.HandleFunc("GET /api/v1/algorithms", s.v1Algorithms)
-}
-
-// pageOf slices list to the (limit, offset) window and reports the total.
-// limit ≤ 0 means "everything after offset"; a negative offset is treated
-// as 0; an offset past the end yields an empty page.
-func pageOf[T any](list []T, limit, offset int) ([]T, int) {
-	total := len(list)
-	if offset < 0 {
-		offset = 0
-	}
-	if offset > total {
-		offset = total
-	}
-	list = list[offset:]
-	if limit > 0 && len(list) > limit {
-		list = list[:limit]
-	}
-	return list, total
-}
-
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return false
-	}
-	return true
 }
 
 func (s *Server) v1ListDatasets(w http.ResponseWriter, r *http.Request) {

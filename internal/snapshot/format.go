@@ -53,6 +53,7 @@ const (
 	secCore    uint32 = 8  // core numbers, []int32 (n)
 	secTree    uint32 = 9  // CL-tree arenas (cltree.Flat)
 	secTruss   uint32 = 10 // truss decomposition: edge table + trussness
+	secVersion uint32 = 11 // dataset mutation-version counter, uint64
 )
 
 func sectionName(id uint32) string {
@@ -77,6 +78,8 @@ func sectionName(id uint32) string {
 		return "cltree"
 	case secTruss:
 		return "ktruss"
+	case secVersion:
+		return "dataset-version"
 	default:
 		return fmt.Sprintf("unknown(%d)", id)
 	}

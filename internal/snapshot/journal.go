@@ -1,0 +1,223 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The mutation journal: the durability sidecar of the dynamic-graph
+// subsystem. Snapshots are heavyweight full-state files; mutation batches
+// are tiny. Rewriting a multi-megabyte snapshot per batch would make write
+// throughput a function of dataset size, so instead each applied batch
+// appends one framed, checksummed record to <dataset>.cxjournal, and a warm
+// restart replays only the records the base snapshot predates (record
+// version > snapshot version). The catalog periodically compacts: rewrite
+// the snapshot at the current version, drop the journal.
+//
+// On-disk layout (little-endian):
+//
+//	magic   "CXJRNL"              6 bytes
+//	version uint16                currently 1
+//	records, repeated:
+//	    payloadLen uint32
+//	    payload    payloadLen bytes
+//	    crc        uint32         CRC-32C of payload
+//
+// Each payload is one batch: version uint64, opCount uint32, then per op a
+// kind byte and its operands. Appends are atomic-enough by construction: a
+// crash mid-append leaves a truncated or checksum-failing final frame,
+// which Read treats as the end of the journal (reporting how many bytes it
+// dropped), never as corruption of the records before it — the same
+// tail-tolerant discipline as every write-ahead log.
+
+// JournalExt is the conventional extension for mutation journals.
+const JournalExt = ".cxjournal"
+
+const journalVersion = 1
+
+var journalMagic = [6]byte{'C', 'X', 'J', 'R', 'N', 'L'}
+
+// Journal op kinds (part of the format; never renumber).
+const (
+	JournalAddEdge    byte = 1
+	JournalRemoveEdge byte = 2
+	JournalAddVertex  byte = 3
+)
+
+// JournalOp is one graph edit in a journal record.
+type JournalOp struct {
+	Kind     byte
+	U, V     int32  // edge ops
+	Name     string // addVertex
+	Keywords []string
+}
+
+// JournalRecord is one applied mutation batch: the dataset version the
+// batch produced, and its ops in order.
+type JournalRecord struct {
+	Version uint64
+	Ops     []JournalOp
+}
+
+// AppendJournal appends one record to the journal at path, creating the
+// file (with its header) if needed, and syncs before returning so an
+// acknowledged batch survives a crash.
+func AppendJournal(path string, rec JournalRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var out []byte
+	if st.Size() == 0 {
+		out = append(out, journalMagic[:]...)
+		out = binary.LittleEndian.AppendUint16(out, journalVersion)
+	}
+	payload := encodeJournalPayload(rec)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	if _, err := f.Write(out); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+func encodeJournalPayload(rec JournalRecord) []byte {
+	var p []byte
+	p = binary.LittleEndian.AppendUint64(p, rec.Version)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		p = append(p, op.Kind)
+		p = binary.LittleEndian.AppendUint32(p, uint32(op.U))
+		p = binary.LittleEndian.AppendUint32(p, uint32(op.V))
+		p = appendJournalString(p, op.Name)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(op.Keywords)))
+		for _, w := range op.Keywords {
+			p = appendJournalString(p, w)
+		}
+	}
+	return p
+}
+
+func appendJournalString(p []byte, s string) []byte {
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s)))
+	return append(p, s...)
+}
+
+// ReadJournal loads every intact record from the journal at path, in append
+// order. A missing or empty file yields (nil, 0, nil). A truncated or
+// checksum-failing tail — the signature of a crash mid-append — ends the
+// read cleanly, with dropped reporting how many trailing bytes were
+// discarded; a damaged header or record body is an error. The decoder is
+// fully bounds-checked and never panics on arbitrary bytes.
+func ReadJournal(path string) (recs []JournalRecord, dropped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	return DecodeJournal(data)
+}
+
+// DecodeJournal decodes journal bytes already in memory (the fuzz surface
+// behind ReadJournal).
+func DecodeJournal(data []byte) (recs []JournalRecord, dropped int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < len(journalMagic)+2 {
+		return nil, 0, fmt.Errorf("journal: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(journalMagic)]) != string(journalMagic[:]) {
+		return nil, 0, fmt.Errorf("journal: bad magic %q (not a journal file)", data[:len(journalMagic)])
+	}
+	if v := binary.LittleEndian.Uint16(data[len(journalMagic):]); v != journalVersion {
+		return nil, 0, fmt.Errorf("journal: unsupported version %d (this build reads version %d)", v, journalVersion)
+	}
+	off := len(journalMagic) + 2
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			return recs, len(rest), nil // partial frame header: crash tail
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		if plen < 0 || len(rest) < 4+plen+4 {
+			return recs, len(rest), nil // partial frame: crash tail
+		}
+		payload := rest[4 : 4+plen]
+		want := binary.LittleEndian.Uint32(rest[4+plen:])
+		if crc32.Checksum(payload, castagnoli) != want {
+			return recs, len(rest), nil // torn final write: crash tail
+		}
+		rec, derr := decodeJournalPayload(payload)
+		if derr != nil {
+			// The frame checksummed clean but its body is malformed: that is
+			// corruption (or a foreign writer), not a crash tail.
+			return recs, 0, fmt.Errorf("journal: record %d: %w", len(recs), derr)
+		}
+		recs = append(recs, rec)
+		off += 4 + plen + 4
+	}
+	return recs, 0, nil
+}
+
+func decodeJournalPayload(payload []byte) (JournalRecord, error) {
+	cur := &rbuf{b: payload}
+	rec := JournalRecord{Version: cur.u64()}
+	n := cur.u32()
+	for i := uint32(0); i < n && cur.err == nil; i++ {
+		var op JournalOp
+		kb := cur.bytes(1)
+		if cur.err != nil {
+			break
+		}
+		op.Kind = kb[0]
+		if op.Kind != JournalAddEdge && op.Kind != JournalRemoveEdge && op.Kind != JournalAddVertex {
+			return rec, fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		op.U = int32(cur.u32())
+		op.V = int32(cur.u32())
+		op.Name = readJournalString(cur)
+		kws := cur.u32()
+		// Each keyword costs at least 4 encoded bytes; bound before any
+		// allocation so a crafted count cannot request gigabytes.
+		if cur.err == nil && int(kws) > cur.remaining()/4 {
+			return rec, fmt.Errorf("keyword count %d exceeds remaining payload", kws)
+		}
+		for j := uint32(0); j < kws && cur.err == nil; j++ {
+			op.Keywords = append(op.Keywords, readJournalString(cur))
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if cur.err != nil {
+		return rec, cur.err
+	}
+	if cur.remaining() != 0 {
+		return rec, fmt.Errorf("%d trailing bytes after ops", cur.remaining())
+	}
+	return rec, nil
+}
+
+func readJournalString(cur *rbuf) string {
+	n := cur.u32()
+	if cur.err != nil {
+		return ""
+	}
+	if int64(n) > int64(cur.remaining()) {
+		cur.fail("journal: string of %d bytes but %d remain", n, cur.remaining())
+		return ""
+	}
+	return string(cur.bytes(int(n)))
+}

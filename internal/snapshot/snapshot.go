@@ -47,6 +47,13 @@ type Snapshot struct {
 	Tree  *cltree.Tree
 	Truss *ktruss.Decomposition
 
+	// Version is the dataset's mutation-version counter (how many mutation
+	// batches its lineage has absorbed). A warm restart compares it against
+	// the mutation journal to replay only the tail the snapshot predates.
+	// Files written before the dynamic-graph subsystem carry no version
+	// section and load as version 0.
+	Version uint64
+
 	// Created is stamped by Write and restored by Read.
 	Created time.Time
 	// Bytes is the encoded file size, set by Read/ReadFile.
@@ -97,6 +104,13 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 	b.u64(uint64(s.Graph.Vocab().Len()))
 	b.u64(uint64(created.Unix()))
 	b.u64(flags)
+
+	// version counter (omitted at zero, keeping pristine-dataset files
+	// byte-identical with pre-dynamic writers)
+	if s.Version > 0 {
+		b.sectionHeader(secVersion, 8)
+		b.u64(s.Version)
+	}
 
 	// graph
 	b.sectionHeader(secOffsets, i64sLen(len(raw.Offsets)))
@@ -277,6 +291,8 @@ func Decode(data []byte) (*Snapshot, error) {
 			trussRaw[0] = sec.i32s()
 			trussRaw[1] = sec.i32s()
 			sawTruss = true
+		case secVersion:
+			s.Version = sec.u64()
 		default:
 			// Unknown section: skip (forward compatibility).
 		}
@@ -391,18 +407,21 @@ type SectionInfo struct {
 
 // Info is the metadata Inspect reports without materializing the dataset.
 type Info struct {
-	Version  uint16
-	Name     string
-	Vertices int64
-	Edges    int64
-	Keywords int64
-	Named    bool
-	HasCore  bool
-	HasTree  bool
-	HasTruss bool
-	Created  time.Time
-	Sections []SectionInfo
-	Bytes    int64
+	Version uint16
+	// DatasetVersion is the mutation-version counter (0 for files written
+	// before the dynamic-graph subsystem).
+	DatasetVersion uint64
+	Name           string
+	Vertices       int64
+	Edges          int64
+	Keywords       int64
+	Named          bool
+	HasCore        bool
+	HasTree        bool
+	HasTruss       bool
+	Created        time.Time
+	Sections       []SectionInfo
+	Bytes          int64
 }
 
 // Inspect verifies the checksum and walks the section framing, decoding
@@ -428,6 +447,9 @@ func Inspect(r io.Reader) (*Info, error) {
 		info.Sections = append(info.Sections, SectionInfo{
 			ID: id, Name: sectionName(id), Bytes: sectionHdrLen + int64(len(sec.b)),
 		})
+		if id == secVersion {
+			info.DatasetVersion = sec.u64()
+		}
 		if id == secMeta {
 			nameLen := int(sec.u32())
 			info.Name = string(sec.bytes(nameLen))

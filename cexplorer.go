@@ -12,6 +12,7 @@ import (
 	"cexplorer/internal/ktruss"
 	"cexplorer/internal/layout"
 	"cexplorer/internal/metrics"
+	"cexplorer/internal/par"
 	"cexplorer/internal/server"
 )
 
@@ -109,6 +110,15 @@ var TrussDecompose = ktruss.Decompose
 
 // TrussDecomposeContext is TrussDecompose with cooperative cancellation.
 var TrussDecomposeContext = ktruss.DecomposeContext
+
+// TrussDecomposeParallel is TrussDecomposeContext with an explicit worker
+// count for the support-counting phase (≤ 0 = the process default).
+var TrussDecomposeParallel = ktruss.DecomposeParallel
+
+// SetIndexWorkers sets the process-wide worker count used by parallel index
+// construction and the snapshot codec (0 restores the GOMAXPROCS default) —
+// the library-level rendering of the server's -index.workers flag.
+var SetIndexWorkers = par.SetWorkers
 
 // CODICIL community detection.
 type (

@@ -34,6 +34,7 @@ import (
 	"cexplorer/internal/api"
 	"cexplorer/internal/gen"
 	"cexplorer/internal/graph"
+	"cexplorer/internal/par"
 	"cexplorer/internal/server"
 	"cexplorer/internal/snapshot"
 )
@@ -61,9 +62,11 @@ func runServer() {
 		searchLimit   = flag.Int("search.limit", 0, "max concurrent searches (0 = 2×GOMAXPROCS)")
 		searchTimeout = flag.Duration("search.timeout", 0, "deadline per search-class request, queue wait included (0 = none)")
 		exploreTTL    = flag.Duration("explore.ttl", 0, "idle lifetime of exploration sessions (0 = 15m default)")
+		indexWorkers  = flag.Int("index.workers", 0, "workers for index construction and snapshot encode/decode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	par.SetWorkers(*indexWorkers)
 	exp := api.NewExplorer()
 	srv := server.New(exp, log.Printf)
 	if *searchLimit > 0 {
@@ -206,6 +209,7 @@ func snapshotBuild(args []string) error {
 		name     = fs.String("name", "", "dataset name to embed (default: derived from input filename)")
 		dblpN    = fs.Int("dblp.n", 0, "generate a synthetic DBLP of this size instead of reading a file")
 		dblpSeed = fs.Int64("dblp.seed", 1, "synthetic DBLP seed")
+		workers  = fs.Int("index.workers", 0, "workers for index construction and snapshot encoding (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -213,6 +217,7 @@ func snapshotBuild(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("snapshot build: -o is required")
 	}
+	par.SetWorkers(*workers)
 
 	var (
 		g   *graph.Graph
@@ -260,8 +265,8 @@ func snapshotBuild(args []string) error {
 		return err
 	}
 	fmt.Printf("%s: %d vertices, %d edges → %s (%d bytes)\n", *name, g.N(), g.M(), *out, n)
-	fmt.Printf("indexes built in %s, written in %s\n",
-		buildTime.Round(time.Millisecond), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("indexes built in %s (%d workers), written in %s\n",
+		buildTime.Round(time.Millisecond), par.Workers(), time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -94,6 +94,25 @@
 // -search.timeout is set (the budget covers queue wait plus computation),
 // and reports request-level counters at /api/stats.
 //
+// # Parallel index construction
+//
+// The write path — building indexes — scales with cores too. A dataset's
+// three indexes (CL-tree, core numbers, truss decomposition) build
+// concurrently under Dataset.BuildIndexes, so the cold-build wall time is
+// the slowest individual build rather than their sum; the per-index
+// sync.Once guards make the eager build safe to race with lazy builders on
+// the query path. The truss engine itself is parallel and CSR-native: the
+// graph exposes a canonical edge-ID surface (internal/graph EdgeIDs), the
+// degeneracy-oriented triangle counting shards vertex chunks across a
+// worker pool with per-worker counters merged afterwards, and the peel loop
+// is a bucket queue over materialized triangle lists — O(m + Σ support)
+// with no hash map and no heap. Snapshot section encode/decode parallelizes
+// across the same worker pool (sections are independent byte ranges; the
+// file bytes and trailing CRC are identical to a serial write). One knob
+// governs all of it: -index.workers on the cexplorer command (default
+// GOMAXPROCS), reported together with per-index build wall times at
+// /api/stats.
+//
 // # Persistence & warm restarts
 //
 // Datasets persist as snapshots (internal/snapshot): one versioned,

@@ -24,6 +24,7 @@ import (
 	"cexplorer/internal/ktruss"
 	"cexplorer/internal/layout"
 	"cexplorer/internal/metrics"
+	"cexplorer/internal/par"
 )
 
 // Query is the search request: the query vertices (by ID), the minimum
@@ -177,14 +178,17 @@ type Dataset struct {
 	treeOnce  sync.Once
 	tree      *cltree.Tree
 	treeReady atomic.Bool
+	treeNanos atomic.Int64
 
 	coreOnce  sync.Once
 	coreNum   []int32
 	coreReady atomic.Bool
+	coreNanos atomic.Int64
 
 	trussOnce  sync.Once
 	truss      *ktruss.Decomposition
 	trussReady atomic.Bool
+	trussNanos atomic.Int64
 
 	// engines holds warm *core.Engine values (each with its peeler and
 	// per-query scratch already sized to the graph) so concurrent handlers
@@ -218,11 +222,33 @@ func NewDataset(name string, g *graph.Graph) *Dataset {
 	return &Dataset{Name: name, Graph: g, Info: DatasetInfo{Source: "built"}, mutMu: &sync.Mutex{}}
 }
 
+// buildTotals accumulates index-build wall time across every dataset and
+// version in the process — a monotone counter (datasets deleted or
+// superseded by mutation never subtract), which is what /api/stats
+// surfaces so rate()-style monitoring works.
+var buildTotals struct {
+	tree, core, truss atomic.Int64
+}
+
+// BuildTotals reports the cumulative per-index build wall time paid in this
+// process. Monotone: it only ever grows.
+func BuildTotals() IndexTimings {
+	return IndexTimings{
+		CLTreeMS: float64(buildTotals.tree.Load()) / 1e6,
+		CoreMS:   float64(buildTotals.core.Load()) / 1e6,
+		TrussMS:  float64(buildTotals.truss.Load()) / 1e6,
+	}
+}
+
 // Tree returns the CL-tree, building it on first use if the dataset was not
 // opened from a snapshot that already carried it.
 func (d *Dataset) Tree() *cltree.Tree {
 	d.treeOnce.Do(func() {
+		start := time.Now()
 		d.tree = cltree.Build(d.Graph)
+		n := int64(time.Since(start))
+		d.treeNanos.Store(n)
+		buildTotals.tree.Add(n)
 		d.treeReady.Store(true)
 	})
 	return d.tree
@@ -232,17 +258,26 @@ func (d *Dataset) Tree() *cltree.Tree {
 // it was not pre-seeded from a snapshot.
 func (d *Dataset) CoreNumbers() []int32 {
 	d.coreOnce.Do(func() {
+		start := time.Now()
 		d.coreNum = kcore.Decompose(d.Graph)
+		n := int64(time.Since(start))
+		d.coreNanos.Store(n)
+		buildTotals.core.Add(n)
 		d.coreReady.Store(true)
 	})
 	return d.coreNum
 }
 
 // Truss returns the truss decomposition, computing it on first use if it
-// was not pre-seeded from a snapshot.
+// was not pre-seeded from a snapshot. The build parallelizes its support
+// counting across par.Workers() workers (the -index.workers knob).
 func (d *Dataset) Truss() *ktruss.Decomposition {
 	d.trussOnce.Do(func() {
+		start := time.Now()
 		d.truss = ktruss.Decompose(d.Graph)
+		n := int64(time.Since(start))
+		d.trussNanos.Store(n)
+		buildTotals.truss.Add(n)
 		d.trussReady.Store(true)
 	})
 	return d.truss
@@ -257,12 +292,44 @@ func (d *Dataset) Indexes() IndexStatus {
 	}
 }
 
+// IndexTimings reports the wall time each index build cost (zero for
+// indexes pre-seeded from a snapshot or not yet built). Builds overlap
+// under BuildIndexes, so the sum can exceed elapsed wall time.
+type IndexTimings struct {
+	CLTreeMS float64 `json:"cltreeMs"`
+	CoreMS   float64 `json:"coreMs"`
+	TrussMS  float64 `json:"trussMs"`
+}
+
+// BuildTimings reports this dataset version's build wall times, without
+// building any index. Per-version, not cumulative: a successor derived by
+// Mutate starts at zero and pays only for what it rebuilds (use
+// BuildTotals for the process-wide monotone counter).
+func (d *Dataset) BuildTimings() IndexTimings {
+	return IndexTimings{
+		CLTreeMS: float64(d.treeNanos.Load()) / 1e6,
+		CoreMS:   float64(d.coreNanos.Load()) / 1e6,
+		TrussMS:  float64(d.trussNanos.Load()) / 1e6,
+	}
+}
+
 // BuildIndexes eagerly builds every index the dataset does not yet hold
-// (the offline precomputation step of `cexplorer snapshot build`).
+// (the offline precomputation step of `cexplorer snapshot build` and the
+// warm-up step of the upload path). The three builds fan out across the
+// par.Workers() pool — each index is guarded by its own sync.Once, so
+// racing with lazy builders is safe — and the call returns when the
+// slowest finishes: at ≥3 workers the wall time is max(individual builds),
+// not their sum; at 1 worker the builds run strictly sequentially. The
+// truss build's internal counting pool is sized by the same knob but is
+// nested, so total build goroutines can briefly exceed the knob while the
+// fan-out and the counting phase overlap.
 func (d *Dataset) BuildIndexes() {
-	d.Tree()
-	d.CoreNumbers()
-	d.Truss()
+	builds := []func(){
+		func() { d.Tree() },
+		func() { d.CoreNumbers() },
+		func() { d.Truss() },
+	}
+	par.Each(len(builds), 0, func(i int) { builds[i]() })
 }
 
 // AcquireEngine checks a warm ACQ engine out of the dataset's pool, building

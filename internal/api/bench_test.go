@@ -1,0 +1,37 @@
+package api
+
+import (
+	"sync"
+	"testing"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+)
+
+var (
+	benchOnce  sync.Once
+	benchGraph *graph.Graph
+)
+
+// benchDBLP is the ~120k-edge synthetic DBLP benchmark graph, built once.
+func benchDBLP() *graph.Graph {
+	benchOnce.Do(func() {
+		benchGraph = gen.GenerateDBLP(gen.DefaultDBLPConfig()).Graph
+	})
+	return benchGraph
+}
+
+// BenchmarkBuildIndexes times building all three indexes (CL-tree, core
+// numbers, truss) on a cold dataset over the ~120k-edge benchmark graph.
+// The three builds run concurrently, so the wall time should approach the
+// slowest individual build rather than the sum. Run with -cpu 1,2,4 to see
+// scaling.
+func BenchmarkBuildIndexes(b *testing.B) {
+	g := benchDBLP()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := NewDataset("bench", g)
+		ds.BuildIndexes()
+	}
+}

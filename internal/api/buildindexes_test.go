@@ -1,0 +1,92 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/ktruss"
+	"cexplorer/internal/par"
+)
+
+// TestBuildIndexesConcurrentWithSearches races an eager BuildIndexes (which
+// builds CL-tree, core, and truss concurrently) against searches that
+// trigger the same lazy builds on their own goroutines. Every combination
+// must produce consistent results — the per-index sync.Once guards are the
+// contract — and the run is meaningful under -race, where any unsynchronized
+// build would trip the detector.
+func TestBuildIndexesConcurrentWithSearches(t *testing.T) {
+	d := gen.GenerateDBLP(gen.SmallDBLPConfig())
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			par.SetWorkers(workers)
+			defer par.SetWorkers(0)
+			ds := NewDataset("dblp", d.Graph)
+
+			var wg sync.WaitGroup
+			errs := make(chan error, 16)
+			for i := 0; i < 3; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					ds.BuildIndexes()
+				}()
+			}
+			algos := []CSAlgorithm{
+				&ACQAlgorithm{},
+				GlobalAlgorithm{},
+				KTrussAlgorithm{},
+			}
+			for i := 0; i < 9; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					q := Query{Vertices: []int32{int32((i * 131) % ds.Graph.N())}, K: 2 + i%3}
+					if _, err := algos[i%len(algos)].Search(context.Background(), ds, q); err != nil {
+						errs <- fmt.Errorf("search %d: %w", i, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			st := ds.Indexes()
+			if !st.CLTree || !st.Core || !st.Truss {
+				t.Fatalf("indexes not all resident after BuildIndexes: %+v", st)
+			}
+			tm := ds.BuildTimings()
+			if tm.CLTreeMS <= 0 || tm.CoreMS <= 0 || tm.TrussMS <= 0 {
+				t.Fatalf("build timings not recorded: %+v", tm)
+			}
+
+			// The concurrently built truss must equal a serial rebuild.
+			want, err := ktruss.DecomposeParallel(context.Background(), d.Graph, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, gotTruss := ds.Truss().Parts()
+			_, wantTruss := want.Parts()
+			for id := range gotTruss {
+				if gotTruss[id] != wantTruss[id] {
+					t.Fatalf("edge %d: concurrent build trussness %d, serial %d", id, gotTruss[id], wantTruss[id])
+				}
+			}
+		})
+	}
+}
+
+// TestBuildTimingsZeroWhenPreSeeded: a dataset whose indexes arrive from a
+// snapshot reports zero build cost — the warm-restart contract /api/stats
+// surfaces.
+func TestBuildTimingsZeroWhenPreSeeded(t *testing.T) {
+	g := gen.Figure5()
+	ds := NewDataset("fig5", g)
+	if tm := ds.BuildTimings(); tm != (IndexTimings{}) {
+		t.Fatalf("fresh dataset reports nonzero timings: %+v", tm)
+	}
+}

@@ -1,7 +1,7 @@
 package cltree
 
 import (
-	"sort"
+	"slices"
 
 	"cexplorer/internal/graph"
 	"cexplorer/internal/kcore"
@@ -72,7 +72,7 @@ func BuildBasic(g *graph.Graph) *Tree {
 				// the current enclosing node.
 				continue
 			}
-			sort.Slice(node.Vertices, func(i, j int) bool { return node.Vertices[i] < node.Vertices[j] })
+			slices.Sort(node.Vertices)
 			parent := enclosing[comp[0]]
 			node.Parent = parent
 			parent.Children = append(parent.Children, node)
@@ -97,7 +97,7 @@ func BuildBasic(g *graph.Graph) *Tree {
 				m = cm
 			}
 		}
-		sort.Slice(nd.Children, func(i, j int) bool { return minVertex(nd.Children[i]) < minVertex(nd.Children[j]) })
+		slices.SortFunc(nd.Children, func(a, b *Node) int { return int(minVertex(a)) - int(minVertex(b)) })
 		return m
 	}
 	canon(root)

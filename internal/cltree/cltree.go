@@ -184,7 +184,7 @@ func buildTree(g *graph.Graph, core []int32, reuse *Tree, upTo int32) *Tree {
 	for _, nodes := range top {
 		tops = append(tops, nodes...)
 	}
-	sort.Slice(tops, func(i, j int) bool { return minVertex(tops[i]) < minVertex(tops[j]) })
+	slices.SortFunc(tops, func(a, b *Node) int { return int(minVertex(a)) - int(minVertex(b)) })
 	root.Children = tops
 	for _, ch := range tops {
 		ch.Parent = root

@@ -2,7 +2,7 @@ package cltree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/kcore"
 )
@@ -79,10 +79,10 @@ func (t *Tree) validate() error {
 			continue
 		}
 		sub := t.SubtreeVertices(n, nil)
-		sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
+		slices.Sort(sub)
 		q := n.Vertices[0]
 		want := kcore.ConnectedKCore(g, t.core, q, n.Core)
-		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		slices.Sort(want)
 		if len(sub) != len(want) {
 			return fmt.Errorf("cltree: subtree at core %d size %d != component size %d", n.Core, len(sub), len(want))
 		}

@@ -20,9 +20,10 @@
 package codicil
 
 import (
+	"cmp"
 	"context"
 	"math"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/cluster"
 	"cexplorer/internal/ds"
@@ -190,11 +191,11 @@ func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 				w := opts.Alpha*e.sim + (1-opts.Alpha)*ds.JaccardSorted(nbrSet[v], nbrSet[e.to])
 				ss = append(ss, scored{e.to, w})
 			}
-			sort.Slice(ss, func(i, j int) bool {
-				if ss[i].w != ss[j].w {
-					return ss[i].w > ss[j].w
+			slices.SortFunc(ss, func(a, b scored) int {
+				if a.w != b.w {
+					return cmp.Compare(b.w, a.w)
 				}
-				return ss[i].to < ss[j].to
+				return int(a.to) - int(b.to)
 			})
 			keep := int(math.Ceil(math.Pow(float64(len(ss)), opts.SparsifyExp)))
 			if keep > len(ss) {
@@ -213,11 +214,11 @@ func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 	for k, w := range kept {
 		wedges = append(wedges, cluster.WEdge{U: int32(k >> 32), V: int32(k & 0xffffffff), W: w})
 	}
-	sort.Slice(wedges, func(i, j int) bool {
-		if wedges[i].U != wedges[j].U {
-			return wedges[i].U < wedges[j].U
+	slices.SortFunc(wedges, func(a, b cluster.WEdge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return wedges[i].V < wedges[j].V
+		return int(a.V) - int(b.V)
 	})
 	wg := cluster.NewWeighted(g.N(), wedges)
 
@@ -371,11 +372,11 @@ func contentEdges(ctx context.Context, g *graph.Graph, opts Options) ([]contentE
 		for u, dot := range scores {
 			cands = append(cands, cand{u, dot / (t.norm[v] * t.norm[u])})
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].sim != cands[j].sim {
-				return cands[i].sim > cands[j].sim
+		slices.SortFunc(cands, func(a, b cand) int {
+			if a.sim != b.sim {
+				return cmp.Compare(b.sim, a.sim)
 			}
-			return cands[i].u < cands[j].u
+			return int(a.u) - int(b.u)
 		})
 		c := opts.ContentK
 		if c > len(cands) {
@@ -390,14 +391,14 @@ func contentEdges(ctx context.Context, g *graph.Graph, opts Options) ([]contentE
 		}
 	}
 	// Dedup (u,v) pairs keeping max sim.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].u != out[j].u {
-			return out[i].u < out[j].u
+	slices.SortFunc(out, func(a, b contentEdge) int {
+		if a.u != b.u {
+			return int(a.u) - int(b.u)
 		}
-		if out[i].v != out[j].v {
-			return out[i].v < out[j].v
+		if a.v != b.v {
+			return int(a.v) - int(b.v)
 		}
-		return out[i].sim > out[j].sim
+		return cmp.Compare(b.sim, a.sim)
 	})
 	dedup := out[:0]
 	for i, e := range out {

@@ -11,7 +11,7 @@ package csearch
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/graph"
 	"cexplorer/internal/kcore"
@@ -60,7 +60,7 @@ func GlobalContext(ctx context.Context, g *graph.Graph, core []int32, q int32, k
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+	slices.Sort(comp)
 	if visited == 0 {
 		visited = len(comp)
 	}

@@ -2,7 +2,7 @@ package csearch
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/ds"
 	"cexplorer/internal/graph"
@@ -80,7 +80,7 @@ func LocalContext(ctx context.Context, g *graph.Graph, q int32, k int32, opts Lo
 				return nil, err
 			}
 			if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
-				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				slices.Sort(comp)
 				return &LocalResult{
 					Vertices:  comp,
 					MinDegree: minInducedDegree(g, comp),
@@ -105,7 +105,7 @@ func LocalContext(ctx context.Context, g *graph.Graph, q int32, k int32, opts Lo
 	}
 	// Final check before giving up.
 	if comp := peeler.ConnectedKCoreContaining(cand, k, q); comp != nil {
-		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		slices.Sort(comp)
 		return &LocalResult{
 			Vertices:  comp,
 			MinDegree: minInducedDegree(g, comp),

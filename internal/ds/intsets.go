@@ -1,6 +1,9 @@
 package ds
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // SortedInt32s provides merge-style set operations over sorted []int32
 // slices, the representation used for interned keyword sets throughout the
@@ -12,7 +15,7 @@ func SortInt32s(s []int32) []int32 {
 	if len(s) < 2 {
 		return s
 	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := s[:1]
 	for _, v := range s[1:] {
 		if v != out[len(out)-1] {
@@ -130,6 +133,16 @@ func ContainsAllSorted(super, sub []int32) bool {
 func ContainsSorted(s []int32, x int32) bool {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
 	return i < len(s) && s[i] == x
+}
+
+// IndexSorted returns the position of x in the sorted slice s via binary
+// search; ok is false when x is absent.
+func IndexSorted(s []int32, x int32) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		return i, true
+	}
+	return 0, false
 }
 
 // JaccardSorted returns |a∩b| / |a∪b|, and 0 when both are empty.

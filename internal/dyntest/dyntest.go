@@ -14,7 +14,11 @@
 //  2. CL-tree communities: the repaired tree passes the full structural
 //     validator and answers every (vertex, k) community query identically
 //     to a freshly built tree;
-//  3. ACQ answers: the query engine over the repaired tree returns the
+//  3. truss decomposition: the truss index is invalidated by mutation and
+//     lazily rebuilt by the CSR-native parallel engine; its per-edge
+//     trussness must match the by-definition oracle (ktruss.Naive) on the
+//     mutated graph;
+//  4. ACQ answers: the query engine over the repaired tree returns the
 //     same attributed communities as one over a rebuilt tree, for a panel
 //     of query vertices at several k.
 //
@@ -37,6 +41,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/graph"
 	"cexplorer/internal/kcore"
+	"cexplorer/internal/ktruss"
 )
 
 // Scenario is one generated workload.
@@ -212,7 +217,23 @@ func CheckEquivalence(ds *api.Dataset) error {
 		}
 	}
 
-	// Layer 3: ACQ answers on a vertex panel.
+	// Layer 3: truss decomposition. Mutations invalidate the truss index,
+	// so Truss() here exercises the lazy rebuild of the CSR-native parallel
+	// engine on the mutated graph; the by-definition oracle pins it down.
+	truss := ds.Truss()
+	wantTruss := ktruss.Naive(g)
+	gotEdges, gotTruss := truss.Parts()
+	if len(gotTruss) != len(wantTruss) {
+		return fmt.Errorf("truss rebuild covers %d edges, graph has %d", len(gotTruss), len(wantTruss))
+	}
+	for id := range gotTruss {
+		if gotTruss[id] != wantTruss[id] {
+			e := gotEdges[id]
+			return fmt.Errorf("truss({%d,%d}) = %d, naive says %d", e[0], e[1], gotTruss[id], wantTruss[id])
+		}
+	}
+
+	// Layer 4: ACQ answers on a vertex panel.
 	engGot := core.NewEngine(tree)
 	engWant := core.NewEngine(fresh)
 	stride := g.N()/12 + 1

@@ -8,7 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -86,7 +86,7 @@ func E1Figure5(w io.Writer) error {
 		id, _ := g.Vocab().ID(kw)
 		S = append(S, id)
 	}
-	sort.Slice(S, func(i, j int) bool { return S[i] < S[j] })
+	slices.Sort(S)
 	res, err := eng.Search(0, 2, S, core.Dec)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package gen
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"cexplorer/internal/graph"
@@ -273,7 +274,7 @@ func GenerateDBLP(cfg DBLPConfig) *DBLP {
 	truth := make([][]int32, nc)
 	for c := range members {
 		truth[c] = append([]int32(nil), members[c]...)
-		sort.Slice(truth[c], func(i, j int) bool { return truth[c][i] < truth[c][j] })
+		slices.Sort(truth[c])
 	}
 	topics := make([]string, nc)
 	for c := 0; c < nc; c++ {

@@ -5,11 +5,21 @@
 // The representation is immutable after construction (use Builder to
 // construct), which lets indexes and concurrent queries share a graph
 // without locking.
+//
+// Besides adjacency, a graph carries a lazily materialized per-neighbor
+// edge-ID surface (EdgeIDs/EdgeID/EdgeTable, see edgeids.go): every CSR
+// adjacency slot maps to the canonical undirected edge index of the edge it
+// represents, so edge-indexed engines — the CSR-native truss decomposition
+// in particular — address per-edge arrays directly instead of resolving
+// {u,v} pairs through a hash map. The surface is built once per graph in
+// O(n+m) and shared by every index that needs it.
 package graph
 
 import (
 	"fmt"
 	"slices"
+	"sync"
+	"sync/atomic"
 
 	"cexplorer/internal/ds"
 )
@@ -28,6 +38,13 @@ type Graph struct {
 	kwData    []int32 // sorted interned keyword IDs, arena
 
 	vocab *Vocab
+
+	// edgeIDs is the per-neighbor edge-ID arena (len 2m), parallel to adj;
+	// materialized lazily by ensureEdgeIDs (see edgeids.go). edgeIDReady
+	// lets observers (Bytes) see the arena without entering the Once.
+	edgeIDOnce  sync.Once
+	edgeIDs     []int32
+	edgeIDReady atomic.Bool
 }
 
 // N returns the number of vertices.
@@ -195,6 +212,9 @@ func (g *Graph) Validate() error {
 func (g *Graph) Bytes() int64 {
 	b := int64(len(g.offsets))*8 + int64(len(g.adj))*4
 	b += int64(len(g.kwOffsets))*4 + int64(len(g.kwData))*4
+	if g.edgeIDReady.Load() {
+		b += int64(len(g.edgeIDs)) * 4
+	}
 	for _, s := range g.names {
 		b += int64(len(s)) + 16
 	}

@@ -270,7 +270,10 @@ func (o *Overlay) checkEndpoints(u, v int32) error {
 // vocabulary — are shared with the base whenever the overlay did not touch
 // them, so an edges-only batch costs one adjacency rebuild and nothing
 // else. The overlay remains usable afterwards, but further mutation does
-// not affect already-materialized graphs.
+// not affect already-materialized graphs. Derived per-edge state (the
+// edge-ID surface, see edgeids.go) is deliberately NOT shared: edge
+// mutation renumbers canonical edge IDs, so each materialized graph
+// lazily builds its own surface on first edge-indexed use.
 func (o *Overlay) Materialize() (*Graph, error) {
 	n := o.N()
 	if n == 0 {

@@ -29,10 +29,26 @@ func Decompose(g *graph.Graph) []int32 {
 // request is canceled or past its deadline, so a dropped connection stops
 // the O(n+m) walk instead of burning a worker.
 func DecomposeContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
+	core, _, err := decompose(ctx, g)
+	return core, err
+}
+
+// DecomposeOrder computes core numbers together with the degeneracy order:
+// the order the bin-sort peel removes vertices in (nondecreasing current
+// degree). Orienting every edge from the earlier to the later endpoint in
+// this order bounds each vertex's out-degree by the graph degeneracy, which
+// is what the truss engine's oriented triangle counting relies on for its
+// O(m·degeneracy) bound.
+func DecomposeOrder(g *graph.Graph) (core, order []int32) {
+	core, order, _ = decompose(context.Background(), g)
+	return core, order
+}
+
+func decompose(ctx context.Context, g *graph.Graph) (core, order []int32, err error) {
 	n := g.N()
-	core := make([]int32, n)
+	core = make([]int32, n)
 	if n == 0 {
-		return core, nil
+		return core, nil, nil
 	}
 	maxDeg := 0
 	deg := make([]int32, n)
@@ -65,7 +81,7 @@ func DecomposeContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
 	for i := 0; i < n; i++ {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		v := vert[i]
@@ -87,7 +103,9 @@ func DecomposeContext(ctx context.Context, g *graph.Graph) ([]int32, error) {
 			deg[u]--
 		}
 	}
-	return core, nil
+	// Position i of vert is final once iteration i takes it, so the array is
+	// now exactly the peel (degeneracy) order.
+	return core, vert, nil
 }
 
 // NaiveDecompose computes core numbers by repeated vertex removal, O(n·m)

@@ -288,3 +288,55 @@ func TestPeelerEpochReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestDecomposeOrder: the returned order is a permutation of the vertex set
+// in which every vertex's forward degree (neighbors later in the order) is
+// bounded by its core number — the degeneracy-orientation property the
+// parallel truss engine's triangle counting relies on.
+func TestDecomposeOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := graph.NewBuilder(n, 0)
+		b.AddVertexIDs(int32(n - 1))
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.MustBuild()
+		core, order := DecomposeOrder(g)
+		if !reflect.DeepEqual(core, Decompose(g)) {
+			t.Errorf("seed %d: DecomposeOrder core numbers diverge from Decompose", seed)
+			return false
+		}
+		if len(order) != n {
+			t.Errorf("seed %d: order has %d entries for n=%d", seed, len(order), n)
+			return false
+		}
+		rank := make([]int, n)
+		seen := make([]bool, n)
+		for i, v := range order {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Errorf("seed %d: order is not a permutation at %d", seed, i)
+				return false
+			}
+			seen[v] = true
+			rank[v] = i
+		}
+		for v := int32(0); v < int32(n); v++ {
+			forward := int32(0)
+			for _, u := range g.Neighbors(v) {
+				if rank[u] > rank[v] {
+					forward++
+				}
+			}
+			if forward > core[v] {
+				t.Errorf("seed %d: vertex %d has forward degree %d > core %d", seed, v, forward, core[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

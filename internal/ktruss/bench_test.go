@@ -1,0 +1,37 @@
+package ktruss
+
+import (
+	"sync"
+	"testing"
+
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+)
+
+var (
+	benchOnce  sync.Once
+	benchGraph *graph.Graph
+)
+
+// benchDBLP is the ~120k-edge synthetic DBLP benchmark graph (the same
+// 20k-author configuration the top-level experiment harness uses), built
+// once and shared across benchmarks.
+func benchDBLP(b *testing.B) *graph.Graph {
+	benchOnce.Do(func() {
+		benchGraph = gen.GenerateDBLP(gen.DefaultDBLPConfig()).Graph
+	})
+	b.Logf("graph: %d vertices, %d edges", benchGraph.N(), benchGraph.M())
+	return benchGraph
+}
+
+// BenchmarkTrussDecompose times a cold truss decomposition of the ~120k-edge
+// benchmark graph. Run with -cpu 1,2,4 to see worker scaling: the support
+// counting shards across GOMAXPROCS workers.
+func BenchmarkTrussDecompose(b *testing.B) {
+	g := benchDBLP(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Decompose(g)
+	}
+}

@@ -7,142 +7,351 @@
 // A k-truss is the maximal subgraph in which every edge is supported by at
 // least k−2 triangles; the community of a query vertex q is a maximal
 // triangle-connected set of trussness-≥k edges incident to q.
+//
+// The engine is CSR-native: every per-edge array is indexed by the graph's
+// canonical edge IDs (graph.EdgeIDs), so neither support counting nor
+// peeling ever resolves a {u,v} pair through a hash map. Support counting is
+// an oriented triangle enumeration — edges point from the earlier to the
+// later endpoint in the degeneracy order, bounding out-degrees by the graph
+// degeneracy — sharded across vertex chunks over a configurable worker pool
+// with per-worker counters merged into the shared support array. The peel
+// loop is the same bucket-queue structure the k-core peeler uses (supports
+// only decrease, one bucket at a time), replacing the former
+// sort.Slice + binary-heap pipeline: O(m + Σ support) instead of
+// O(m log m).
 package ktruss
 
 import (
 	"context"
-	"sort"
+	"slices"
+	"sync/atomic"
 
+	"cexplorer/internal/ds"
 	"cexplorer/internal/graph"
+	"cexplorer/internal/kcore"
+	"cexplorer/internal/par"
 )
 
 // cancelCheckStride is how many edges the context-aware decomposition
 // processes between ctx.Err() polls.
 const cancelCheckStride = 4096
 
-// Decomposition holds per-edge trussness for one graph.
+// countChunk is how many vertices a support-counting worker claims at a
+// time. Chunked claiming (rather than one contiguous span per worker)
+// load-balances the skewed per-vertex triangle work.
+const countChunk = 256
+
+// Decomposition holds per-edge trussness for one graph. Per-edge arrays are
+// indexed by the graph's canonical edge IDs (graph.EdgeIDs order, which is
+// also the (u<v)-lexicographic order Edges enumerates).
 type Decomposition struct {
 	g     *graph.Graph
 	edges [][2]int32 // edge id -> (u,v), u < v
 	truss []int32    // edge id -> trussness (≥ 2)
-	index map[int64]int32
 }
 
-func edgeKey(u, v int32) int64 {
-	if u > v {
-		u, v = v, u
-	}
-	return int64(u)<<32 | int64(v)
-}
-
-// Decompose computes the trussness of every edge via support peeling.
+// Decompose computes the trussness of every edge via support peeling, using
+// the process-default worker count (par.Workers) for support counting.
 func Decompose(g *graph.Graph) *Decomposition {
 	d, _ := DecomposeContext(context.Background(), g)
 	return d
 }
 
-// DecomposeContext is Decompose with cooperative cancellation: the support
-// computation and the peel loop poll ctx every few thousand edges and return
+// DecomposeContext is Decompose with cooperative cancellation: support
+// counting and the peel loop poll ctx every few thousand edges and return
 // ctx.Err() when the request is canceled or past its deadline.
 func DecomposeContext(ctx context.Context, g *graph.Graph) (*Decomposition, error) {
-	m := g.M()
-	d := &Decomposition{
-		g:     g,
-		edges: make([][2]int32, 0, m),
-		truss: make([]int32, m),
-		index: make(map[int64]int32, m),
-	}
-	g.Edges(func(u, v int32) bool {
-		d.index[edgeKey(u, v)] = int32(len(d.edges))
-		d.edges = append(d.edges, [2]int32{u, v})
-		return true
-	})
+	return DecomposeParallel(ctx, g, 0)
+}
 
-	// Support = triangle count per edge.
-	support := make([]int32, m)
-	for id, e := range d.edges {
-		if id%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		support[id] = int32(countCommon(g.Neighbors(e[0]), g.Neighbors(e[1])))
+// DecomposeParallel is DecomposeContext with an explicit worker count for
+// the support-counting phase (≤ 0 = process default). The result is
+// identical for every worker count; only wall time differs.
+func DecomposeParallel(ctx context.Context, g *graph.Graph, workers int) (*Decomposition, error) {
+	d := &Decomposition{g: g, edges: g.EdgeTable(), truss: make([]int32, g.M())}
+	support, tris, err := countSupport(ctx, g, workers)
+	if err != nil {
+		return nil, err
 	}
-
-	// Peel edges in nondecreasing support order (lazy heap via buckets).
-	removed := make([]bool, m)
-	order := make([]int32, m)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool { return support[order[i]] < support[order[j]] })
-	// A simple re-sift loop: since supports only decrease, process with a
-	// priority queue keyed by current support.
-	pq := &supportQueue{support: support}
-	for _, id := range order {
-		pq.push(id)
-	}
-	pops := 0
-	for pq.len() > 0 {
-		if pops%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		pops++
-		id := pq.popMin()
-		if removed[id] {
-			continue
-		}
-		removed[id] = true
-		s := support[id]
-		d.truss[id] = s + 2
-		u, v := d.edges[id][0], d.edges[id][1]
-		forEachCommon(d.g.Neighbors(u), d.g.Neighbors(v), func(w int32) {
-			e1, ok1 := d.lookup(u, w)
-			e2, ok2 := d.lookup(v, w)
-			if !ok1 || !ok2 || removed[e1] || removed[e2] {
-				return
-			}
-			if support[e1] > s {
-				support[e1]--
-				pq.push(e1)
-			}
-			if support[e2] > s {
-				support[e2]--
-				pq.push(e2)
-			}
-		})
+	if err := d.peel(ctx, support, tris); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
-// lookup resolves edge {u,v} to its id via the hash index when present
-// (Decompose builds one — its peeling loop does random lookups), else by
-// binary search over the (u<v)-lexicographically sorted edge table
-// (FromParts skips the index build so snapshot loads stay O(read)).
-func (d *Decomposition) lookup(u, v int32) (int32, bool) {
-	if u > v {
-		u, v = v, u
+// orientation is the degeneracy-oriented CSR: for each vertex, the neighbors
+// later in the degeneracy order, sorted by vertex id, with the canonical
+// edge ID carried alongside each slot.
+type orientation struct {
+	off []int32 // len n+1
+	adj []int32 // len m, out-neighbors (ascending vertex id per vertex)
+	eid []int32 // len m, canonical edge id of each out-edge
+}
+
+// orient builds the degeneracy orientation. Out-degrees are bounded by the
+// graph degeneracy, which caps the quadratic term of triangle merging.
+//
+// The k-core peel here is independent of any core index the caller may
+// hold: after a mutation the dataset's core numbers are maintained
+// incrementally and no degeneracy order exists for reuse, so the truss
+// build always derives its own (an O(n+m) bin sort, a few percent of the
+// build).
+func orient(g *graph.Graph) orientation {
+	n := g.N()
+	_, order := kcore.DecomposeOrder(g)
+	rank := make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
 	}
-	if d.index != nil {
-		id, ok := d.index[edgeKey(u, v)]
-		return id, ok
+	o := orientation{
+		off: make([]int32, n+1),
+		adj: make([]int32, g.M()),
+		eid: make([]int32, g.M()),
 	}
-	lo, hi := 0, len(d.edges)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		e := d.edges[mid]
-		if e[0] < u || (e[0] == u && e[1] < v) {
-			lo = mid + 1
-		} else {
-			hi = mid
+	for v := int32(0); v < int32(n); v++ {
+		out := int32(0)
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				out++
+			}
+		}
+		o.off[v+1] = o.off[v] + out
+	}
+	for v := int32(0); v < int32(n); v++ {
+		nb, ids := g.Neighbors(v), g.EdgeIDs(v)
+		w := o.off[v]
+		for i, u := range nb {
+			if rank[u] > rank[v] {
+				o.adj[w] = u
+				o.eid[w] = ids[i]
+				w++
+			}
 		}
 	}
-	if lo < len(d.edges) && d.edges[lo][0] == u && d.edges[lo][1] == v {
-		return int32(lo), true
+	return o
+}
+
+// triangles is the per-edge triangle incidence in CSR form: for edge e, the
+// pairs slice holds (other1, other2) edge-ID pairs, one per triangle through
+// e, at pair offsets [off[e], off[e+1]). Materializing it costs O(T) memory
+// (3 incidences per triangle) and turns the peel loop into a pure array walk
+// — no adjacency re-intersection per removed edge.
+type triangles struct {
+	off   []int64 // len m+1, pair offsets (int64: the 3T total may exceed int32)
+	pairs []int32 // len 2·3T, (e1,e2) flattened
+}
+
+// countSupport computes the triangle count of every edge by enumerating each
+// triangle exactly once from its earliest-ranked vertex: for every oriented
+// edge u→v, the common out-neighbors of u and v close triangles whose three
+// edge IDs are all at hand during the merge. Vertex chunks are claimed off a
+// shared cursor by `workers` goroutines; each worker accumulates counts into
+// its own counter array and records the triangles it finds in its own
+// triple buffer, so the hot loop takes no locks and no atomics. The counter
+// arrays are merged (in parallel, by edge range) and the triple buffers are
+// scattered into the triangle CSR at the end.
+func countSupport(ctx context.Context, g *graph.Graph, workers int) ([]int32, triangles, error) {
+	n, m := g.N(), g.M()
+	o := orient(g)
+	w := par.Clamp(workers, n)
+	// Each worker beyond the first costs a 4m-byte counter replica, so cap
+	// the pool by a memory budget: on huge graphs (hundreds of millions of
+	// edges) many-core counting would otherwise allocate workers×4m bytes
+	// and OOM where the serial engine ran fine — degrade to fewer workers
+	// instead.
+	const counterBudget = 1 << 30 // 1 GiB across all replicas
+	if maxW := counterBudget / (4 * max(m, 1)); w > maxW {
+		w = max(maxW, 1)
 	}
-	return 0, false
+
+	counters := make([][]int32, w)
+	counters[0] = make([]int32, m)
+	for i := 1; i < w; i++ {
+		counters[i] = make([]int32, m)
+	}
+	triples := make([][]int32, w) // flat (euv, euw, evw) per triangle
+
+	var cursor atomic.Int64
+	var canceled atomic.Bool
+	par.Range(w, w, func(worker, _, _ int) {
+		support := counters[worker]
+		buf := triples[worker]
+		for {
+			lo := int(cursor.Add(countChunk)) - countChunk
+			if lo >= n || canceled.Load() {
+				break
+			}
+			if ctx.Err() != nil {
+				canceled.Store(true)
+				break
+			}
+			hi := min(lo+countChunk, n)
+			for u := int32(lo); u < int32(hi); u++ {
+				us, ue := o.off[u], o.off[u+1]
+				for p := us; p < ue; p++ {
+					v, euv := o.adj[p], o.eid[p]
+					// Merge out(u) ∩ out(v); each common w closes the
+					// triangle {u,v,w} with rank(u) < rank(v) < rank(w) —
+					// counted exactly once across all workers.
+					i, j := us, o.off[v]
+					je := o.off[v+1]
+					for i < ue && j < je {
+						switch {
+						case o.adj[i] < o.adj[j]:
+							i++
+						case o.adj[i] > o.adj[j]:
+							j++
+						default:
+							euw, evw := o.eid[i], o.eid[j]
+							support[euv]++
+							support[euw]++
+							support[evw]++
+							buf = append(buf, euv, euw, evw)
+							i++
+							j++
+						}
+					}
+				}
+			}
+		}
+		triples[worker] = buf
+	})
+	if canceled.Load() {
+		return nil, triangles{}, ctx.Err()
+	}
+	if w > 1 {
+		par.Range(m, w, func(_, lo, hi int) {
+			dst := counters[0]
+			for _, src := range counters[1:] {
+				for e := lo; e < hi; e++ {
+					dst[e] += src[e]
+				}
+			}
+		})
+	}
+	support := counters[0]
+
+	// Counting-sort the triples into per-edge CSR: support[e] is exactly the
+	// number of triangles through e, so the offsets are its prefix sums.
+	tris := triangles{off: make([]int64, m+1)}
+	for e := 0; e < m; e++ {
+		tris.off[e+1] = tris.off[e] + int64(support[e])
+	}
+	tris.pairs = make([]int32, 2*tris.off[m])
+	next := make([]int64, m)
+	copy(next, tris.off[:m])
+	put := func(e, o1, o2 int32) {
+		tris.pairs[2*next[e]] = o1
+		tris.pairs[2*next[e]+1] = o2
+		next[e]++
+	}
+	polled := 0
+	for _, buf := range triples {
+		for t := 0; t < len(buf); t += 3 {
+			if polled%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, triangles{}, err
+				}
+			}
+			polled++
+			a, b, c := buf[t], buf[t+1], buf[t+2]
+			put(a, b, c)
+			put(b, a, c)
+			put(c, a, b)
+		}
+	}
+	return support, tris, nil
+}
+
+// peel removes edges in nondecreasing support order with the bucket-queue
+// structure of the k-core peeler: a counting sort seeds the order, and a
+// support decrement moves an edge one bucket down by swapping it with its
+// bucket's front. Supports only ever decrease and never below the current
+// peel level, so position i is final once iteration i reaches it. Removing
+// an edge walks its materialized triangle list rather than re-intersecting
+// adjacency — O(m + Σ support) total, no heap, no pre-sort, no lookups.
+func (d *Decomposition) peel(ctx context.Context, support []int32, tris triangles) error {
+	m := len(support)
+	if m == 0 {
+		return nil
+	}
+	maxSup := int32(0)
+	for _, s := range support {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	// bin[s] = start offset of the support-s block in vert.
+	bin := make([]int32, maxSup+2)
+	for _, s := range support {
+		bin[s+1]++
+	}
+	for s := int32(1); s <= maxSup+1; s++ {
+		bin[s] += bin[s-1]
+	}
+	vert := make([]int32, m) // edge ids sorted by current support
+	pos := make([]int32, m)  // position of each edge id in vert
+	next := make([]int32, maxSup+1)
+	copy(next, bin[:maxSup+1])
+	for id := int32(0); id < int32(m); id++ {
+		p := next[support[id]]
+		vert[p] = id
+		pos[id] = p
+		next[support[id]]++
+	}
+
+	removed := make([]bool, m)
+	for i := 0; i < m; i++ {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		id := vert[i]
+		s := support[id]
+		removed[id] = true
+		d.truss[id] = s + 2
+		// Every still-alive triangle through this edge loses it: drop the
+		// supports of the two other sides one bucket each, floored at the
+		// current level.
+		for t := tris.off[id]; t < tris.off[id+1]; t++ {
+			e1, e2 := tris.pairs[2*t], tris.pairs[2*t+1]
+			if removed[e1] || removed[e2] {
+				continue
+			}
+			if support[e1] > s {
+				demote(support, bin, vert, pos, e1)
+			}
+			if support[e2] > s {
+				demote(support, bin, vert, pos, e2)
+			}
+		}
+	}
+	return nil
+}
+
+// demote moves edge e one support bucket down: swap it with the front of its
+// current block, advance the block start, decrement its support.
+func demote(support, bin, vert, pos []int32, e int32) {
+	se := support[e]
+	pe := pos[e]
+	pf := bin[se]
+	f := vert[pf]
+	if e != f {
+		vert[pe], vert[pf] = f, e
+		pos[e], pos[f] = pf, pe
+	}
+	bin[se]++
+	support[e]--
+}
+
+// lookup resolves edge {u,v} to its canonical id via the graph's edge-ID
+// surface (binary search on the shorter adjacency list — no hash map). IDs
+// follow g.Edges order, which is exactly the order Parts serializes and
+// FromParts validates, so decompositions loaded from a snapshot resolve
+// through the same surface.
+func (d *Decomposition) lookup(u, v int32) (int32, bool) {
+	return d.g.EdgeID(u, v)
 }
 
 // Trussness returns the trussness of edge {u,v}; ok is false if not an edge.
@@ -209,12 +418,14 @@ func (d *Decomposition) communitiesWithEdges(ctx context.Context, q int32, k int
 	if q < 0 || int(q) >= d.g.N() || k < 2 {
 		return nil, nil
 	}
+	g := d.g
 	visited := make(map[int32]bool)
 	var out []Community
 	expansions := 0
-	for _, v := range d.g.Neighbors(q) {
-		seed, ok := d.lookup(q, v)
-		if !ok || d.truss[seed] < k || visited[seed] {
+	qnb, qids := g.Neighbors(q), g.EdgeIDs(q)
+	for qi := range qnb {
+		seed := qids[qi]
+		if d.truss[seed] < k || visited[seed] {
 			continue
 		}
 		// BFS over triangle-adjacent edges of trussness ≥ k.
@@ -235,141 +446,73 @@ func (d *Decomposition) communitiesWithEdges(ctx context.Context, q int32, k int
 			verts[u] = true
 			verts[w] = true
 			classEdges = append(classEdges, d.edges[id])
-			forEachCommon(d.g.Neighbors(u), d.g.Neighbors(w), func(x int32) {
-				e1, ok1 := d.lookup(u, x)
-				e2, ok2 := d.lookup(w, x)
-				if !ok1 || !ok2 || d.truss[e1] < k || d.truss[e2] < k {
-					return
-				}
-				if !visited[e1] {
-					visited[e1] = true
-					queue = append(queue, e1)
-				}
-				if !visited[e2] {
-					visited[e2] = true
-					queue = append(queue, e2)
-				}
-			})
+			forEachCommonEdge(g.Neighbors(u), g.EdgeIDs(u), g.Neighbors(w), g.EdgeIDs(w),
+				func(_, e1, e2 int32) {
+					if d.truss[e1] < k || d.truss[e2] < k {
+						return
+					}
+					if !visited[e1] {
+						visited[e1] = true
+						queue = append(queue, e1)
+					}
+					if !visited[e2] {
+						visited[e2] = true
+						queue = append(queue, e2)
+					}
+				})
 		}
 		vs := make([]int32, 0, len(verts))
 		for v := range verts {
 			vs = append(vs, v)
 		}
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		sort.Slice(classEdges, func(i, j int) bool {
-			if classEdges[i][0] != classEdges[j][0] {
-				return classEdges[i][0] < classEdges[j][0]
+		slices.Sort(vs)
+		slices.SortFunc(classEdges, func(a, b [2]int32) int {
+			if a[0] != b[0] {
+				return int(a[0] - b[0])
 			}
-			return classEdges[i][1] < classEdges[j][1]
+			return int(a[1] - b[1])
 		})
 		out = append(out, Community{Vertices: vs, Edges: classEdges})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i].Vertices) != len(out[j].Vertices) {
-			return len(out[i].Vertices) > len(out[j].Vertices)
+	slices.SortFunc(out, func(a, b Community) int {
+		if len(a.Vertices) != len(b.Vertices) {
+			return len(b.Vertices) - len(a.Vertices)
 		}
-		return out[i].Vertices[0] < out[j].Vertices[0]
+		return int(a.Vertices[0] - b.Vertices[0])
 	})
 	return out, nil
 }
 
-// supportQueue is a monotone lazy priority queue over edge ids keyed by
-// current support. Stale entries (pushed before a support decrement) are
-// skipped on pop because the stored key no longer matches.
-type supportQueue struct {
-	support []int32
-	heap    []int32 // edge ids
-	keys    []int32 // key at push time
-}
-
-func (q *supportQueue) len() int { return len(q.heap) }
-
-func (q *supportQueue) push(id int32) {
-	q.heap = append(q.heap, id)
-	q.keys = append(q.keys, q.support[id])
-	i := len(q.heap) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if q.keys[p] <= q.keys[i] {
-			break
-		}
-		q.swap(i, p)
-		i = p
+// forEachCommonEdge intersects two sorted adjacency lists, calling fn with
+// each common neighbor w and the canonical edge IDs of (a,w) and (b,w)
+// taken from the parallel edge-ID spans — triangle enumeration without a
+// single edge lookup. Comparable sizes intersect by linear merge; skewed
+// pairs (a hub against a low-degree vertex) probe the longer list by binary
+// search instead, turning O(d_max) into O(d_min·log d_max).
+func forEachCommonEdge(nbA, eidA, nbB, eidB []int32, fn func(w, ea, eb int32)) {
+	if len(nbA) > len(nbB) {
+		nbA, nbB = nbB, nbA
+		eidA, eidB = eidB, eidA
+		inner := fn
+		fn = func(w, ea, eb int32) { inner(w, eb, ea) }
 	}
-}
-
-func (q *supportQueue) popMin() int32 {
-	for {
-		id := q.heap[0]
-		key := q.keys[0]
-		last := len(q.heap) - 1
-		q.swap(0, last)
-		q.heap = q.heap[:last]
-		q.keys = q.keys[:last]
-		if last > 0 {
-			q.down(0)
+	if len(nbA)*16 < len(nbB) {
+		for i, w := range nbA {
+			if j, ok := ds.IndexSorted(nbB, w); ok {
+				fn(w, eidA[i], eidB[j])
+			}
 		}
-		if key == q.support[id] {
-			return id
-		}
-		// Stale entry: the edge was re-pushed with a smaller key; skip.
-		if last == 0 {
-			return id
-		}
+		return
 	}
-}
-
-func (q *supportQueue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.keys[i], q.keys[j] = q.keys[j], q.keys[i]
-}
-
-func (q *supportQueue) down(i int) {
-	n := len(q.heap)
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && q.keys[l] < q.keys[min] {
-			min = l
-		}
-		if r < n && q.keys[r] < q.keys[min] {
-			min = r
-		}
-		if min == i {
-			return
-		}
-		q.swap(i, min)
-		i = min
-	}
-}
-
-func countCommon(a, b []int32) int {
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
-}
-
-func forEachCommon(a, b []int32, fn func(w int32)) {
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
+	for i < len(nbA) && j < len(nbB) {
 		switch {
-		case a[i] < b[j]:
+		case nbA[i] < nbB[j]:
 			i++
-		case a[i] > b[j]:
+		case nbA[i] > nbB[j]:
 			j++
 		default:
-			fn(a[i])
+			fn(nbA[i], eidA[i], eidB[j])
 			i++
 			j++
 		}

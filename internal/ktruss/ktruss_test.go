@@ -1,8 +1,11 @@
 package ktruss
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
+	"runtime"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -114,9 +117,12 @@ func naiveTrussness(g *graph.Graph) map[int64]int32 {
 	return result
 }
 
-// TestDecomposeMatchesNaive validates peeling against the by-definition
-// oracle on random graphs.
+// TestDecomposeMatchesNaive validates the CSR-native parallel engine
+// against the by-definition oracle on random graphs, at one worker, two
+// workers, and the process default (GOMAXPROCS) — the result must be
+// identical at every worker count.
 func TestDecomposeMatchesNaive(t *testing.T) {
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 4 + rng.Intn(25)
@@ -126,21 +132,81 @@ func TestDecomposeMatchesNaive(t *testing.T) {
 			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
 		}
 		g := b.MustBuild()
-		d := Decompose(g)
 		want := naiveTrussness(g)
-		ok := true
-		g.Edges(func(u, v int32) bool {
-			got, _ := d.Trussness(u, v)
-			if got != want[int64(u)<<32|int64(v)] {
-				ok = false
+		for _, workers := range workerCounts {
+			d, err := DecomposeParallel(context.Background(), g, workers)
+			if err != nil {
+				t.Errorf("seed %d workers %d: %v", seed, workers, err)
 				return false
 			}
-			return true
-		})
-		return ok
+			ok := true
+			g.Edges(func(u, v int32) bool {
+				got, _ := d.Trussness(u, v)
+				if got != want[int64(u)<<32|int64(v)] {
+					t.Errorf("seed %d workers %d: truss(%d,%d) = %d, want %d",
+						seed, workers, u, v, got, want[int64(u)<<32|int64(v)])
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+			// The exported array-indexed oracle must agree with the map one.
+			if !slices.Equal(d.truss, Naive(g)) {
+				t.Errorf("seed %d: Naive disagrees with decomposition", seed)
+				return false
+			}
+		}
+		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecomposeParallelCancel: a pre-canceled context must abort both the
+// support-counting and peel phases with ctx.Err, at any worker count.
+func TestDecomposeParallelCancel(t *testing.T) {
+	g := gen.GenerateDBLP(gen.SmallDBLPConfig()).Graph
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 2} {
+		if _, err := DecomposeParallel(ctx, g, workers); err == nil {
+			t.Fatalf("workers=%d: canceled decomposition returned nil error", workers)
+		}
+	}
+}
+
+// TestEdgeTableMatchesParts: the decomposition's edge table is the graph's
+// canonical edge table in (u<v)-lexicographic order — the contract
+// Parts/FromParts and the snapshot layer rely on.
+func TestEdgeTableMatchesParts(t *testing.T) {
+	g := gen.Figure5()
+	d := Decompose(g)
+	edges, truss := d.Parts()
+	if len(edges) != g.M() || len(truss) != g.M() {
+		t.Fatalf("parts sized %d/%d for m=%d", len(edges), len(truss), g.M())
+	}
+	var want [][2]int32
+	g.Edges(func(u, v int32) bool {
+		want = append(want, [2]int32{u, v})
+		return true
+	})
+	if !slices.Equal(edges, want) {
+		t.Fatalf("edge table %v, want %v", edges, want)
+	}
+	// Round-trip through FromParts and verify lookups still resolve.
+	d2, err := FromParts(g, edges, truss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, e := range edges {
+		got, ok := d2.Trussness(e[0], e[1])
+		if !ok || got != truss[id] {
+			t.Fatalf("FromParts truss(%d,%d) = %d,%v want %d", e[0], e[1], got, ok, truss[id])
+		}
 	}
 }
 

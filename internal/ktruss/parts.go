@@ -7,21 +7,23 @@ import (
 )
 
 // Parts exposes the decomposition's frozen arrays — the (u<v) edge table in
-// the order g.Edges enumerates it and the parallel trussness array — so
-// that persistence layers can serialize them with bulk writes. Both slices
-// alias internal storage and must not be modified.
+// canonical edge-ID order (the order g.Edges enumerates) and the parallel
+// trussness array — so that persistence layers can serialize them with bulk
+// writes. Both slices alias internal storage and must not be modified.
 func (d *Decomposition) Parts() (edges [][2]int32, truss []int32) {
 	return d.edges, d.truss
 }
 
 // FromParts reassembles a Decomposition over g from a previously computed
-// edge table and trussness array, adopting the slices without copying. No
-// edge-id map is rebuilt: the table must be (u<v)-lexicographically sorted
-// (which is how Decompose emits it, following g.Edges order), and lookups
-// then binary-search it — keeping a snapshot load free of per-edge hashing.
-// The sortedness, range, and count envelope is checked so a corrupt input
-// yields an error rather than a panic; the trussness values themselves are
-// trusted, as recomputing them would defeat the point of loading.
+// edge table and trussness array, adopting the slices without copying. The
+// table must be (u<v)-lexicographically sorted — the canonical edge-ID
+// order, which is how Decompose emits it — so the per-edge arrays line up
+// with the graph's edge-ID surface; lookups then go through that surface
+// (materialized lazily, once per graph) and the snapshot load itself stays
+// O(read). The sortedness, range, and count envelope is checked so a
+// corrupt input yields an error rather than a panic; the trussness values
+// themselves are trusted, as recomputing them would defeat the point of
+// loading.
 func FromParts(g *graph.Graph, edges [][2]int32, truss []int32) (*Decomposition, error) {
 	m := g.M()
 	if len(edges) != m {

@@ -7,7 +7,7 @@ package metrics
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"cexplorer/internal/ds"
 	"cexplorer/internal/graph"
@@ -121,8 +121,8 @@ func Aggregate(rows []CommunityStats) AggregateStats {
 func SetJaccard(a, b []int32) float64 {
 	as := append([]int32(nil), a...)
 	bs := append([]int32(nil), b...)
-	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
-	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	slices.Sort(as)
+	slices.Sort(bs)
 	return ds.JaccardSorted(as, bs)
 }
 
@@ -134,8 +134,8 @@ func F1(pred, truth []int32) float64 {
 	}
 	ps := append([]int32(nil), pred...)
 	ts := append([]int32(nil), truth...)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	slices.Sort(ps)
+	slices.Sort(ts)
 	inter := float64(ds.IntersectionSize(ps, ts))
 	if inter == 0 {
 		return 0

@@ -1,0 +1,121 @@
+// Package par is the shared worker-count knob and fork/join helpers of the
+// parallel index-build pipeline. Index construction (truss support counting,
+// the concurrent BuildIndexes fan-out) and snapshot section encode/decode all
+// size their worker pools from one place, so the server's -index.workers
+// flag governs every CPU-bound build in the process.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the configured override; 0 means "use GOMAXPROCS".
+var workers atomic.Int64
+
+// Workers returns the effective build worker count: the value set with
+// SetWorkers, or GOMAXPROCS(0) when unset.
+func Workers() int {
+	if n := int(workers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the process-wide build worker count. n ≤ 0 restores the
+// GOMAXPROCS default. It is safe to call while builds are running; in-flight
+// builds keep the count they started with.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workers.Store(int64(n))
+}
+
+// Clamp normalizes a per-call worker count: n ≤ 0 means the process default
+// (Workers()), and the result never exceeds the amount of work available.
+func Clamp(n, work int) int {
+	if n <= 0 {
+		n = Workers()
+	}
+	if n > work {
+		n = work
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Do runs every fn concurrently on its own goroutine and waits for all of
+// them. It is the fork/join of the concurrent index build: callers pass one
+// closure per independent build step.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// Each runs fn(i) for every i in [0, n), handing indices out dynamically so
+// skewed per-item work (a snapshot's big adjacency section next to a tiny
+// meta section) load-balances across workers. workers follows Clamp
+// semantics; a single worker runs inline with no goroutines.
+func Each(n, workers int, fn func(i int)) {
+	w := Clamp(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Range splits [0, n) into contiguous spans, one per worker, and runs
+// fn(worker, lo, hi) concurrently. workers follows Clamp semantics (≤ 0 =
+// process default, never more than n). With a single worker the call runs
+// inline — no goroutine, no synchronization — so serial callers pay nothing.
+func Range(n, workers int, fn func(worker, lo, hi int)) {
+	w := Clamp(workers, n)
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			fn(worker, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}

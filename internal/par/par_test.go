@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(0)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(-5)
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d after SetWorkers(-5), want default", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	for _, tc := range []struct{ n, work, want int }{
+		{0, 100, 4},  // default from knob
+		{2, 100, 2},  // explicit
+		{8, 3, 3},    // never more than the work
+		{0, 0, 1},    // at least one
+		{-1, 100, 4}, // negative = default
+	} {
+		if got := Clamp(tc.n, tc.work); got != tc.want {
+			t.Fatalf("Clamp(%d,%d) = %d, want %d", tc.n, tc.work, got, tc.want)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var n atomic.Int64
+	Do(func() { n.Add(1) })
+	Do(func() { n.Add(1) }, func() { n.Add(1) }, func() { n.Add(1) })
+	if n.Load() != 4 {
+		t.Fatalf("Do ran %d closures, want 4", n.Load())
+	}
+}
+
+func TestRangeCoversExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		const n = 101
+		seen := make([]atomic.Int32, n)
+		Range(n, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+	Range(0, 4, func(_, lo, hi int) {
+		if lo != hi {
+			t.Fatalf("empty range got span [%d,%d)", lo, hi)
+		}
+	})
+}
+
+func TestEachCoversExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		const n = 53
+		seen := make([]atomic.Int32, n)
+		Each(n, workers, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+	Each(0, 2, func(i int) { t.Fatalf("Each(0) called fn(%d)", i) })
+}

@@ -13,12 +13,13 @@ package server
 // version and the journal dropped.
 
 import (
+	"cmp"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
-	"sort"
+	"slices"
 	"time"
 
 	"cexplorer/internal/api"
@@ -203,7 +204,7 @@ func (s *Server) replayJournal(name string, baseVersion uint64) (int, error) {
 	if dropped > 0 {
 		s.logf("catalog: journal for %s: dropped %d trailing bytes (crash tail)", name, dropped)
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Version < recs[j].Version })
+	slices.SortFunc(recs, func(a, b snapshot.JournalRecord) int { return cmp.Compare(a.Version, b.Version) })
 	replayed := 0
 	next := baseVersion + 1
 	for _, rec := range recs {

@@ -36,7 +36,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +44,7 @@ import (
 	"cexplorer/internal/api"
 	"cexplorer/internal/gen"
 	"cexplorer/internal/layout"
+	"cexplorer/internal/par"
 )
 
 // Server wraps the explorer engine with HTTP plumbing.
@@ -148,6 +149,15 @@ type StatsSnapshot struct {
 	// explore sub-resources): live sessions, cumulative creations, steps,
 	// TTL evictions, and explicit closes.
 	Explore api.ExploreStats `json:"explore"`
+
+	// IndexWorkers is the worker-pool size every CPU-bound index
+	// construction and the snapshot codec use (the -index.workers flag;
+	// default GOMAXPROCS). IndexBuilds accumulates the per-index build wall
+	// time paid in this process across all datasets and versions — a
+	// monotone counter (mutation successors and deletions never subtract),
+	// so the cold-build bill is observable next to the snapshot counters.
+	IndexWorkers int              `json:"indexWorkers"`
+	IndexBuilds  api.IndexTimings `json:"indexBuilds"`
 }
 
 // New returns a server over the given engine. logf may be nil (silent). The
@@ -227,6 +237,8 @@ func (s *Server) Stats() StatsSnapshot {
 	if snap.Searches > 0 {
 		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
 	}
+	snap.IndexWorkers = par.Workers()
+	snap.IndexBuilds = api.BuildTotals()
 	snap.MutationBatches = s.stats.mutationBatches.Load()
 	snap.MutationOps = s.stats.mutationOps.Load()
 	snap.MutationErrors = s.stats.mutationErrors.Load()
@@ -509,6 +521,10 @@ type graphInfo struct {
 	LoadMS        float64         `json:"loadMs,omitempty"`
 	SnapshotBytes int64           `json:"snapshotBytes,omitempty"`
 	Indexes       api.IndexStatus `json:"indexes"`
+	// IndexBuildMS is the wall time each resident index cost this dataset
+	// version to build (zero when pre-seeded from a snapshot or carried
+	// over from the predecessor version).
+	IndexBuildMS api.IndexTimings `json:"indexBuildMs"`
 }
 
 func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
@@ -522,6 +538,7 @@ func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 		LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
 		SnapshotBytes: ds.Info.SnapshotBytes,
 		Indexes:       ds.Indexes(),
+		IndexBuildMS:  ds.BuildTimings(),
 	}
 }
 
@@ -710,7 +727,7 @@ func (s *Server) execDetect(r *http.Request, dataset string, req detectRequest) 
 		}
 		comms = filtered
 	}
-	sort.Slice(comms, func(i, j int) bool { return len(comms[i].Vertices) > len(comms[j].Vertices) })
+	slices.SortFunc(comms, func(a, b api.Community) int { return len(b.Vertices) - len(a.Vertices) })
 	return comms, time.Since(start), nil
 }
 

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -102,24 +103,35 @@ func (c *countingCRCWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// wbuf wraps the checksummed writer with sticky-error primitive encoders
-// and a reusable chunk buffer, so large arrays stream through a fixed-size
-// scratch instead of being materialized as bytes.
+// wbuf wraps an output sink with sticky-error primitive encoders and a
+// reusable chunk buffer, so large arrays stream through a fixed-size
+// scratch instead of being materialized as bytes. The sink is either the
+// checksummed writer (envelope and trailer) or a plain in-memory buffer
+// (section payloads encoded in parallel; their bytes pass through the
+// checksum when the buffers are stitched together in order).
 type wbuf struct {
-	cw      *countingCRCWriter
+	w       io.Writer
+	cw      *countingCRCWriter // set when w is the checksummed sink
 	err     error
 	scratch []byte
 }
 
 func newWbuf(w io.Writer) *wbuf {
-	return &wbuf{cw: &countingCRCWriter{w: w}, scratch: make([]byte, 1<<16)}
+	cw := &countingCRCWriter{w: w}
+	return &wbuf{w: cw, cw: cw, scratch: make([]byte, 1<<16)}
+}
+
+// newMemWbuf encodes into an in-memory buffer with no checksum threading —
+// the parallel-encode path.
+func newMemWbuf(buf *bytes.Buffer) *wbuf {
+	return &wbuf{w: buf, scratch: make([]byte, 1<<16)}
 }
 
 func (b *wbuf) write(p []byte) {
 	if b.err != nil {
 		return
 	}
-	_, b.err = b.cw.Write(p)
+	_, b.err = b.w.Write(p)
 }
 
 func (b *wbuf) u16(v uint16) {

@@ -21,6 +21,7 @@ package snapshot
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -31,6 +32,7 @@ import (
 	"cexplorer/internal/cltree"
 	"cexplorer/internal/graph"
 	"cexplorer/internal/ktruss"
+	"cexplorer/internal/par"
 )
 
 // FileExt is the conventional extension for snapshot files; the server's
@@ -68,16 +70,20 @@ const (
 )
 
 // Write serializes the snapshot and returns the number of bytes written.
+//
+// Section payloads are independent, so each section (header + payload) is
+// encoded into its own buffer across par.Workers() workers and the buffers
+// are then stitched through the checksum in file order — the bytes, and the
+// trailing CRC, are identical to a serial write. The encode now buffers the
+// whole file in memory (roughly the encoded size) instead of streaming
+// through a fixed scratch; snapshots are bulk arrays, so that is the same
+// order of memory the dataset itself occupies.
 func Write(w io.Writer, s *Snapshot) (int64, error) {
 	if s.Graph == nil {
 		return 0, fmt.Errorf("snapshot: nil graph")
 	}
 	raw := s.Graph.Raw()
-	b := newWbuf(w)
-	b.write(magic[:])
-	b.u16(version)
 
-	// meta
 	flags := uint64(0)
 	if len(raw.Names) > 0 {
 		flags |= flagNamed
@@ -95,80 +101,132 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 	if created.IsZero() {
 		created = time.Now()
 	}
-	metaLen := uint64(4+len(s.Name)) + 8 + 8 + 8 + 8 + 8
-	b.sectionHeader(secMeta, metaLen)
-	b.u32(uint32(len(s.Name)))
-	b.write([]byte(s.Name))
-	b.u64(uint64(s.Graph.N()))
-	b.u64(uint64(s.Graph.M()))
-	b.u64(uint64(s.Graph.Vocab().Len()))
-	b.u64(uint64(created.Unix()))
-	b.u64(flags)
 
+	// One encoder per section, in file order.
+	var secs []func(b *wbuf)
+	secs = append(secs, func(b *wbuf) { // meta
+		metaLen := uint64(4+len(s.Name)) + 8 + 8 + 8 + 8 + 8
+		b.sectionHeader(secMeta, metaLen)
+		b.u32(uint32(len(s.Name)))
+		b.write([]byte(s.Name))
+		b.u64(uint64(s.Graph.N()))
+		b.u64(uint64(s.Graph.M()))
+		b.u64(uint64(s.Graph.Vocab().Len()))
+		b.u64(uint64(created.Unix()))
+		b.u64(flags)
+	})
 	// version counter (omitted at zero, keeping pristine-dataset files
 	// byte-identical with pre-dynamic writers)
 	if s.Version > 0 {
-		b.sectionHeader(secVersion, 8)
-		b.u64(s.Version)
+		secs = append(secs, func(b *wbuf) {
+			b.sectionHeader(secVersion, 8)
+			b.u64(s.Version)
+		})
 	}
-
 	// graph
-	b.sectionHeader(secOffsets, i64sLen(len(raw.Offsets)))
-	b.i64s(raw.Offsets)
-	b.sectionHeader(secAdj, i32sLen(len(raw.Adj)))
-	b.i32s(raw.Adj)
-	b.sectionHeader(secKwOff, i32sLen(len(raw.KwOffsets)))
-	b.i32s(raw.KwOffsets)
-	b.sectionHeader(secKwData, i32sLen(len(raw.KwData)))
-	b.i32s(raw.KwData)
-	vocabLen, err := stringsLen(raw.Words)
-	if err != nil {
-		return b.cw.n, err
-	}
-	b.sectionHeader(secVocab, vocabLen)
-	b.strings(raw.Words)
+	secs = append(secs,
+		func(b *wbuf) {
+			b.sectionHeader(secOffsets, i64sLen(len(raw.Offsets)))
+			b.i64s(raw.Offsets)
+		},
+		func(b *wbuf) {
+			b.sectionHeader(secAdj, i32sLen(len(raw.Adj)))
+			b.i32s(raw.Adj)
+		},
+		func(b *wbuf) {
+			b.sectionHeader(secKwOff, i32sLen(len(raw.KwOffsets)))
+			b.i32s(raw.KwOffsets)
+		},
+		func(b *wbuf) {
+			b.sectionHeader(secKwData, i32sLen(len(raw.KwData)))
+			b.i32s(raw.KwData)
+		},
+		func(b *wbuf) {
+			vocabLen, err := stringsLen(raw.Words)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.sectionHeader(secVocab, vocabLen)
+			b.strings(raw.Words)
+		},
+	)
 	if len(raw.Names) > 0 {
-		namesLen, err := stringsLen(raw.Names)
-		if err != nil {
-			return b.cw.n, err
-		}
-		b.sectionHeader(secNames, namesLen)
-		b.strings(raw.Names)
+		secs = append(secs, func(b *wbuf) {
+			namesLen, err := stringsLen(raw.Names)
+			if err != nil {
+				b.err = err
+				return
+			}
+			b.sectionHeader(secNames, namesLen)
+			b.strings(raw.Names)
+		})
 	}
-
 	// indexes
 	if s.Core != nil {
-		b.sectionHeader(secCore, i32sLen(len(s.Core)))
-		b.i32s(s.Core)
+		secs = append(secs, func(b *wbuf) {
+			b.sectionHeader(secCore, i32sLen(len(s.Core)))
+			b.i32s(s.Core)
+		})
 	}
 	if s.Tree != nil {
-		f := s.Tree.Flatten()
-		payload := i32sLen(len(f.Cores)) + i32sLen(len(f.Parents)) +
-			i32sLen(len(f.VertOff)) + i32sLen(len(f.Verts)) +
-			i32sLen(len(f.InvOff)) + i32sLen(len(f.InvKw)) + i32sLen(len(f.InvV))
-		b.sectionHeader(secTree, payload)
-		b.i32s(f.Cores)
-		b.i32s(f.Parents)
-		b.i32s(f.VertOff)
-		b.i32s(f.Verts)
-		b.i32s(f.InvOff)
-		b.i32s(f.InvKw)
-		b.i32s(f.InvV)
+		secs = append(secs, func(b *wbuf) {
+			f := s.Tree.Flatten()
+			payload := i32sLen(len(f.Cores)) + i32sLen(len(f.Parents)) +
+				i32sLen(len(f.VertOff)) + i32sLen(len(f.Verts)) +
+				i32sLen(len(f.InvOff)) + i32sLen(len(f.InvKw)) + i32sLen(len(f.InvV))
+			b.sectionHeader(secTree, payload)
+			b.i32s(f.Cores)
+			b.i32s(f.Parents)
+			b.i32s(f.VertOff)
+			b.i32s(f.Verts)
+			b.i32s(f.InvOff)
+			b.i32s(f.InvKw)
+			b.i32s(f.InvV)
+		})
 	}
 	if s.Truss != nil {
-		edges, truss := s.Truss.Parts()
-		flat := make([]int32, 0, 2*len(edges))
-		for _, e := range edges {
-			flat = append(flat, e[0], e[1])
-		}
-		b.sectionHeader(secTruss, i32sLen(len(flat))+i32sLen(len(truss)))
-		b.i32s(flat)
-		b.i32s(truss)
+		secs = append(secs, func(b *wbuf) {
+			edges, truss := s.Truss.Parts()
+			flat := make([]int32, 0, 2*len(edges))
+			for _, e := range edges {
+				flat = append(flat, e[0], e[1])
+			}
+			b.sectionHeader(secTruss, i32sLen(len(flat))+i32sLen(len(truss)))
+			b.i32s(flat)
+			b.i32s(truss)
+		})
 	}
 
-	// trailer: checksum of everything written so far
-	crc := b.cw.crc
-	b.u32(crc)
+	b := newWbuf(w)
+	b.write(magic[:])
+	b.u16(version)
+	if par.Workers() == 1 {
+		// Serial fast path: stream every section straight through the
+		// checksummed writer — no buffer materialization, the original
+		// single-pass encode.
+		for _, enc := range secs {
+			enc(b)
+		}
+	} else {
+		bufs := make([]bytes.Buffer, len(secs))
+		errs := make([]error, len(secs))
+		par.Each(len(secs), 0, func(i int) {
+			mb := newMemWbuf(&bufs[i])
+			secs[i](mb)
+			errs[i] = mb.err
+		})
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		// Stitch the section buffers through the checksum in file order.
+		for i := range bufs {
+			b.write(bufs[i].Bytes())
+		}
+	}
+	b.u32(b.cw.crc)
 	return b.cw.n, b.err
 }
 
@@ -227,21 +285,22 @@ func Read(r io.Reader) (*Snapshot, error) {
 // Decode deserializes a snapshot from bytes already in memory (what Read
 // and ReadFile call after slurping their source; callers that already hold
 // the file contents can use it directly and skip a copy).
+//
+// The section framing is walked serially (a few header reads), then the
+// payloads — independent bulk arrays — decode across par.Workers() workers,
+// with a duplicated section id resolved to its last occurrence exactly as
+// the serial decoder's switch did.
 func Decode(data []byte) (*Snapshot, error) {
 	cur, err := openEnvelope(data)
 	if err != nil {
 		return nil, err
 	}
 
-	s := &Snapshot{Bytes: int64(len(data))}
-	var (
-		raw      graph.Raw
-		sawMeta  bool
-		flags    uint64
-		treeFlat *cltree.Flat
-		trussRaw [2][]int32 // flat edges, trussness
-		sawTruss bool
-	)
+	type section struct {
+		id      uint32
+		payload []byte
+	}
+	var found []section
 	for {
 		id, sec, done, err := nextSection(cur)
 		if err != nil {
@@ -250,10 +309,39 @@ func Decode(data []byte) (*Snapshot, error) {
 		if done {
 			break
 		}
-		if !sawMeta && id != secMeta {
+		if len(found) == 0 && id != secMeta {
 			return nil, fmt.Errorf("snapshot: first section is %s, want meta", sectionName(id))
 		}
-		switch id {
+		found = append(found, section{id, sec.b})
+	}
+	if len(found) == 0 {
+		return nil, fmt.Errorf("snapshot: missing meta section")
+	}
+	// Last occurrence of an id wins; unknown ids are skipped (forward
+	// compatibility).
+	latest := make(map[uint32]int, len(found))
+	for i, sec := range found {
+		latest[sec.id] = i
+	}
+	var todo []section
+	for i, sec := range found {
+		if latest[sec.id] == i {
+			todo = append(todo, sec)
+		}
+	}
+
+	s := &Snapshot{Bytes: int64(len(data))}
+	var (
+		raw      graph.Raw
+		flags    uint64
+		treeFlat *cltree.Flat
+		trussRaw [2][]int32 // flat edges, trussness
+		sawTruss bool
+	)
+	errs := make([]error, len(todo))
+	par.Each(len(todo), 0, func(i int) {
+		sec := &rbuf{b: todo[i].payload}
+		switch id := todo[i].id; id {
 		case secMeta:
 			nameLen := int(sec.u32())
 			s.Name = string(sec.bytes(nameLen))
@@ -262,7 +350,6 @@ func Decode(data []byte) (*Snapshot, error) {
 			sec.u64() // vocab
 			s.Created = time.Unix(int64(sec.u64()), 0)
 			flags = sec.u64()
-			sawMeta = true
 		case secOffsets:
 			raw.Offsets = sec.i64s()
 		case secAdj:
@@ -293,15 +380,15 @@ func Decode(data []byte) (*Snapshot, error) {
 			sawTruss = true
 		case secVersion:
 			s.Version = sec.u64()
-		default:
-			// Unknown section: skip (forward compatibility).
 		}
 		if sec.err != nil {
-			return nil, fmt.Errorf("snapshot: section %s: %w", sectionName(id), sec.err)
+			errs[i] = fmt.Errorf("snapshot: section %s: %w", sectionName(todo[i].id), sec.err)
 		}
-	}
-	if !sawMeta {
-		return nil, fmt.Errorf("snapshot: missing meta section")
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	g, err := graph.FromRaw(raw)

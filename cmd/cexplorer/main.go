@@ -63,12 +63,18 @@ func runServer() {
 		searchTimeout = flag.Duration("search.timeout", 0, "deadline per search-class request, queue wait included (0 = none)")
 		exploreTTL    = flag.Duration("explore.ttl", 0, "idle lifetime of exploration sessions (0 = 15m default)")
 		indexWorkers  = flag.Int("index.workers", 0, "workers for index construction and snapshot encode/decode (0 = GOMAXPROCS)")
+		openModeFlag  = flag.String("open.mode", "auto", "how catalog snapshots are materialized: auto (mmap when eligible), mmap (require zero-copy), copy (always heap-decode)")
 	)
 	flag.Parse()
 
+	openMode, err := snapshot.ParseOpenMode(*openModeFlag)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
 	par.SetWorkers(*indexWorkers)
 	exp := api.NewExplorer()
 	srv := server.New(exp, log.Printf)
+	srv.SetOpenMode(openMode)
 	if *searchLimit > 0 {
 		srv.SetSearchLimit(*searchLimit)
 	}
@@ -210,12 +216,16 @@ func snapshotBuild(args []string) error {
 		dblpN    = fs.Int("dblp.n", 0, "generate a synthetic DBLP of this size instead of reading a file")
 		dblpSeed = fs.Int64("dblp.seed", 1, "synthetic DBLP seed")
 		workers  = fs.Int("index.workers", 0, "workers for index construction and snapshot encoding (0 = GOMAXPROCS)")
+		format   = fs.Int("format", int(snapshot.DefaultFormat), "snapshot format version: 3 (aligned, zero-copy mmap) or 2 (legacy, for older readers)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *out == "" {
 		return fmt.Errorf("snapshot build: -o is required")
+	}
+	if *format != int(snapshot.FormatV2) && *format != int(snapshot.FormatV3) {
+		return fmt.Errorf("snapshot build: -format %d (want %d or %d)", *format, snapshot.FormatV2, snapshot.FormatV3)
 	}
 	par.SetWorkers(*workers)
 
@@ -260,7 +270,7 @@ func snapshotBuild(args []string) error {
 	ds.BuildIndexes()
 	buildTime := time.Since(start)
 	start = time.Now()
-	n, err := ds.WriteSnapshotFile(*out)
+	n, err := ds.WriteSnapshotFileFormat(*out, uint16(*format))
 	if err != nil {
 		return err
 	}
@@ -299,14 +309,19 @@ func snapshotInspect(args []string) error {
 		return err
 	}
 	fmt.Printf("%s: snapshot v%d, %d bytes, checksum OK\n", path, info.Version, info.Bytes)
-	fmt.Printf("  dataset  %q\n", info.Name)
-	fmt.Printf("  graph    %d vertices, %d edges, %d keywords, named=%v\n",
+	fmt.Printf("  dataset   %q\n", info.Name)
+	fmt.Printf("  graph     %d vertices, %d edges, %d keywords, named=%v\n",
 		info.Vertices, info.Edges, info.Keywords, info.Named)
-	fmt.Printf("  indexes  core=%v cltree=%v ktruss=%v\n", info.HasCore, info.HasTree, info.HasTruss)
-	fmt.Printf("  created  %s\n", info.Created.Format(time.RFC3339))
-	fmt.Printf("  sections\n")
+	fmt.Printf("  indexes   core=%v cltree=%v ktruss=%v\n", info.HasCore, info.HasTree, info.HasTruss)
+	fmt.Printf("  created   %s\n", info.Created.Format(time.RFC3339))
+	if info.ZeroCopy {
+		fmt.Printf("  zero-copy eligible (opens via mmap without heap copies)\n")
+	} else {
+		fmt.Printf("  zero-copy ineligible: %s\n", info.ZeroCopyReason)
+	}
+	fmt.Printf("  sections         offset       bytes  aligned\n")
 	for _, sec := range info.Sections {
-		fmt.Printf("    %-16s %d bytes\n", sec.Name, sec.Bytes)
+		fmt.Printf("    %-14s %7d  %10d  %v\n", sec.Name, sec.Offset, sec.Bytes, sec.Aligned)
 	}
 	return nil
 }

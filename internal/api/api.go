@@ -175,6 +175,10 @@ type Dataset struct {
 	// shares the pointer. It is never held by the read path.
 	mutMu *sync.Mutex
 
+	// backing is non-nil when the graph and pre-seeded indexes borrow a
+	// mapped snapshot file (see backing.go); nil for heap-backed datasets.
+	backing *backingRef
+
 	treeOnce  sync.Once
 	tree      *cltree.Tree
 	treeReady atomic.Bool
@@ -207,6 +211,13 @@ type DatasetInfo struct {
 	LoadDuration time.Duration `json:"-"`
 	// SnapshotBytes is the encoded snapshot size when Source=="snapshot".
 	SnapshotBytes int64 `json:"snapshotBytes,omitempty"`
+	// OpenMode reports how a snapshot-sourced dataset was materialized:
+	// "copy" (heap-decoded) or "mmap" (view-decoded over a file mapping).
+	// Empty for built datasets and for mutation successors, which are
+	// heap-materialized regardless of their base.
+	OpenMode string `json:"openMode,omitempty"`
+	// MappedBytes is the size of the backing file mapping (mmap opens only).
+	MappedBytes int64 `json:"mappedBytes,omitempty"`
 }
 
 // IndexStatus reports which indexes a dataset currently holds in memory,
@@ -667,6 +678,11 @@ func (e *Explorer) Search(ctx context.Context, dataset, algo string, q Query) ([
 	if !ok {
 		return nil, fmt.Errorf("%w: search: %q", ErrDatasetNotFound, dataset)
 	}
+	unpin, err := ds.Pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	e.mu.RLock()
 	a, ok := e.cs[algo]
 	e.mu.RUnlock()
@@ -687,6 +703,11 @@ func (e *Explorer) Detect(ctx context.Context, dataset, algo string) ([]Communit
 	if !ok {
 		return nil, fmt.Errorf("%w: detect: %q", ErrDatasetNotFound, dataset)
 	}
+	unpin, err := ds.Pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	e.mu.RLock()
 	a, ok := e.cd[algo]
 	e.mu.RUnlock()
@@ -717,6 +738,11 @@ func (e *Explorer) Analyze(ctx context.Context, dataset string, c Community, q i
 	if !ok {
 		return nil, fmt.Errorf("%w: analyze: %q", ErrDatasetNotFound, dataset)
 	}
+	unpin, err := ds.Pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	if q < 0 || int(q) >= ds.Graph.N() {
 		return nil, fmt.Errorf("%w: analyze: query vertex %d out of range", ErrInvalidQuery, q)
 	}
@@ -747,6 +773,11 @@ func (e *Explorer) Display(ctx context.Context, dataset string, c Community, opt
 	if !ok {
 		return nil, fmt.Errorf("%w: display: %q", ErrDatasetNotFound, dataset)
 	}
+	unpin, err := ds.Pin()
+	if err != nil {
+		return nil, err
+	}
+	defer unpin()
 	sub := ds.Graph.Induce(c.Vertices)
 	el := layout.EdgeList{Count: sub.N()}
 	for l := int32(0); l < int32(sub.N()); l++ {

@@ -1,0 +1,94 @@
+package api
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"cexplorer/internal/snapshot"
+)
+
+// Backing lifecycle for mmap-opened datasets. A dataset opened with
+// snapshot.OpenMmap (or OpenAuto on an eligible file) borrows every bulk
+// array — the CSR graph, pre-seeded index arenas, name and vocabulary
+// string contents — from a file mapping instead of the heap. The mapping
+// must outlive every reader, so:
+//
+//   - The Dataset holds the OpenFile reference until Close releases it.
+//   - Query entry points Pin the backing for the duration of a request;
+//     a Close racing an in-flight query just defers the munmap until the
+//     last pin drops, and a pin attempted after Close fails with the
+//     typed ErrDatasetClosed instead of touching dead pages.
+//   - Mutation successors are materialized onto the heap (graph.Overlay
+//     deep-copies shared arenas from a borrowed base), so a lineage keeps
+//     evolving after its v0 mapping is gone.
+//   - A mutate-superseded version that is dropped without Close has its
+//     mapping released by a GC cleanup, so long-running servers do not
+//     accumulate dead mappings.
+//
+// Heap-backed datasets have a nil backing; Pin and Close are free no-ops.
+
+// backingRef ties a dataset version to its file mapping.
+type backingRef struct {
+	m      *snapshot.Mapping
+	closed atomic.Bool
+}
+
+// attachBacking installs the mapping reference on a freshly opened dataset
+// (before it is published) and arranges for GC to release the mapping if
+// the dataset is dropped without Close.
+func attachBacking(d *Dataset, m *snapshot.Mapping) {
+	b := &backingRef{m: m}
+	d.backing = b
+	runtime.AddCleanup(d, func(b *backingRef) {
+		if b.closed.CompareAndSwap(false, true) {
+			b.m.Release()
+		}
+	}, b)
+}
+
+// Close releases the dataset's backing file mapping, if any. The unmap
+// happens once every pinned query finishes; new pins fail from this point
+// on with ErrDatasetClosed. Close is idempotent and a no-op for heap-backed
+// datasets. After Close, direct method calls on the dataset (embedded use,
+// bypassing Pin) are invalid.
+func (d *Dataset) Close() error {
+	b := d.backing
+	if b == nil {
+		return nil
+	}
+	if b.closed.CompareAndSwap(false, true) {
+		b.m.Release()
+	}
+	return nil
+}
+
+// Pin guards the dataset's backing memory for the duration of a read. It
+// returns a release func that must be called when the read finishes (safe
+// to call more than once). For heap-backed datasets it is a free no-op.
+// Pinning a closed dataset fails with ErrDatasetClosed.
+func (d *Dataset) Pin() (release func(), err error) {
+	b := d.backing
+	if b == nil {
+		return func() {}, nil
+	}
+	if b.closed.Load() || !b.m.Retain() {
+		return nil, fmt.Errorf("%w: %q", ErrDatasetClosed, d.Name)
+	}
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			b.m.Release()
+		}
+	}, nil
+}
+
+// MappedBytes returns the size of the live file mapping backing the
+// dataset, or zero for heap-backed (or closed) datasets.
+func (d *Dataset) MappedBytes() int64 {
+	b := d.backing
+	if b == nil || b.closed.Load() {
+		return 0
+	}
+	return b.m.Size()
+}

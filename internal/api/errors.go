@@ -32,6 +32,9 @@ var (
 	// the current graph state — inserting an edge that already exists, or
 	// deleting one that does not.
 	ErrMutationConflict = errors.New("mutation conflict")
+	// ErrDatasetClosed: the dataset's backing file mapping was released by
+	// Close; its borrowed memory is gone and it can serve no more queries.
+	ErrDatasetClosed = errors.New("dataset closed")
 	// ErrCanceled: the caller canceled the request mid-computation.
 	ErrCanceled = errors.New("request canceled")
 	// ErrTimeout: the request exceeded its deadline mid-computation.
@@ -58,6 +61,8 @@ func ErrorCode(err error) string {
 		return "invalid_mutation"
 	case errors.Is(err, ErrMutationConflict):
 		return "mutation_conflict"
+	case errors.Is(err, ErrDatasetClosed):
+		return "dataset_closed"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ErrTimeout):

@@ -87,6 +87,7 @@ type exploreSession struct {
 	closed   bool
 	id       string
 	ds       *Dataset
+	unpin    func() // releases the dataset backing pinned at creation
 	q        int32
 	k        int
 	keywords []string
@@ -187,6 +188,7 @@ func (s *exploreSession) closeAndRelease() {
 	if !s.closed {
 		s.closed = true
 		s.ds.ReleaseEngine(s.eng)
+		s.unpin()
 	}
 	s.mu.Unlock()
 }
@@ -217,6 +219,19 @@ func (e *Explorer) Explore(ctx context.Context, dataset string, q Query) (*Explo
 	if !ok {
 		return nil, fmt.Errorf("%w: explore: %q", ErrDatasetNotFound, dataset)
 	}
+	// The session reads the dataset's graph and indexes on every step; an
+	// mmap-backed dataset stays pinned for the session's whole lifetime
+	// (released by closeAndRelease once the session is published).
+	unpin, err := ds.Pin()
+	if err != nil {
+		return nil, err
+	}
+	published := false
+	defer func() {
+		if !published {
+			unpin()
+		}
+	}()
 	if len(q.Vertices) != 1 {
 		return nil, fmt.Errorf("%w: explore: exactly one query vertex required", ErrInvalidQuery)
 	}
@@ -239,6 +254,7 @@ func (e *Explorer) Explore(ctx context.Context, dataset string, q Query) (*Explo
 	s := &exploreSession{
 		id:       newSessionID(),
 		ds:       ds,
+		unpin:    unpin,
 		q:        v,
 		k:        k,
 		keywords: append([]string(nil), q.Keywords...),
@@ -249,6 +265,7 @@ func (e *Explorer) Explore(ctx context.Context, dataset string, q Query) (*Explo
 		ds.ReleaseEngine(s.eng)
 		return nil, wrapContextErr(err)
 	}
+	published = true
 
 	m := &e.explore
 	m.mu.Lock()

@@ -84,6 +84,14 @@ func (d *Dataset) Mutate(ctx context.Context, ops []Mutation) (*Dataset, *Mutati
 	if len(ops) == 0 {
 		return nil, nil, fmt.Errorf("%w: empty batch", ErrInvalidMutation)
 	}
+	// The batch reads the base graph (overlay queries, materialization,
+	// tree repair) up to the last line; pin mmap-backed bases for the whole
+	// derivation.
+	unpin, err := d.Pin()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer unpin()
 
 	// Core numbers ride along incrementally only when this version already
 	// holds them (directly or through its CL-tree); an unindexed dataset
@@ -171,10 +179,15 @@ func (d *Dataset) Mutate(ctx context.Context, ops []Mutation) (*Dataset, *Mutati
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidMutation, err)
 	}
+	info := d.Info
+	// Successors are heap-materialized whatever their base was; they carry
+	// no mapping and no Close obligation.
+	info.OpenMode = ""
+	info.MappedBytes = 0
 	next := &Dataset{
 		Name:    d.Name,
 		Graph:   g,
-		Info:    d.Info,
+		Info:    info,
 		Version: d.Version + 1,
 		mutMu:   d.mutMu,
 	}
@@ -193,7 +206,11 @@ func (d *Dataset) Mutate(ctx context.Context, ops []Mutation) (*Dataset, *Mutati
 			next.coreReady.Store(true)
 		})
 	}
-	if d.treeReady.Load() && maint != nil {
+	if d.treeReady.Load() && maint != nil && !d.Graph.Borrowed() {
+		// Repair is skipped on a borrowed (mmap-backed) base: the repaired
+		// tree would share nodes whose vertex and inverted-list arenas alias
+		// the mapping, outliving it once this version is closed. The
+		// successor's tree rebuilds lazily on the heap instead.
 		tree, shared := cltree.Repair(d.tree, g, maint.Core(), changedLevel, added, edgeOps, singleChanged)
 		next.treeOnce.Do(func() {
 			next.tree = tree

@@ -28,6 +28,13 @@ func (d *Dataset) WriteSnapshotFile(path string) (int64, error) {
 	return snapshot.WriteFile(path, d.makeSnapshot())
 }
 
+// WriteSnapshotFileFormat is WriteSnapshotFile with an explicit format
+// version (`cexplorer snapshot build -format`): FormatV3 for the aligned
+// zero-copy layout, FormatV2 for files older builds must read.
+func (d *Dataset) WriteSnapshotFileFormat(path string, format uint16) (int64, error) {
+	return snapshot.WriteFileFormat(path, d.makeSnapshot(), format)
+}
+
 func (d *Dataset) makeSnapshot() *snapshot.Snapshot {
 	d.BuildIndexes()
 	return &snapshot.Snapshot{
@@ -77,14 +84,39 @@ func OpenSnapshot(name string, r io.Reader) (*Dataset, error) {
 }
 
 // OpenSnapshotFile materializes a dataset from a snapshot file; the
-// embedded dataset name is used unless name is non-empty.
+// embedded dataset name is used unless name is non-empty. It always
+// heap-decodes (snapshot.OpenCopy); use OpenSnapshotFileMode for the
+// zero-copy mmap path.
 func OpenSnapshotFile(name, path string) (*Dataset, error) {
+	return OpenSnapshotFileMode(name, path, snapshot.OpenCopy)
+}
+
+// OpenSnapshotFileMode materializes a dataset from a snapshot file under an
+// explicit open mode. With snapshot.OpenMmap (or OpenAuto on an eligible
+// file) the dataset's graph and pre-seeded indexes are views over a file
+// mapping: the open costs O(index stitch) instead of O(bytes) heap copies,
+// and the caller owns a Close obligation — release the mapping with
+// Dataset.Close when the dataset is retired (queries running through the
+// Explorer pin the mapping and are safe against a concurrent Close).
+func OpenSnapshotFileMode(name, path string, mode snapshot.OpenMode) (*Dataset, error) {
 	start := time.Now()
-	s, err := snapshot.ReadFile(path)
+	s, m, err := snapshot.OpenFile(path, mode)
 	if err != nil {
 		return nil, err
 	}
-	return datasetFromSnapshot(name, s, time.Since(start))
+	d, err := datasetFromSnapshot(name, s, time.Since(start))
+	if err != nil {
+		if m != nil {
+			m.Release()
+		}
+		return nil, err
+	}
+	if m != nil {
+		attachBacking(d, m)
+		d.Info.OpenMode = "mmap"
+		d.Info.MappedBytes = m.Size()
+	}
+	return d, nil
 }
 
 func datasetFromSnapshot(name string, s *snapshot.Snapshot, elapsed time.Duration) (*Dataset, error) {
@@ -103,6 +135,7 @@ func datasetFromSnapshot(name string, s *snapshot.Snapshot, elapsed time.Duratio
 			Source:        "snapshot",
 			LoadDuration:  elapsed,
 			SnapshotBytes: s.Bytes,
+			OpenMode:      "copy", // the file-open path overrides for mmap
 		},
 	}
 	if s.Tree != nil {

@@ -1,0 +1,84 @@
+package dyntest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/snapshot"
+)
+
+// TestDynamicEquivalenceOnMmapBase reruns the equivalence gate with the base
+// dataset opened zero-copy from a v3 snapshot file: version 0 serves every
+// read straight off the mapping, the first Mutate materializes a fully
+// heap-owned successor, and the lineage keeps satisfying the rebuild oracle
+// after the original mapping is released mid-stream. This is the
+// acceptance check that borrowed arenas and copy-on-write mutation compose.
+func TestDynamicEquivalenceOnMmapBase(t *testing.T) {
+	seeds := 6
+	nOps := 400
+	if testing.Short() {
+		seeds, nOps = 2, 120
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{
+				Seed:      int64(seed),
+				N:         50 + 10*(seed%5),
+				M:         120 + 15*(seed%4),
+				Vocab:     10,
+				BatchSize: 30,
+			}
+			base := baseGraph(sc)
+			sc.Ops = GenOps(base, nOps, sc.Seed*104729)
+
+			// Freeze the base with pre-built indexes and reopen it mapped.
+			src := api.NewDataset("dyn", base)
+			src.BuildIndexes()
+			path := filepath.Join(t.TempDir(), "base.cxsnap")
+			if _, err := src.WriteSnapshotFile(path); err != nil {
+				t.Fatalf("write snapshot: %v", err)
+			}
+			ds, err := api.OpenSnapshotFileMode("", path, snapshot.OpenMmap)
+			if err != nil {
+				if _, _, merr := snapshot.OpenFile(path, snapshot.OpenMmap); merr != nil && !errors.Is(merr, snapshot.ErrNotZeroCopy) {
+					t.Skipf("mmap unavailable: %v", merr)
+				}
+				t.Fatalf("mmap open: %v", err)
+			}
+			v0 := ds
+			defer v0.Close()
+
+			// The mapped v0 itself must pass the oracle before any mutation.
+			if err := CheckEquivalence(ds); err != nil {
+				t.Fatalf("mapped base fails equivalence before mutation: %v", err)
+			}
+
+			closedAt := len(sc.Ops) / 2
+			for off := 0; off < len(sc.Ops); off += sc.BatchSize {
+				end := min(off+sc.BatchSize, len(sc.Ops))
+				next, res, err := ds.Mutate(context.Background(), sc.Ops[off:end])
+				if err != nil {
+					t.Fatalf("batch at op %d: %v", off, err)
+				}
+				ds = next
+				if ds.Graph.Borrowed() {
+					t.Fatalf("batch at op %d: successor still borrows the mapping", off)
+				}
+				if off >= closedAt && v0.MappedBytes() != 0 {
+					// Halfway through, drop the original mapping: successors
+					// must not notice.
+					v0.Close()
+				}
+				if err := CheckEquivalence(ds); err != nil {
+					t.Fatalf("batch at op %d (version %d, repair=%s): %v", off, res.Version, res.TreeRepair, err)
+				}
+			}
+		})
+	}
+}

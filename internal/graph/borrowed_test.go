@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+// borrowedGraph builds a small attributed graph and reassembles it via
+// FromRaw with Borrowed set, the shape a view-decoded snapshot produces.
+func borrowedGraph(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	b.AddVertex("a", "x", "y")
+	b.AddVertex("b", "x")
+	b.AddVertex("c", "y")
+	b.AddVertex("d", "z")
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.MustBuild()
+	r := g.Raw()
+	r.Borrowed = true
+	bg, err := FromRaw(r)
+	if err != nil {
+		t.Fatalf("from raw: %v", err)
+	}
+	return bg
+}
+
+func TestFromRawBorrowedPropagates(t *testing.T) {
+	g := borrowedGraph(t)
+	if !g.Borrowed() {
+		t.Fatalf("FromRaw dropped the borrowed mark")
+	}
+	if !g.Raw().Borrowed {
+		t.Fatalf("Raw() dropped the borrowed mark")
+	}
+	if g.BorrowedBytes() <= 0 {
+		t.Fatalf("BorrowedBytes = %d on a borrowed graph", g.BorrowedBytes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("borrowed graph invalid: %v", err)
+	}
+
+	// A heap-owned graph reports neither.
+	own := NewBuilder(2, 1)
+	own.AddVertex("p")
+	own.AddVertex("q")
+	own.AddEdge(0, 1)
+	og := own.MustBuild()
+	if og.Borrowed() || og.BorrowedBytes() != 0 {
+		t.Fatalf("fresh graph claims borrowed arenas: %v/%d", og.Borrowed(), og.BorrowedBytes())
+	}
+}
+
+// TestMaterializeDisownsBorrowedBase is the copy-on-write half of the
+// zero-copy contract: any overlay materialized over a borrowed base must
+// come out fully heap-owned — keyword arenas, name contents, and
+// vocabulary deep-copied — so the successor survives the base's mapping
+// being released.
+func TestMaterializeDisownsBorrowedBase(t *testing.T) {
+	base := borrowedGraph(t)
+	braw := base.Raw()
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(o *Overlay) error
+	}{
+		{"remove-edge", func(o *Overlay) error { return o.RemoveEdge(0, 1) }},
+		{"grow", func(o *Overlay) error {
+			o.AddVertex("e", []string{"x", "w"})
+			return o.AddEdge(0, 4)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := NewOverlay(base)
+			if err := tc.mutate(o); err != nil {
+				t.Fatalf("mutate: %v", err)
+			}
+			g, err := o.Materialize()
+			if err != nil {
+				t.Fatalf("materialize: %v", err)
+			}
+			if g.Borrowed() || g.BorrowedBytes() != 0 {
+				t.Fatalf("successor still borrowed (%d bytes)", g.BorrowedBytes())
+			}
+			raw := g.Raw()
+			for i, name := range raw.Names[:4] {
+				if name != braw.Names[i] {
+					t.Fatalf("name[%d] = %q, want %q", i, name, braw.Names[i])
+				}
+				// Equal contents, distinct backing: the successor must not
+				// alias the base's name bytes.
+				if len(name) > 0 && &raw.Names[i] == &braw.Names[i] {
+					t.Fatalf("name[%d] header aliases base", i)
+				}
+			}
+			if len(raw.KwData) > 0 && len(braw.KwData) > 0 && &raw.KwData[0] == &braw.KwData[0] {
+				t.Fatalf("keyword arena aliases base")
+			}
+			// Name and keyword lookups run off the successor's own copies.
+			if id, ok := g.VertexByName("a"); !ok || id != 0 {
+				t.Fatalf("VertexByName(a) = %d, %v", id, ok)
+			}
+			xid, ok := g.Vocab().ID("x")
+			if !ok {
+				t.Fatalf("keyword x missing from successor vocab")
+			}
+			if kws := g.Keywords(0); !slices.Contains(kws, xid) {
+				t.Fatalf("Keywords(0) = %v, want to contain %d", kws, xid)
+			}
+		})
+	}
+}
+
+func TestVocabCloneOwned(t *testing.T) {
+	v, err := VocabFromWords([]string{"alpha", "beta"})
+	if err != nil {
+		t.Fatalf("from words: %v", err)
+	}
+	c := v.CloneOwned()
+	if c.Len() != v.Len() {
+		t.Fatalf("clone len %d, want %d", c.Len(), v.Len())
+	}
+	for id := int32(0); int(id) < v.Len(); id++ {
+		if c.Word(id) != v.Word(id) {
+			t.Fatalf("word %d = %q, want %q", id, c.Word(id), v.Word(id))
+		}
+	}
+	if id, ok := c.ID("beta"); !ok || id != 1 {
+		t.Fatalf("clone lookup beta = %d, %v", id, ok)
+	}
+	// The clone is independently growable.
+	if c.Intern("gamma") != 2 || v.Len() != 2 {
+		t.Fatalf("clone growth leaked into original (len %d)", v.Len())
+	}
+	if _, err := VocabFromWords([]string{"dup", "dup"}); err == nil {
+		t.Fatalf("duplicate vocabulary accepted")
+	}
+}

@@ -39,6 +39,13 @@ type Graph struct {
 
 	vocab *Vocab
 
+	// borrowed marks a graph whose bulk arrays (offsets, adj, keyword
+	// arenas, name/vocab string contents) alias caller-owned backing memory
+	// — in practice a mapped snapshot file. Such a graph is valid only
+	// while the backing stays mapped; overlay materialization deep-copies
+	// everything shared so mutation successors never inherit the aliasing.
+	borrowed bool
+
 	// edgeIDs is the per-neighbor edge-ID arena (len 2m), parallel to adj;
 	// materialized lazily by ensureEdgeIDs (see edgeids.go). edgeIDReady
 	// lets observers (Bytes) see the arena without entering the Once.
@@ -205,6 +212,26 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Borrowed reports whether the graph's bulk arrays alias caller-owned
+// backing memory (a mapped snapshot) rather than the Go heap.
+func (g *Graph) Borrowed() bool { return g.borrowed }
+
+// BorrowedBytes returns the portion of Bytes that lives in borrowed backing
+// memory rather than on the heap: the CSR arrays, keyword arenas, and name
+// contents for a borrowed graph, zero otherwise. The lazily built edge-ID
+// arena is always heap-allocated, as are map and header structures.
+func (g *Graph) BorrowedBytes() int64 {
+	if !g.borrowed {
+		return 0
+	}
+	b := int64(len(g.offsets))*8 + int64(len(g.adj))*4
+	b += int64(len(g.kwOffsets))*4 + int64(len(g.kwData))*4
+	for _, s := range g.names {
+		b += int64(len(s))
+	}
+	return b
 }
 
 // Bytes returns an estimate of the memory retained by the graph, used by the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strings"
 )
 
 // Overlay is the mutable edit buffer over an immutable CSR Graph: the
@@ -352,7 +353,7 @@ func (o *Overlay) Materialize() (*Graph, error) {
 		g.kwData = raw.KwData
 		g.names = o.base.names
 		g.nameIndex = o.base.nameIndex
-		return g, nil
+		return o.disown(g), nil
 	}
 
 	// Vertex growth: extend keyword arenas and (when named) the name table.
@@ -389,7 +390,41 @@ func (o *Overlay) Materialize() (*Graph, error) {
 			}
 		}
 	}
-	return g, nil
+	return o.disown(g), nil
+}
+
+// disown deep-copies every arena g may still share with a borrowed base, so
+// a mutation successor of a mapped-snapshot graph is fully heap-owned and
+// survives the mapping being unmapped. The adjacency arrays are always
+// freshly built by Materialize; what can alias the mapping are the keyword
+// arenas (shared headers on the no-growth path), the name and vocabulary
+// string CONTENTS (header copies via append still point into the mapped
+// blob), and map keys derived from those strings. For an owned base this is
+// a no-op.
+func (o *Overlay) disown(g *Graph) *Graph {
+	if !o.base.borrowed {
+		return g
+	}
+	g.kwOffsets = slices.Clone(g.kwOffsets)
+	g.kwData = slices.Clone(g.kwData)
+	if len(g.names) > 0 {
+		names := make([]string, len(g.names))
+		for i, s := range g.names {
+			names[i] = strings.Clone(s)
+		}
+		g.names = names
+		g.nameIndex = make(map[string]int32, len(names))
+		for v, name := range names {
+			if name == "" {
+				continue
+			}
+			if _, dup := g.nameIndex[name]; !dup {
+				g.nameIndex[name] = int32(v)
+			}
+		}
+	}
+	g.vocab = g.vocab.CloneOwned()
+	return g
 }
 
 // containsSorted is a binary-search membership test on a sorted slice.

@@ -14,6 +14,12 @@ type Raw struct {
 	KwData    []int32  // sorted interned keyword IDs, arena
 	Words     []string // vocabulary, ID order
 	Names     []string // display names, nil when the graph is unnamed
+
+	// Borrowed marks arenas that alias caller-owned backing memory (a
+	// view-decoded snapshot over a mapped file). FromRaw propagates it to
+	// the graph so copy-on-write mutation knows to deep-copy shared arenas
+	// instead of letting successors alias a mapping they do not pin.
+	Borrowed bool
 }
 
 // Raw returns the graph's frozen internal arrays.
@@ -25,6 +31,7 @@ func (g *Graph) Raw() Raw {
 		KwData:    g.kwData,
 		Words:     g.vocab.AllWords(),
 		Names:     g.names,
+		Borrowed:  g.borrowed,
 	}
 }
 
@@ -80,6 +87,7 @@ func FromRaw(r Raw) (*Graph, error) {
 		kwOffsets: r.KwOffsets,
 		kwData:    r.KwData,
 		vocab:     vocab,
+		borrowed:  r.Borrowed,
 	}
 	if len(r.Names) > 0 {
 		if len(r.Names) != n {

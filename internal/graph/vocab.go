@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"slices"
+	"strings"
 )
 
 // Vocab interns keyword strings to dense int32 IDs. The ACQ engine, CL-tree
@@ -83,6 +84,23 @@ func (v *Vocab) Clone() *Vocab {
 	}
 	for w, id := range v.byWord {
 		c.byWord[w] = id
+	}
+	return c
+}
+
+// CloneOwned returns an independent copy whose word contents are copied to
+// the heap, not just the string headers. Overlay materialization over a
+// borrowed (mapped-snapshot) base uses it so successor graphs survive the
+// mapping being unmapped.
+func (v *Vocab) CloneOwned() *Vocab {
+	c := &Vocab{
+		byWord: make(map[string]int32, len(v.words)),
+		words:  make([]string, len(v.words)),
+	}
+	for i, w := range v.words {
+		cw := strings.Clone(w)
+		c.words[i] = cw
+		c.byWord[cw] = int32(i)
 	}
 	return c
 }

@@ -72,11 +72,12 @@ func (s *Server) LoadSnapshots() (int, error) {
 		}
 	}
 	sort.Strings(names)
+	mode := s.OpenMode()
 	loaded := 0
 	for _, fname := range names {
 		path := filepath.Join(dir, fname)
 		start := time.Now()
-		ds, err := api.OpenSnapshotFile("", path)
+		ds, err := api.OpenSnapshotFileMode("", path, mode)
 		if err != nil {
 			s.logf("catalog: skipping %s: %v", path, err)
 			s.stats.snapshotLoadErrors.Add(1)
@@ -90,9 +91,9 @@ func (s *Server) LoadSnapshots() (int, error) {
 		elapsed := time.Since(start)
 		s.stats.snapshotLoads.Add(1)
 		s.stats.snapshotLoadNanos.Add(elapsed.Nanoseconds())
-		s.logf("catalog: %s ready from %s in %s (%d vertices, %d edges, %d bytes)",
+		s.logf("catalog: %s ready from %s in %s (%d vertices, %d edges, %d bytes, %s)",
 			ds.Name, fname, elapsed.Round(time.Millisecond),
-			ds.Graph.N(), ds.Graph.M(), ds.Info.SnapshotBytes)
+			ds.Graph.N(), ds.Graph.M(), ds.Info.SnapshotBytes, ds.Info.OpenMode)
 		// Replay the mutation journal's tail: batches acknowledged after
 		// the snapshot was last written, so a warm restart resumes at the
 		// exact version the previous process served.

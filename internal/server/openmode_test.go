@@ -1,0 +1,117 @@
+package server
+
+import (
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/snapshot"
+)
+
+// TestMmapCatalogBoot boots a server over a catalog in strict mmap mode and
+// checks the whole observable surface: zero-copy datasets serve searches,
+// /api/graphs breaks the footprint into mapped vs heap bytes, /api/stats
+// aggregates the mappings, and a mutation detaches the lineage onto the
+// heap (the successor no longer reports a mapping).
+func TestMmapCatalogBoot(t *testing.T) {
+	dir := t.TempDir()
+	ds := api.NewDataset("persisted", gen.Figure5())
+	if _, err := ds.WriteSnapshotFile(filepath.Join(dir, "persisted"+snapshot.FileExt)); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	if _, _, err := snapshot.OpenFile(filepath.Join(dir, "persisted"+snapshot.FileExt), snapshot.OpenMmap); err != nil {
+		if !errors.Is(err, snapshot.ErrNotZeroCopy) {
+			t.Skipf("mmap unavailable: %v", err)
+		}
+		t.Fatalf("strict open of fresh v3 file: %v", err)
+	}
+
+	s := New(api.NewExplorer(), nil)
+	s.SetOpenMode(snapshot.OpenMmap)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatalf("set data dir: %v", err)
+	}
+	if n, err := s.LoadSnapshots(); err != nil || n != 1 {
+		t.Fatalf("load snapshots: n=%d err=%v", n, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	searchFig5(t, ts.URL) // zero-copy dataset answers the worked example
+
+	var graphs struct {
+		Graphs []graphInfo `json:"graphs"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/graphs", nil, &graphs)
+	if len(graphs.Graphs) != 1 {
+		t.Fatalf("got %d graphs", len(graphs.Graphs))
+	}
+	gi := graphs.Graphs[0]
+	if gi.OpenMode != "mmap" || gi.MappedBytes <= 0 {
+		t.Fatalf("graph info: openMode=%q mappedBytes=%d", gi.OpenMode, gi.MappedBytes)
+	}
+	if gi.HeapBytes < 0 || gi.HeapBytes >= gi.Bytes {
+		t.Fatalf("heap/total split: heap=%d total=%d", gi.HeapBytes, gi.Bytes)
+	}
+
+	if st := s.Stats(); st.MmapDatasets != 1 || st.MappedBytes != gi.MappedBytes {
+		t.Fatalf("stats: mmapDatasets=%d mappedBytes=%d, want 1/%d", st.MmapDatasets, st.MappedBytes, gi.MappedBytes)
+	}
+
+	// One mutation: the successor is heap-owned and says so.
+	var resp mutationResponse
+	r := doJSON(t, "POST", ts.URL+"/api/v1/datasets/persisted/mutations",
+		map[string]any{"op": "addEdge", "u": 0, "v": 9}, &resp)
+	if r.StatusCode != 200 || resp.Applied != 1 {
+		t.Fatalf("mutation: status %d %+v", r.StatusCode, resp)
+	}
+	graphs.Graphs = nil // fresh decode: omitted fields must read as zero
+	doJSON(t, "GET", ts.URL+"/api/graphs", nil, &graphs)
+	gi = graphs.Graphs[0]
+	if gi.OpenMode == "mmap" || gi.MappedBytes != 0 {
+		t.Fatalf("mutation successor still reports a mapping: %+v", gi)
+	}
+	if st := s.Stats(); st.MmapDatasets != 0 || st.MappedBytes != 0 {
+		t.Fatalf("stats after mutation: mmapDatasets=%d mappedBytes=%d", st.MmapDatasets, st.MappedBytes)
+	}
+	searchFig5(t, ts.URL) // and it still answers
+}
+
+// TestCopyCatalogBoot pins the fallback: -open.mode=copy serves the same
+// catalog entirely off the heap.
+func TestCopyCatalogBoot(t *testing.T) {
+	dir := t.TempDir()
+	ds := api.NewDataset("persisted", gen.Figure5())
+	if _, err := ds.WriteSnapshotFile(filepath.Join(dir, "persisted"+snapshot.FileExt)); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	s := New(api.NewExplorer(), nil)
+	s.SetOpenMode(snapshot.OpenCopy)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatalf("set data dir: %v", err)
+	}
+	if n, err := s.LoadSnapshots(); err != nil || n != 1 {
+		t.Fatalf("load snapshots: n=%d err=%v", n, err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var graphs struct {
+		Graphs []graphInfo `json:"graphs"`
+	}
+	doJSON(t, "GET", ts.URL+"/api/graphs", nil, &graphs)
+	if len(graphs.Graphs) != 1 {
+		t.Fatalf("got %d graphs", len(graphs.Graphs))
+	}
+	gi := graphs.Graphs[0]
+	if gi.OpenMode != "copy" || gi.MappedBytes != 0 || gi.HeapBytes != gi.Bytes {
+		t.Fatalf("copy-mode graph info: %+v", gi)
+	}
+	if st := s.Stats(); st.MmapDatasets != 0 || st.MappedBytes != 0 {
+		t.Fatalf("copy-mode stats: %+v", st)
+	}
+	searchFig5(t, ts.URL)
+}

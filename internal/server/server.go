@@ -45,6 +45,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/layout"
 	"cexplorer/internal/par"
+	"cexplorer/internal/snapshot"
 )
 
 // Server wraps the explorer engine with HTTP plumbing.
@@ -54,6 +55,7 @@ type Server struct {
 	mu       sync.RWMutex
 	profiles map[string]map[int32]gen.Profile // dataset -> vertex -> profile
 	dataDir  string                           // snapshot catalog directory; "" disables persistence
+	openMode snapshot.OpenMode                // how LoadSnapshots materializes catalog files
 
 	// journalMu serializes every journal append, reset, and compaction (a
 	// compaction persists the dataset it re-fetches under this lock, so a
@@ -123,7 +125,12 @@ type StatsSnapshot struct {
 	// Datasets counts currently registered datasets; the snapshot fields
 	// accumulate catalog activity since boot (counts and total wall time),
 	// making warm-restart performance observable over time.
-	Datasets           int     `json:"datasets"`
+	Datasets int `json:"datasets"`
+	// MmapDatasets counts datasets served zero-copy off a file mapping;
+	// MappedBytes totals their live mapping sizes (memory shared with the
+	// page cache rather than held on the Go heap).
+	MmapDatasets       int     `json:"mmapDatasets"`
+	MappedBytes        int64   `json:"mappedBytes"`
 	SnapshotLoads      int64   `json:"snapshotLoads"`
 	SnapshotLoadMS     float64 `json:"snapshotLoadMs"`
 	SnapshotLoadErrors int64   `json:"snapshotLoadErrors,omitempty"`
@@ -173,6 +180,27 @@ func New(exp *api.Explorer, logf func(string, ...any)) *Server {
 		logf:      logf,
 		searchSem: make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
 	}
+}
+
+// SetOpenMode selects how LoadSnapshots materializes catalog files: auto
+// (the default — zero-copy mmap when the file and host are eligible, copy
+// otherwise), mmap (require zero-copy, fail ineligible files), or copy
+// (always heap-decode, the pre-v3 behavior). Set it before LoadSnapshots;
+// already-loaded datasets keep the mode they were opened with.
+func (s *Server) SetOpenMode(mode snapshot.OpenMode) {
+	s.mu.Lock()
+	s.openMode = mode
+	s.mu.Unlock()
+}
+
+// OpenMode reports the configured catalog open mode (OpenAuto if unset).
+func (s *Server) OpenMode() snapshot.OpenMode {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.openMode == "" {
+		return snapshot.OpenAuto
+	}
+	return s.openMode
 }
 
 // SetSearchLimit caps concurrent search execution at n workers (n ≥ 1).
@@ -233,6 +261,14 @@ func (s *Server) Stats() StatsSnapshot {
 		TimedOut:              s.stats.timedOut.Load(),
 		SearchTimeoutMS:       float64(time.Duration(s.searchTimeout.Load())) / float64(time.Millisecond),
 		Explore:               s.exp.ExploreStats(),
+	}
+	for _, name := range s.exp.Datasets() {
+		if ds, ok := s.exp.Dataset(name); ok {
+			if mb := ds.MappedBytes(); mb > 0 {
+				snap.MmapDatasets++
+				snap.MappedBytes += mb
+			}
+		}
 	}
 	if snap.Searches > 0 {
 		snap.AvgSearchMS = float64(s.stats.searchNanos.Load()) / float64(snap.Searches) / 1e6
@@ -516,11 +552,19 @@ type graphInfo struct {
 	// Bytes is the in-memory graph footprint; Source, LoadMS, and
 	// SnapshotBytes describe provenance (built in process vs loaded
 	// from the catalog); Indexes reports which indexes are resident.
-	Bytes         int64           `json:"bytes"`
-	Source        string          `json:"source"`
-	LoadMS        float64         `json:"loadMs,omitempty"`
-	SnapshotBytes int64           `json:"snapshotBytes,omitempty"`
-	Indexes       api.IndexStatus `json:"indexes"`
+	Bytes         int64   `json:"bytes"`
+	Source        string  `json:"source"`
+	LoadMS        float64 `json:"loadMs,omitempty"`
+	SnapshotBytes int64   `json:"snapshotBytes,omitempty"`
+	// OpenMode reports how a snapshot-sourced dataset was materialized
+	// ("copy" or "mmap"); MappedBytes and HeapBytes split Bytes into the
+	// portion resident in the backing file mapping (shared with the page
+	// cache) and the portion on the Go heap. Heap-built datasets report
+	// everything under HeapBytes.
+	OpenMode    string          `json:"openMode,omitempty"`
+	MappedBytes int64           `json:"mappedBytes,omitempty"`
+	HeapBytes   int64           `json:"heapBytes"`
+	Indexes     api.IndexStatus `json:"indexes"`
 	// IndexBuildMS is the wall time each resident index cost this dataset
 	// version to build (zero when pre-seeded from a snapshot or carried
 	// over from the predecessor version).
@@ -528,6 +572,7 @@ type graphInfo struct {
 }
 
 func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
+	borrowed := ds.Graph.BorrowedBytes()
 	return graphInfo{
 		Name:          name,
 		Vertices:      ds.Graph.N(),
@@ -537,6 +582,9 @@ func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 		Source:        ds.Info.Source,
 		LoadMS:        float64(ds.Info.LoadDuration.Microseconds()) / 1000,
 		SnapshotBytes: ds.Info.SnapshotBytes,
+		OpenMode:      ds.Info.OpenMode,
+		MappedBytes:   ds.MappedBytes(),
+		HeapBytes:     ds.Graph.Bytes() - borrowed,
 		Indexes:       ds.Indexes(),
 		IndexBuildMS:  ds.BuildTimings(),
 	}

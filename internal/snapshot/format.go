@@ -11,13 +11,24 @@ import (
 // On-disk layout (all integers little-endian):
 //
 //	magic   "CXSNAP"                     6 bytes
-//	version uint16                       currently 1
+//	version uint16                       1, 2, or 3
 //	sections, repeated:
 //	    id         uint32
+//	    reserved   uint32                v3 only (zero; pads the header to 16)
 //	    payloadLen uint64
 //	    payload    payloadLen bytes
+//	    padding    0–7 zero bytes        v3 only (next header 8-aligned)
 //	trailer uint32                       CRC-32C (Castagnoli) of every
 //	                                     preceding byte
+//
+// Versions 1 and 2 share the original unaligned layout (12-byte section
+// headers, no padding) and always decode through the copy path. Version 3
+// is the zero-copy layout: magic+version occupy exactly 8 bytes, section
+// headers are 16 bytes, and every payload is padded to an 8-byte boundary —
+// so every payload starts 8-aligned, which puts i64 array data on 8-byte
+// and i32 array data on (at least) 4-byte addresses. A mapped v3 file can
+// therefore serve its bulk arrays in place via unsafe.Slice (see view.go)
+// instead of copying them onto the heap.
 //
 // Section payloads are themselves built from three primitives, each
 // designed so that loading is a sequential bulk read — a length followed by
@@ -31,11 +42,33 @@ import (
 // sections without breaking older readers; a bumped version number is
 // reserved for incompatible changes and is rejected outright.
 
+// Format selects the on-disk layout Write emits. FormatV2 exists for
+// fixtures and downgrade interop; new files should use the default.
 const (
-	version       = 1
-	trailerLen    = 4 // crc32
-	sectionHdrLen = 4 + 8
+	// FormatV2 is the unaligned legacy layout (versions 1 and 2 are
+	// byte-identical; 2 marks the last copy-only writer generation).
+	FormatV2 uint16 = 2
+	// FormatV3 is the aligned layout eligible for zero-copy mapped opens.
+	FormatV3 uint16 = 3
+	// DefaultFormat is what Write and WriteFile emit.
+	DefaultFormat = FormatV3
 )
+
+const (
+	maxVersion      = FormatV3
+	trailerLen      = 4 // crc32
+	sectionHdrLen   = 4 + 8
+	sectionHdrLenV3 = 4 + 4 + 8
+	sectionAlign    = 8
+)
+
+// aligned reports whether a format version uses the padded v3 layout.
+func aligned(ver uint16) bool { return ver >= FormatV3 }
+
+// sectionPad returns the number of zero bytes that follow a v3 payload.
+func sectionPad(payloadLen uint64) int {
+	return int((sectionAlign - payloadLen%sectionAlign) % sectionAlign)
+}
 
 var (
 	magic      = [6]byte{'C', 'X', 'S', 'N', 'A', 'P'}
@@ -114,17 +147,23 @@ type wbuf struct {
 	cw      *countingCRCWriter // set when w is the checksummed sink
 	err     error
 	scratch []byte
+
+	// aligned selects the v3 layout: 16-byte section headers, payloads
+	// padded to 8 bytes. sectionHeader records the pending pad length and
+	// endSection emits it, so section encoders stay layout-agnostic.
+	aligned bool
+	pad     int
 }
 
-func newWbuf(w io.Writer) *wbuf {
+func newWbuf(w io.Writer, aligned bool) *wbuf {
 	cw := &countingCRCWriter{w: w}
-	return &wbuf{w: cw, cw: cw, scratch: make([]byte, 1<<16)}
+	return &wbuf{w: cw, cw: cw, scratch: make([]byte, 1<<16), aligned: aligned}
 }
 
 // newMemWbuf encodes into an in-memory buffer with no checksum threading —
 // the parallel-encode path.
-func newMemWbuf(buf *bytes.Buffer) *wbuf {
-	return &wbuf{w: buf, scratch: make([]byte, 1<<16)}
+func newMemWbuf(buf *bytes.Buffer, aligned bool) *wbuf {
+	return &wbuf{w: buf, scratch: make([]byte, 1<<16), aligned: aligned}
 }
 
 func (b *wbuf) write(p []byte) {
@@ -154,7 +193,21 @@ func (b *wbuf) u64(v uint64) {
 
 func (b *wbuf) sectionHeader(id uint32, payloadLen uint64) {
 	b.u32(id)
+	if b.aligned {
+		b.u32(0) // reserved; pads the header to 16 bytes
+		b.pad = sectionPad(payloadLen)
+	}
 	b.u64(payloadLen)
+}
+
+// endSection emits the payload padding the last sectionHeader implies (a
+// no-op in the legacy layout). Write calls it after every section encoder.
+func (b *wbuf) endSection() {
+	if b.pad > 0 {
+		var zeros [sectionAlign]byte
+		b.write(zeros[:b.pad])
+		b.pad = 0
+	}
 }
 
 // i32s writes an i32-array primitive (count + bulk payload).

@@ -1,0 +1,87 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the committed testdata fixtures")
+
+// goldenSnapshot builds the deterministic snapshot behind the committed
+// fixture: the paper's Figure 5 graph with every index, a fixed creation
+// stamp, and a fixed version counter.
+func goldenSnapshot(t testing.TB) *Snapshot {
+	t.Helper()
+	s := fullSnapshot(t, "golden", testGraph(t))
+	s.Version = 7
+	s.Created = time.Unix(1700000000, 0).UTC()
+	return s
+}
+
+// TestGoldenV2Fixture pins the legacy v2 wire format to a committed file:
+// old snapshots written before the aligned v3 layout must keep opening, via
+// the copy path, forever. The fixture is byte-compared in both directions —
+// decode must reproduce the snapshot, and re-encoding the decoded snapshot
+// must reproduce the fixture bit for bit.
+func TestGoldenV2Fixture(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v2.cxsnap")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, encodeFormat(t, goldenSnapshot(t), FormatV2), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+	}
+	fixture, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update-golden to regenerate): %v", err)
+	}
+
+	got, err := Decode(fixture)
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	if got.Format != FormatV2 || got.ZeroCopy || got.Graph.Borrowed() {
+		t.Fatalf("fixture decoded as Format=%d ZeroCopy=%v Borrowed=%v", got.Format, got.ZeroCopy, got.Graph.Borrowed())
+	}
+	if got.Name != "golden" || got.Version != 7 {
+		t.Fatalf("fixture identity: %q v%d", got.Name, got.Version)
+	}
+	if want := time.Unix(1700000000, 0).UTC(); !got.Created.Equal(want) {
+		t.Fatalf("fixture Created = %v, want %v", got.Created, want)
+	}
+	checkGraphEqual(t, testGraph(t), got.Graph)
+	if got.Core == nil || got.Tree == nil || got.Truss == nil {
+		t.Fatalf("fixture missing indexes: core=%v tree=%v truss=%v", got.Core != nil, got.Tree != nil, got.Truss != nil)
+	}
+
+	// The pre-v3 layout must never satisfy the view decoder.
+	if _, err := DecodeView(fixture); !errors.Is(err, ErrNotZeroCopy) {
+		t.Fatalf("DecodeView(fixture) = %v, want ErrNotZeroCopy", err)
+	}
+
+	// Round-trip byte identity: the v2 writer is still an exact inverse of
+	// the decoder, so re-persisting a legacy dataset cannot silently churn
+	// its bytes.
+	re := encodeFormat(t, got, FormatV2)
+	if !bytes.Equal(re, fixture) {
+		t.Fatalf("re-encoded fixture differs: %d bytes vs %d committed", len(re), len(fixture))
+	}
+
+	// And the same dataset upgrades cleanly: decode v2, write v3, view it.
+	up := encodeFormat(t, got, FormatV3)
+	view, err := DecodeView(up)
+	if err != nil {
+		t.Fatalf("view of upgraded fixture: %v", err)
+	}
+	checkGraphEqual(t, got.Graph, view.Graph)
+	checkTreeEqual(t, got.Tree, view.Tree)
+	checkTrussEqual(t, got.Graph, got.Truss, view.Truss)
+}

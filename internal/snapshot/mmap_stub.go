@@ -1,0 +1,13 @@
+//go:build !unix
+
+package snapshot
+
+import "errors"
+
+// errNoMmap makes OpenAuto fall back to the copy path and OpenMmap fail
+// with a clear message on platforms without memory-mapped files.
+var errNoMmap = errors.New("memory-mapped files not supported on this platform")
+
+func mmapFile(path string) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(data []byte) {}

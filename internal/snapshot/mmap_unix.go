@@ -1,0 +1,32 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapped bytes.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := statSize(f)
+	if err != nil {
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmap(data []byte) {
+	if data != nil {
+		_ = syscall.Munmap(data)
+	}
+}

@@ -1,0 +1,148 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// File-level opening with an explicit storage mode. The copy path slurps
+// the file and heap-decodes it (the pre-v3 behavior); the mmap path maps
+// the file read-only, verifies the CRC over the mapped pages, and
+// view-decodes in place, so a cold open allocates O(1) bulk-array memory
+// regardless of graph size and resident cost is shared with the page cache.
+//
+// The mapped file must remain untouched for the mapping's lifetime.
+// WriteFile always replaces snapshots via rename — the old inode (and thus
+// every live mapping of it) survives until unmapped — so the catalog's
+// persist-over path is safe; truncating a mapped snapshot in place is the
+// one way to get SIGBUS, and nothing in this repository does it.
+
+// OpenMode selects how OpenFile materializes a snapshot.
+type OpenMode string
+
+const (
+	// OpenAuto view-decodes over a mapping when the file and host are
+	// eligible, and silently falls back to the copy path otherwise
+	// (pre-v3 files, big-endian hosts, platforms without mmap).
+	OpenAuto OpenMode = "auto"
+	// OpenMmap requires the zero-copy path and fails when ineligible.
+	OpenMmap OpenMode = "mmap"
+	// OpenCopy always heap-decodes (the pre-v3 behavior).
+	OpenCopy OpenMode = "copy"
+)
+
+// ParseOpenMode validates a -open.mode flag value.
+func ParseOpenMode(s string) (OpenMode, error) {
+	switch OpenMode(s) {
+	case OpenAuto, OpenMmap, OpenCopy:
+		return OpenMode(s), nil
+	case "":
+		return OpenAuto, nil
+	default:
+		return "", fmt.Errorf("snapshot: unknown open mode %q (want auto, mmap, or copy)", s)
+	}
+}
+
+// Mapping is a reference-counted read-only file mapping backing one or
+// more view-decoded snapshots. It starts with one reference owned by the
+// OpenFile caller; pinners take extra references with Retain and drop them
+// with Release, and the pages are unmapped when the count reaches zero.
+type Mapping struct {
+	data []byte
+	refs atomic.Int64
+}
+
+func newMapping(data []byte) *Mapping {
+	m := &Mapping{data: data}
+	m.refs.Store(1)
+	return m
+}
+
+// Size returns the mapped byte count.
+func (m *Mapping) Size() int64 { return int64(len(m.data)) }
+
+// Retain takes an additional reference. It fails (returning false) once
+// the count has reached zero: the pages are gone or going, and handing out
+// a reference would resurrect a dead mapping.
+func (m *Mapping) Retain() bool {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference, unmapping the pages when the last holder
+// lets go. After that, every borrowed view over the mapping is invalid.
+func (m *Mapping) Release() {
+	if m.refs.Add(-1) == 0 {
+		munmap(m.data)
+		m.data = nil
+	}
+}
+
+// OpenFile opens the snapshot at path under the given mode. The returned
+// Mapping is non-nil exactly when the snapshot was view-decoded over a
+// live mapping; the caller owns one reference and must Release it when the
+// snapshot (and everything borrowed from it) is no longer in use. Copy
+// opens return a nil Mapping and an ordinary heap-owned snapshot.
+func OpenFile(path string, mode OpenMode) (*Snapshot, *Mapping, error) {
+	switch mode {
+	case OpenCopy:
+		s, err := ReadFile(path)
+		return s, nil, err
+	case OpenAuto, OpenMmap:
+	default:
+		return nil, nil, fmt.Errorf("snapshot: unknown open mode %q", mode)
+	}
+
+	data, merr := mmapFile(path)
+	if merr != nil {
+		if mode == OpenMmap {
+			return nil, nil, fmt.Errorf("snapshot: mmap %s: %w", path, merr)
+		}
+		s, err := ReadFile(path) // no mmap on this platform (or it failed): copy
+		return s, nil, err
+	}
+	s, err := DecodeView(data)
+	if err != nil {
+		if mode == OpenAuto && errors.Is(err, ErrNotZeroCopy) {
+			// Structurally sound but not view-eligible (legacy layout,
+			// endianness, alignment): copy-decode from the already-mapped
+			// bytes — one sequential pass, no second file read — then drop
+			// the mapping.
+			s, err = Decode(data)
+			munmap(data)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return s, nil, nil
+		}
+		munmap(data)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, newMapping(data), nil
+}
+
+// statSize returns the file's size, rejecting zero-length and oversized
+// files before mapping.
+func statSize(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size <= 0 {
+		return 0, fmt.Errorf("empty file")
+	}
+	if size != int64(int(size)) {
+		return 0, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	return size, nil
+}

@@ -1,0 +1,95 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cexplorer/internal/gen"
+)
+
+// Cold-open benchmarks: what a server boot pays per dataset, per open mode.
+//
+//	go test -bench 'OpenFile' -benchtime 3x ./internal/snapshot
+//
+// The copy path decodes every section into fresh heap arrays, so its time
+// and allocations grow with the graph. The mmap path stitches index
+// structures over the mapping and allocates only fixed-size headers — its
+// allocs/op must stay flat from the 120k-edge default to the paper-scale
+// graph (CEXPLORER_PAPER_SCALE=1: 977,288 vertices, ~3.4M edges, the E7
+// latency experiment's dataset size).
+
+var openBench struct {
+	once sync.Once
+	path string
+	size int64
+	m    int // edges, for the sanity check
+}
+
+// openBenchSetup writes the benchmark snapshot file once per process. Scale
+// is chosen by CEXPLORER_PAPER_SCALE: unset = the shared 40k/120k random
+// graph, set = the full paper-scale synthetic DBLP.
+func openBenchSetup(b *testing.B) {
+	b.Helper()
+	openBench.once.Do(func() {
+		dir, err := os.MkdirTemp("", "cxopenbench")
+		if err != nil {
+			b.Fatalf("tempdir: %v", err)
+		}
+		var s *Snapshot
+		if os.Getenv("CEXPLORER_PAPER_SCALE") != "" {
+			g := gen.GenerateDBLP(gen.PaperScaleConfig()).Graph
+			s = fullSnapshot(b, "paper", g)
+		} else {
+			benchSetup(b)
+			var err error
+			s, err = Decode(benchInput.snapBytes)
+			if err != nil {
+				b.Fatalf("decode bench snapshot: %v", err)
+			}
+		}
+		path := filepath.Join(dir, "bench"+FileExt)
+		n, err := WriteFile(path, s)
+		if err != nil {
+			b.Fatalf("write bench snapshot: %v", err)
+		}
+		openBench.path = path
+		openBench.size = n
+		openBench.m = s.Graph.M()
+	})
+	if openBench.path == "" {
+		b.Fatalf("bench snapshot setup failed earlier")
+	}
+}
+
+func benchOpen(b *testing.B, mode OpenMode) {
+	openBenchSetup(b)
+	b.SetBytes(openBench.size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, m, err := OpenFile(openBench.path, mode)
+		if err != nil {
+			b.Fatalf("open (%s): %v", mode, err)
+		}
+		if s.Graph.M() != openBench.m || s.Core == nil || s.Tree == nil || s.Truss == nil {
+			b.Fatalf("open (%s) incomplete", mode)
+		}
+		if m != nil {
+			m.Release()
+		}
+	}
+}
+
+func BenchmarkOpenFileCopy(b *testing.B) { benchOpen(b, OpenCopy) }
+
+func BenchmarkOpenFileMmap(b *testing.B) {
+	openBenchSetup(b)
+	if _, m, err := OpenFile(openBench.path, OpenMmap); err != nil {
+		b.Skipf("mmap unavailable: %v", err)
+	} else {
+		m.Release()
+	}
+	benchOpen(b, OpenMmap)
+}

@@ -17,6 +17,28 @@
 // Files end in a CRC-32C trailer covering every preceding byte; truncation,
 // bit rot, a foreign file, or an unsupported version all surface as clean
 // errors from Read, never panics.
+//
+// # Zero-copy (format v3)
+//
+// Format v3 makes the on-disk layout the in-memory layout: section headers
+// are 16 bytes, every payload is padded so it starts (and the next header
+// stays) 8-byte aligned, and all numbers are little-endian. On a
+// little-endian Unix host, OpenFile can therefore mmap the file and
+// DecodeView stitches the runtime structures directly over the mapping —
+// bulk arrays (CSR graph, keyword arenas, tree arenas, truss table) and
+// even string contents (names, vocabulary) are views of the mapped pages,
+// so opening costs O(index stitch) allocations instead of O(bytes) copies.
+// View-decoded graphs are marked borrowed (graph.Raw.Borrowed); the
+// refcounted Mapping returned by OpenFile must outlive every reader and is
+// released by the owner's Close (callers pin it across reads).
+//
+// Eligibility is a property, not an error: DecodeView fails with the
+// sticky ErrNotZeroCopy on v1/v2 files, big-endian hosts, or misaligned
+// sections, and OpenAuto falls back to copy-decoding the same bytes.
+// Corruption, by contrast, fails the open in every mode. The copy path
+// (Read/Decode, and io.Reader sources generally) remains fully supported;
+// legacy v2 files keep working through it forever, and WriteFormat still
+// writes them.
 package snapshot
 
 import (
@@ -60,6 +82,14 @@ type Snapshot struct {
 	Created time.Time
 	// Bytes is the encoded file size, set by Read/ReadFile.
 	Bytes int64
+
+	// Format is the on-disk version the snapshot was decoded from (set by
+	// Decode/DecodeView; zero for snapshots assembled in memory).
+	Format uint16
+	// ZeroCopy reports that the snapshot was view-decoded: its bulk arrays
+	// and string contents borrow the decode input and are valid only while
+	// that backing memory is.
+	ZeroCopy bool
 }
 
 const (
@@ -69,7 +99,8 @@ const (
 	flagTruss
 )
 
-// Write serializes the snapshot and returns the number of bytes written.
+// Write serializes the snapshot in the default (v3, zero-copy-eligible)
+// format and returns the number of bytes written.
 //
 // Section payloads are independent, so each section (header + payload) is
 // encoded into its own buffer across par.Workers() workers and the buffers
@@ -79,6 +110,16 @@ const (
 // through a fixed scratch; snapshots are bulk arrays, so that is the same
 // order of memory the dataset itself occupies.
 func Write(w io.Writer, s *Snapshot) (int64, error) {
+	return WriteFormat(w, s, DefaultFormat)
+}
+
+// WriteFormat serializes the snapshot in an explicit format version
+// (FormatV2 for the legacy unaligned layout, FormatV3 for the aligned
+// zero-copy layout).
+func WriteFormat(w io.Writer, s *Snapshot, format uint16) (int64, error) {
+	if format != FormatV2 && format != FormatV3 {
+		return 0, fmt.Errorf("snapshot: unsupported write format %d (want %d or %d)", format, FormatV2, FormatV3)
+	}
 	if s.Graph == nil {
 		return 0, fmt.Errorf("snapshot: nil graph")
 	}
@@ -198,22 +239,24 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 		})
 	}
 
-	b := newWbuf(w)
+	b := newWbuf(w, aligned(format))
 	b.write(magic[:])
-	b.u16(version)
+	b.u16(format)
 	if par.Workers() == 1 {
 		// Serial fast path: stream every section straight through the
 		// checksummed writer — no buffer materialization, the original
 		// single-pass encode.
 		for _, enc := range secs {
 			enc(b)
+			b.endSection()
 		}
 	} else {
 		bufs := make([]bytes.Buffer, len(secs))
 		errs := make([]error, len(secs))
 		par.Each(len(secs), 0, func(i int) {
-			mb := newMemWbuf(&bufs[i])
+			mb := newMemWbuf(&bufs[i], aligned(format))
 			secs[i](mb)
+			mb.endSection()
 			errs[i] = mb.err
 		})
 		for _, err := range errs {
@@ -232,43 +275,56 @@ func Write(w io.Writer, s *Snapshot) (int64, error) {
 
 // openEnvelope verifies the file envelope shared by Read and Inspect —
 // length, magic, CRC-32C trailer, version — and returns a cursor positioned
-// at the first section header.
-func openEnvelope(data []byte) (*rbuf, error) {
+// at the first section header plus the file's format version.
+func openEnvelope(data []byte) (*rbuf, uint16, error) {
 	if len(data) < len(magic)+2+trailerLen {
-		return nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
+		return nil, 0, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
 	}
 	if string(data[:len(magic)]) != string(magic[:]) {
-		return nil, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", data[:len(magic)])
+		return nil, 0, fmt.Errorf("snapshot: bad magic %q (not a snapshot file)", data[:len(magic)])
 	}
 	body := data[:len(data)-trailerLen]
 	want := uint32(data[len(data)-4]) | uint32(data[len(data)-3])<<8 |
 		uint32(data[len(data)-2])<<16 | uint32(data[len(data)-1])<<24
 	if got := crc32.Checksum(body, castagnoli); got != want {
-		return nil, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x): truncated or corrupt", want, got)
+		return nil, 0, fmt.Errorf("snapshot: checksum mismatch (file %08x, computed %08x): truncated or corrupt", want, got)
 	}
 	cur := &rbuf{b: body, off: len(magic)}
-	if v := cur.u16(); cur.err == nil && v != version {
-		return nil, fmt.Errorf("snapshot: unsupported version %d (this build reads version %d)", v, version)
+	ver := cur.u16()
+	if cur.err == nil && (ver < 1 || ver > maxVersion) {
+		return nil, 0, fmt.Errorf("snapshot: unsupported version %d (this build reads versions 1–%d)", ver, maxVersion)
 	}
-	return cur, cur.err
+	return cur, ver, cur.err
 }
 
-// nextSection reads one section header and returns its id and a cursor over
-// its payload; done is true at end of input.
-func nextSection(cur *rbuf) (id uint32, sec *rbuf, done bool, err error) {
+// nextSection reads one section header under the file's format version and
+// returns its id, a cursor over its payload, and the payload's absolute
+// file offset; done is true at end of input. In the v3 layout it also
+// consumes the reserved header word and the trailing payload padding.
+func nextSection(cur *rbuf, ver uint16) (id uint32, sec *rbuf, off int64, done bool, err error) {
 	if cur.remaining() == 0 {
-		return 0, nil, true, nil
+		return 0, nil, 0, true, nil
 	}
 	id = cur.u32()
+	if aligned(ver) {
+		if reserved := cur.u32(); cur.err == nil && reserved != 0 {
+			return 0, nil, 0, false, fmt.Errorf("snapshot: section %s: nonzero reserved header word", sectionName(id))
+		}
+	}
 	payloadLen := cur.u64()
 	if cur.err != nil {
-		return 0, nil, false, cur.err
+		return 0, nil, 0, false, cur.err
 	}
 	if payloadLen > uint64(cur.remaining()) {
-		return 0, nil, false, fmt.Errorf("snapshot: section %s declares %d bytes but %d remain",
+		return 0, nil, 0, false, fmt.Errorf("snapshot: section %s declares %d bytes but %d remain",
 			sectionName(id), payloadLen, cur.remaining())
 	}
-	return id, &rbuf{b: cur.bytes(int(payloadLen))}, false, nil
+	off = int64(cur.off)
+	sec = &rbuf{b: cur.bytes(int(payloadLen))}
+	if aligned(ver) {
+		cur.bytes(sectionPad(payloadLen)) // every v3 section is padded, the last included
+	}
+	return id, sec, off, false, cur.err
 }
 
 // Read deserializes a snapshot. The stream is read fully, checksum-verified
@@ -291,9 +347,31 @@ func Read(r io.Reader) (*Snapshot, error) {
 // with a duplicated section id resolved to its last occurrence exactly as
 // the serial decoder's switch did.
 func Decode(data []byte) (*Snapshot, error) {
-	cur, err := openEnvelope(data)
+	return decode(data, false)
+}
+
+// DecodeView deserializes a v3 snapshot with its bulk arrays and string
+// contents borrowed from data (see view.go for the exact contract): the
+// result is valid only while data is. It fails with ErrNotZeroCopy — the
+// caller's cue to fall back to Decode — when the file predates v3, the
+// host is big-endian, or a payload is misaligned; any other error means
+// the file is damaged for both paths.
+func DecodeView(data []byte) (*Snapshot, error) {
+	return decode(data, true)
+}
+
+func decode(data []byte, view bool) (*Snapshot, error) {
+	cur, ver, err := openEnvelope(data)
 	if err != nil {
 		return nil, err
+	}
+	if view {
+		if !aligned(ver) {
+			return nil, fmt.Errorf("%w: file is v%d (zero-copy needs v%d)", ErrNotZeroCopy, ver, FormatV3)
+		}
+		if !hostLittleEndian {
+			return nil, fmt.Errorf("%w: big-endian host", ErrNotZeroCopy)
+		}
 	}
 
 	type section struct {
@@ -302,7 +380,7 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	var found []section
 	for {
-		id, sec, done, err := nextSection(cur)
+		id, sec, _, done, err := nextSection(cur, ver)
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +408,17 @@ func Decode(data []byte) (*Snapshot, error) {
 		}
 	}
 
-	s := &Snapshot{Bytes: int64(len(data))}
+	s := &Snapshot{Bytes: int64(len(data)), Format: ver, ZeroCopy: view}
+	// Bulk-array primitives dispatch on the decode mode: the copy path heap-
+	// allocates, the view path pointer-stitches over data (see view.go).
+	i32s := (*rbuf).i32s
+	i64s := (*rbuf).i64s
+	strs := (*rbuf).strings
+	if view {
+		i32s = (*rbuf).viewI32s
+		i64s = (*rbuf).viewI64s
+		strs = (*rbuf).viewStrings
+	}
 	var (
 		raw      graph.Raw
 		flags    uint64
@@ -351,32 +439,32 @@ func Decode(data []byte) (*Snapshot, error) {
 			s.Created = time.Unix(int64(sec.u64()), 0)
 			flags = sec.u64()
 		case secOffsets:
-			raw.Offsets = sec.i64s()
+			raw.Offsets = i64s(sec)
 		case secAdj:
-			raw.Adj = sec.i32s()
+			raw.Adj = i32s(sec)
 		case secKwOff:
-			raw.KwOffsets = sec.i32s()
+			raw.KwOffsets = i32s(sec)
 		case secKwData:
-			raw.KwData = sec.i32s()
+			raw.KwData = i32s(sec)
 		case secVocab:
-			raw.Words = sec.strings()
+			raw.Words = strs(sec)
 		case secNames:
-			raw.Names = sec.strings()
+			raw.Names = strs(sec)
 		case secCore:
-			s.Core = sec.i32s()
+			s.Core = i32s(sec)
 		case secTree:
 			treeFlat = &cltree.Flat{
-				Cores:   sec.i32s(),
-				Parents: sec.i32s(),
-				VertOff: sec.i32s(),
-				Verts:   sec.i32s(),
-				InvOff:  sec.i32s(),
-				InvKw:   sec.i32s(),
-				InvV:    sec.i32s(),
+				Cores:   i32s(sec),
+				Parents: i32s(sec),
+				VertOff: i32s(sec),
+				Verts:   i32s(sec),
+				InvOff:  i32s(sec),
+				InvKw:   i32s(sec),
+				InvV:    i32s(sec),
 			}
 		case secTruss:
-			trussRaw[0] = sec.i32s()
-			trussRaw[1] = sec.i32s()
+			trussRaw[0] = i32s(sec)
+			trussRaw[1] = i32s(sec)
 			sawTruss = true
 		case secVersion:
 			s.Version = sec.u64()
@@ -391,6 +479,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		}
 	}
 
+	raw.Borrowed = view
 	g, err := graph.FromRaw(raw)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
@@ -418,9 +507,19 @@ func Decode(data []byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("snapshot: truss edge table length %d does not match %d trussness values",
 				len(flat), len(trussRaw[1]))
 		}
-		edges := make([][2]int32, len(trussRaw[1]))
-		for i := range edges {
-			edges[i] = [2]int32{flat[2*i], flat[2*i+1]}
+		var edges [][2]int32
+		if view {
+			// The flat table is already (u,v) pairs in memory; reinterpret
+			// it in place instead of building a pair-array copy.
+			edges, err = viewPairs(flat)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			edges = make([][2]int32, len(trussRaw[1]))
+			for i := range edges {
+				edges[i] = [2]int32{flat[2*i], flat[2*i+1]}
+			}
 		}
 		d, err := ktruss.FromParts(g, edges, trussRaw[1])
 		if err != nil {
@@ -432,10 +531,16 @@ func Decode(data []byte) (*Snapshot, error) {
 }
 
 // WriteFile atomically persists the snapshot at path: it writes to a
-// temporary file in the same directory, fsyncs, and renames into place, so
-// a crash mid-write can never leave a half-written catalog entry. The
-// returned size is the encoded byte count.
+// temporary file in the same directory, fsyncs, renames into place, and
+// fsyncs the directory, so a crash at any point can neither leave a
+// half-written catalog entry nor lose the rename itself. The returned size
+// is the encoded byte count.
 func WriteFile(path string, s *Snapshot) (int64, error) {
+	return WriteFileFormat(path, s, DefaultFormat)
+}
+
+// WriteFileFormat is WriteFile with an explicit format version.
+func WriteFileFormat(path string, s *Snapshot, format uint16) (int64, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -448,7 +553,7 @@ func WriteFile(path string, s *Snapshot) (int64, error) {
 		}
 	}()
 	bw := bufio.NewWriterSize(tmp, 1<<20)
-	n, err := Write(bw, s)
+	n, err := WriteFormat(bw, s, format)
 	if err != nil {
 		return n, err
 	}
@@ -466,6 +571,15 @@ func WriteFile(path string, s *Snapshot) (int64, error) {
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name)
 		return n, fmt.Errorf("snapshot: %w", err)
+	}
+	// The rename is only durable once the directory entry is on disk; fsync
+	// the directory so a crash just after persist cannot resurrect the old
+	// file (or, for a first write, lose the catalog entry entirely).
+	// Filesystems that refuse directory fsync (some network mounts) keep
+	// rename atomicity, so that failure is not worth failing the persist.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return n, nil
 }
@@ -487,13 +601,19 @@ func ReadFile(path string) (*Snapshot, error) {
 
 // SectionInfo describes one section for Inspect.
 type SectionInfo struct {
-	ID    uint32
-	Name  string
-	Bytes int64
+	ID   uint32
+	Name string
+	// Bytes is the section's on-disk footprint (header + payload + any
+	// padding); Offset is the payload's absolute file offset and Aligned
+	// reports whether that offset sits on the zero-copy 8-byte boundary.
+	Bytes   int64
+	Offset  int64
+	Aligned bool
 }
 
 // Info is the metadata Inspect reports without materializing the dataset.
 type Info struct {
+	// Version is the file's format version (1–3).
 	Version uint16
 	// DatasetVersion is the mutation-version counter (0 for files written
 	// before the dynamic-graph subsystem).
@@ -509,6 +629,11 @@ type Info struct {
 	Created        time.Time
 	Sections       []SectionInfo
 	Bytes          int64
+	// ZeroCopy reports whether this host could open the file without
+	// copying its bulk arrays (v3 layout, little-endian host, every
+	// payload aligned); ZeroCopyReason says why not when it cannot.
+	ZeroCopy       bool
+	ZeroCopyReason string
 }
 
 // Inspect verifies the checksum and walks the section framing, decoding
@@ -518,21 +643,32 @@ func Inspect(r io.Reader) (*Info, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: %w", err)
 	}
-	cur, err := openEnvelope(data)
+	cur, ver, err := openEnvelope(data)
 	if err != nil {
 		return nil, err
 	}
-	info := &Info{Version: version, Bytes: int64(len(data))}
+	info := &Info{Version: ver, Bytes: int64(len(data))}
+	hdrLen := int64(sectionHdrLen)
+	if aligned(ver) {
+		hdrLen = sectionHdrLenV3
+	}
+	allAligned := true
 	for {
-		id, sec, done, err := nextSection(cur)
+		id, sec, off, done, err := nextSection(cur, ver)
 		if err != nil {
 			return nil, err
 		}
 		if done {
 			break
 		}
+		secAligned := off%sectionAlign == 0
+		allAligned = allAligned && secAligned
+		onDisk := hdrLen + int64(len(sec.b))
+		if aligned(ver) {
+			onDisk += int64(sectionPad(uint64(len(sec.b))))
+		}
 		info.Sections = append(info.Sections, SectionInfo{
-			ID: id, Name: sectionName(id), Bytes: sectionHdrLen + int64(len(sec.b)),
+			ID: id, Name: sectionName(id), Bytes: onDisk, Offset: off, Aligned: secAligned,
 		})
 		if id == secVersion {
 			info.DatasetVersion = sec.u64()
@@ -556,6 +692,16 @@ func Inspect(r io.Reader) (*Info, error) {
 	}
 	if cur.err != nil {
 		return nil, cur.err
+	}
+	switch {
+	case !aligned(ver):
+		info.ZeroCopyReason = fmt.Sprintf("v%d layout predates zero-copy (v%d)", ver, FormatV3)
+	case !hostLittleEndian:
+		info.ZeroCopyReason = "big-endian host"
+	case !allAligned:
+		info.ZeroCopyReason = "misaligned section payload"
+	default:
+		info.ZeroCopy = true
 	}
 	return info, nil
 }

@@ -300,7 +300,12 @@ func TestUnknownSectionSkipped(t *testing.T) {
 	g := testGraph(t)
 	data := encode(t, &Snapshot{Name: "fwd", Graph: g})
 	body := data[:len(data)-4]
-	extra := []byte{0xEE, 0x00, 0x00, 0x00, 3, 0, 0, 0, 0, 0, 0, 0, 'x', 'y', 'z'}
+	extra := []byte{
+		0xEE, 0x00, 0x00, 0x00, // id
+		0x00, 0x00, 0x00, 0x00, // reserved (v3 header)
+		3, 0, 0, 0, 0, 0, 0, 0, // payload length
+		'x', 'y', 'z', 0, 0, 0, 0, 0, // payload + pad to 8
+	}
 	body = append(body, extra...)
 	body = append(body, 0, 0, 0, 0)
 	reseal(body)

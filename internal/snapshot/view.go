@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+)
+
+// Zero-copy view decoding. A v3 file's bulk arrays are 8-byte-aligned
+// little-endian on disk, which is exactly their in-memory layout on every
+// platform we serve — so DecodeView stitches []int32/[]int64 section
+// payloads straight out of the backing bytes with unsafe.Slice, and string
+// tables become string headers over the backing blob, instead of the rbuf
+// copy decode. The caller owns the lifetime contract: the returned Snapshot
+// (and everything reachable from it — graph, indexes, vocabulary) BORROWS
+// the input bytes and stays valid only while they do. With a mapped file
+// (see mmap_unix.go) that means until the mapping is unmapped.
+//
+// ErrNotZeroCopy marks inputs that are structurally sound but ineligible
+// for borrowing — a pre-v3 layout, a big-endian host, or a misaligned
+// payload. Open treats it as "fall back to the copy path", never as
+// corruption.
+
+// ErrNotZeroCopy reports that a snapshot cannot be view-decoded and must
+// take the copy path. It is a fallback signal, not a corruption error.
+var ErrNotZeroCopy = errors.New("snapshot not zero-copy eligible")
+
+// hostLittleEndian reports whether native integer layout matches the file
+// format. View decoding reinterprets file bytes as host integers, so it is
+// little-endian-only; big-endian hosts always copy-decode.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// viewFail records the sticky ErrNotZeroCopy with a reason.
+func (r *rbuf) viewFail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrNotZeroCopy, what)
+	}
+}
+
+// viewI32s decodes an i32-array primitive as a view over the input bytes.
+func (r *rbuf) viewI32s() []int32 {
+	n := r.count(4)
+	p := r.bytes(4 * n)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&p[0]))%4 != 0 {
+		r.viewFail("misaligned i32 array")
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&p[0])), n)
+}
+
+// viewI64s decodes an i64-array primitive as a view over the input bytes.
+func (r *rbuf) viewI64s() []int64 {
+	n := r.count(8)
+	p := r.bytes(8 * n)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if uintptr(unsafe.Pointer(&p[0]))%8 != 0 {
+		r.viewFail("misaligned i64 array")
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&p[0])), n)
+}
+
+// viewStrings decodes a string-table primitive with the string contents
+// borrowed from the input blob: one []string header allocation, zero
+// content copies. Offsets are validated exactly like the copy decoder's.
+func (r *rbuf) viewStrings() []string {
+	n := r.count(4) // at least one offset per entry
+	offs := r.bytes(4 * (n + 1))
+	if r.err != nil {
+		return nil
+	}
+	blobLen := int(binary.LittleEndian.Uint32(offs[4*n:]))
+	blob := r.bytes(blobLen)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	prev := uint32(0)
+	for i := 0; i < n; i++ {
+		end := binary.LittleEndian.Uint32(offs[4*(i+1):])
+		if end < prev || int(end) > blobLen {
+			r.fail("snapshot: corrupt string table offsets")
+			return nil
+		}
+		if end > prev {
+			out[i] = unsafe.String(&blob[prev], int(end-prev))
+		}
+		prev = end
+	}
+	return out
+}
+
+// viewPairs reinterprets a flat i32 view of even length as edge pairs.
+// [2]int32 has int32 alignment and no padding, so the cast is layout-exact.
+func viewPairs(flat []int32) ([][2]int32, error) {
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("snapshot: odd edge-table length %d", len(flat))
+	}
+	if len(flat) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*[2]int32)(unsafe.Pointer(&flat[0])), len(flat)/2), nil
+}

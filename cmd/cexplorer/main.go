@@ -35,6 +35,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/graph"
 	"cexplorer/internal/par"
+	"cexplorer/internal/servecache"
 	"cexplorer/internal/server"
 	"cexplorer/internal/snapshot"
 )
@@ -64,6 +65,11 @@ func runServer() {
 		exploreTTL    = flag.Duration("explore.ttl", 0, "idle lifetime of exploration sessions (0 = 15m default)")
 		indexWorkers  = flag.Int("index.workers", 0, "workers for index construction and snapshot encode/decode (0 = GOMAXPROCS)")
 		openModeFlag  = flag.String("open.mode", "auto", "how catalog snapshots are materialized: auto (mmap when eligible), mmap (require zero-copy), copy (always heap-decode)")
+		cacheEntries  = flag.Int("cache.entries", servecache.DefaultMaxEntries, "result-cache capacity in entries (0 disables the cache)")
+		cacheBytes    = flag.Int64("cache.bytes", servecache.DefaultMaxBytes, "result-cache capacity in bytes")
+		shedInflight  = flag.Int("shed.inflight", 0, "max concurrent cache-miss computations per dataset before shedding with 429 (0 = no shedding)")
+		batchSize     = flag.Int("batch.size", api.DefaultBatchMaxOps, "mutation batcher flush threshold in ops (0 disables batching)")
+		batchWait     = flag.Duration("batch.wait", api.DefaultBatchMaxWait, "mutation batcher max wait before flushing a partial batch")
 	)
 	flag.Parse()
 
@@ -83,6 +89,12 @@ func runServer() {
 	}
 	if *exploreTTL > 0 {
 		exp.SetExploreTTL(*exploreTTL)
+	}
+	if *cacheEntries > 0 {
+		srv.EnableCache(*cacheEntries, *cacheBytes, *shedInflight)
+	}
+	if *batchSize > 0 {
+		srv.EnableBatcher(api.BatcherOptions{MaxOps: *batchSize, MaxWait: *batchWait})
 	}
 
 	if *dataDir != "" {

@@ -1,0 +1,146 @@
+// Command loadgen drives a running cexplorer server with open-loop load
+// and prints a latency/throughput report as JSON. It is the operational
+// companion of the serve-time speed layer: point it at a server, pick a
+// query mix, and read the percentiles.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 -dataset dblp -rate 500 -duration 10s
+//	loadgen -addr ... -vertices 64            # rotate 64 distinct query vertices
+//	loadgen -addr ... -writes 0.05            # 5% of arrivals are mutations
+//
+// A 429 response (the admission controller shedding) is tallied as "shed",
+// not as a failure — bounded-latency rejection under overload is the
+// speed layer behaving as designed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cexplorer/internal/loadgen"
+)
+
+var errShed = fmt.Errorf("shed (429)")
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "server base URL")
+		dataset  = flag.String("dataset", "figure5", "dataset to query")
+		algo     = flag.String("algo", "ACQ", "CS algorithm for searches")
+		k        = flag.Int("k", 2, "minimum degree k")
+		keywords = flag.String("keywords", "", "comma-separated query keywords")
+		vertices = flag.Int("vertices", 1, "rotate query vertices 0..n-1 (1 = hot single-key load)")
+		rate     = flag.Float64("rate", 200, "offered arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "arrival window")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		poisson  = flag.Bool("poisson", true, "exponential inter-arrival gaps (false = fixed drumbeat)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		writes   = flag.Float64("writes", 0, "fraction of arrivals that are addEdge mutations (0..1)")
+		writeN   = flag.Int("write.vertices", 100, "mutations draw edge endpoints from 0..n-1 (keep within the dataset's vertex count)")
+	)
+	flag.Parse()
+
+	var kws []string
+	if *keywords != "" {
+		kws = strings.Split(*keywords, ",")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	searchURL := fmt.Sprintf("%s/api/v1/datasets/%s/search", *addr, *dataset)
+	mutateURL := fmt.Sprintf("%s/api/v1/datasets/%s/mutations", *addr, *dataset)
+
+	// Pre-render one search body per query vertex; mutation bodies are
+	// generated per call (distinct random edges).
+	bodies := make([][]byte, *vertices)
+	for v := range bodies {
+		b, err := json.Marshal(map[string]any{
+			"algorithm": *algo, "vertices": []int32{int32(v)}, "k": *k, "keywords": kws,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[v] = b
+	}
+	var turn atomic.Int64
+	var rngMu sync.Mutex
+	// isWrite and randomEdge share the seeded rng; the mutex makes them safe
+	// from concurrent request goroutines.
+	isWrite := func() bool {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Float64() < *writes
+	}
+	randomEdge := func() (u, v int32) {
+		n := int32(max(*writeN, 2))
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		u, v = rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			v = (u + 1) % n
+		}
+		return u, v
+	}
+
+	rep := loadgen.Run(context.Background(), loadgen.Config{
+		Rate:     *rate,
+		Duration: *duration,
+		Poisson:  *poisson,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		Classify: func(err error) loadgen.Outcome {
+			if err == errShed {
+				return loadgen.Shed
+			}
+			return loadgen.Failed
+		},
+	}, func(ctx context.Context) error {
+		i := turn.Add(1)
+		url, body := searchURL, bodies[int(i)%len(bodies)]
+		if *writes > 0 && isWrite() {
+			url = mutateURL
+			u, v := randomEdge()
+			body, _ = json.Marshal(map[string]any{"op": "addEdge", "u": u, "v": v})
+		}
+		req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return errShed
+		case resp.StatusCode >= 400 && resp.StatusCode != http.StatusConflict:
+			// A mutation conflict (double-insert of a random edge) is an
+			// expected outcome of the random write mix, not a server failure.
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -50,8 +50,9 @@
 //
 // Failures wrap typed sentinels: ErrDatasetNotFound, ErrVertexNotFound,
 // ErrSessionNotFound, ErrUnknownAlgorithm, ErrInvalidQuery, ErrCanceled,
-// ErrTimeout. Branch with errors.Is; the HTTP layer maps them onto
-// 404 / 400 / 499 / 504 with a JSON error envelope {"error", "code"}.
+// ErrTimeout, and api.ErrOverloaded (admission control shed the request).
+// Branch with errors.Is; the HTTP layer maps them onto 404 / 400 / 429 /
+// 499 / 504 with a JSON error envelope {"error", "code"}.
 //
 // # API versioning policy
 //
@@ -130,6 +131,26 @@
 // and resident indexes, and GET /api/stats accumulates snapshot
 // load/persist timings. Offline precomputation lives in the
 // `cexplorer snapshot build` and `cexplorer snapshot inspect` subcommands.
+//
+// # Serve-time speed layer
+//
+// Query serving sits behind a result cache (internal/servecache) keyed by
+// (dataset, version, canonical query): because a search is a pure function
+// of the immutable version it resolves, a mutation's version bump makes
+// every stale entry unreachable with no invalidation protocol at all.
+// Concurrent requests for the same key coalesce through singleflight (one
+// leader computes, followers share the answer; a leader's own cancellation
+// promotes a follower instead of poisoning the key), deterministic request
+// failures are negative-cached, and an optional per-dataset admission bound
+// (-shed.inflight) sheds excess cache-miss computations immediately with
+// the retryable 429 "overloaded" envelope, keeping the served tail near the
+// intrinsic service time under overload. On the write side a
+// MutationBatcher (internal/api) coalesces concurrent single-op mutation
+// requests into one atomic engine apply and one journal fsync (-batch.size,
+// -batch.wait), with per-submission fallback isolation when a combined
+// batch fails. Cache and batcher counters appear at /api/stats; the
+// open-loop load generator (internal/loadgen, cmd/loadgen) measures the
+// whole stack's latency distribution from outside.
 //
 // # Dynamic graphs & versioning
 //

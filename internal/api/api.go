@@ -25,6 +25,7 @@ import (
 	"cexplorer/internal/layout"
 	"cexplorer/internal/metrics"
 	"cexplorer/internal/par"
+	"cexplorer/internal/servecache"
 )
 
 // Query is the search request: the query vertices (by ID), the minimum
@@ -561,6 +562,11 @@ type Explorer struct {
 	cs       map[string]CSAlgorithm
 	cd       map[string]CDAlgorithm
 
+	// cache, when non-nil, is the serve-time result cache (see cache.go):
+	// Search/Detect/Analyze become version-keyed cache lookups with
+	// singleflight coalescing and per-dataset admission control.
+	cache *servecache.Cache
+
 	// explore holds the live exploration sessions (the paper's Figure 1/6
 	// browse loop as server-side state; see explore.go).
 	explore exploreManager
@@ -642,8 +648,14 @@ func (e *Explorer) AddGraph(name string, g *graph.Graph) (*Dataset, error) {
 	}
 	ds := NewDataset(name, g)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.datasets[name] = ds
+	c := e.cache
+	e.mu.Unlock()
+	if c != nil {
+		// A re-registered name restarts its lineage at Version 0, which
+		// would collide with cached keys from the previous graph — purge.
+		c.Purge(name)
+	}
 	return ds, nil
 }
 
@@ -669,7 +681,11 @@ func (e *Explorer) Datasets() []string {
 
 // Search runs a registered CS algorithm (Figure 4's search). It observes
 // ctx: cancellation or an expired deadline stops the computation inside the
-// algorithm kernel, and the error wraps ErrCanceled or ErrTimeout.
+// algorithm kernel, and the error wraps ErrCanceled or ErrTimeout. With a
+// result cache installed (SetCache), the call is a version-keyed cache
+// lookup: hits skip the kernel entirely, concurrent misses for one query
+// coalesce onto a single computation, and the per-dataset admission bound
+// can shed it with ErrOverloaded.
 func (e *Explorer) Search(ctx context.Context, dataset, algo string, q Query) ([]Community, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapContextErr(err)
@@ -678,23 +694,35 @@ func (e *Explorer) Search(ctx context.Context, dataset, algo string, q Query) ([
 	if !ok {
 		return nil, fmt.Errorf("%w: search: %q", ErrDatasetNotFound, dataset)
 	}
+	e.mu.RLock()
+	a, ok := e.cs[algo]
+	c := e.cache
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: search: no CS algorithm %q", ErrUnknownAlgorithm, algo)
+	}
+	if c == nil {
+		return e.searchOn(ctx, ds, a, q)
+	}
+	return e.cachedCommunities(ctx, c, dataset, ds.Version, searchKey(algo, q), func(ctx context.Context) ([]Community, error) {
+		return e.searchOn(ctx, ds, a, q)
+	})
+}
+
+// searchOn is the uncached search core: pin the dataset version for the
+// computation's lifetime and run the kernel.
+func (e *Explorer) searchOn(ctx context.Context, ds *Dataset, a CSAlgorithm, q Query) ([]Community, error) {
 	unpin, err := ds.Pin()
 	if err != nil {
 		return nil, err
 	}
 	defer unpin()
-	e.mu.RLock()
-	a, ok := e.cs[algo]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: search: no CS algorithm %q", ErrUnknownAlgorithm, algo)
-	}
 	out, err := a.Search(ctx, ds, q)
 	return out, wrapContextErr(err)
 }
 
 // Detect runs a registered CD algorithm (Figure 4's detect), observing ctx
-// like Search does.
+// and the result cache like Search does.
 func (e *Explorer) Detect(ctx context.Context, dataset, algo string) ([]Community, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapContextErr(err)
@@ -703,17 +731,28 @@ func (e *Explorer) Detect(ctx context.Context, dataset, algo string) ([]Communit
 	if !ok {
 		return nil, fmt.Errorf("%w: detect: %q", ErrDatasetNotFound, dataset)
 	}
+	e.mu.RLock()
+	a, ok := e.cd[algo]
+	c := e.cache
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: detect: no CD algorithm %q", ErrUnknownAlgorithm, algo)
+	}
+	if c == nil {
+		return e.detectOn(ctx, ds, a)
+	}
+	return e.cachedCommunities(ctx, c, dataset, ds.Version, detectKey(algo), func(ctx context.Context) ([]Community, error) {
+		return e.detectOn(ctx, ds, a)
+	})
+}
+
+// detectOn is the uncached detection core.
+func (e *Explorer) detectOn(ctx context.Context, ds *Dataset, a CDAlgorithm) ([]Community, error) {
 	unpin, err := ds.Pin()
 	if err != nil {
 		return nil, err
 	}
 	defer unpin()
-	e.mu.RLock()
-	a, ok := e.cd[algo]
-	e.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: detect: no CD algorithm %q", ErrUnknownAlgorithm, algo)
-	}
 	out, err := a.Detect(ctx, ds)
 	return out, wrapContextErr(err)
 }
@@ -729,7 +768,7 @@ type Analysis struct {
 }
 
 // Analyze computes quality metrics for a community against query vertex q
-// (Figure 4's analyze).
+// (Figure 4's analyze), consulting the result cache when one is installed.
 func (e *Explorer) Analyze(ctx context.Context, dataset string, c Community, q int32) (*Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, wrapContextErr(err)
@@ -738,6 +777,27 @@ func (e *Explorer) Analyze(ctx context.Context, dataset string, c Community, q i
 	if !ok {
 		return nil, fmt.Errorf("%w: analyze: %q", ErrDatasetNotFound, dataset)
 	}
+	e.mu.RLock()
+	sc := e.cache
+	e.mu.RUnlock()
+	if sc == nil {
+		return e.analyzeOn(ds, c, q)
+	}
+	v, err := sc.Do(ctx, dataset, ds.Version, analyzeKey(c, q), func(context.Context) (any, int64, error) {
+		a, err := e.analyzeOn(ds, c, q)
+		if err != nil {
+			return nil, 0, err
+		}
+		return a, int64(len(a.Method)) + 256, nil
+	})
+	if err != nil {
+		return nil, wrapContextErr(err)
+	}
+	return v.(*Analysis), nil
+}
+
+// analyzeOn is the uncached analysis core.
+func (e *Explorer) analyzeOn(ds *Dataset, c Community, q int32) (*Analysis, error) {
 	unpin, err := ds.Pin()
 	if err != nil {
 		return nil, err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"cexplorer/internal/servecache"
 )
 
 // The typed error model of the v1 API. Every error the Explorer returns
@@ -39,6 +41,10 @@ var (
 	ErrCanceled = errors.New("request canceled")
 	// ErrTimeout: the request exceeded its deadline mid-computation.
 	ErrTimeout = errors.New("request timed out")
+	// ErrOverloaded: the dataset is at its admission-control bound and this
+	// request was shed instead of queued (HTTP 429). The alias keeps the
+	// sentinel identity with the servecache layer that raises it.
+	ErrOverloaded = servecache.ErrOverloaded
 )
 
 // ErrorCode returns the stable machine-readable code for err — the "code"
@@ -63,6 +69,8 @@ func ErrorCode(err error) string {
 		return "mutation_conflict"
 	case errors.Is(err, ErrDatasetClosed):
 		return "dataset_closed"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ErrTimeout):

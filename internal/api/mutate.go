@@ -69,6 +69,14 @@ type MutationResult struct {
 	// (skeleton rebuilt, unchanged inverted lists adopted), or "lazy" (the
 	// base version held no tree).
 	TreeRepair string `json:"treeRepair"`
+	// Coalesced is set by the MutationBatcher: the number of caller
+	// submissions that shared this applied batch (0 when unbatched).
+	Coalesced int `json:"coalesced,omitempty"`
+	// Journaled and Compacted are set by the serving layer after durable
+	// logging: the batch's journal record was fsynced, and (rarely) the
+	// append tripped a snapshot-rewrite compaction.
+	Journaled bool `json:"journaled"`
+	Compacted bool `json:"compacted,omitempty"`
 }
 
 // Mutate applies a batch of ops to this version and returns the successor

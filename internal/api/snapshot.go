@@ -180,7 +180,15 @@ func (e *Explorer) AddDataset(ds *Dataset) error {
 		ds.mutMu = &sync.Mutex{}
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.datasets[ds.Name] = ds
+	c := e.cache
+	e.mu.Unlock()
+	if c != nil && ds.Version == 0 {
+		// Same rule as AddGraph: a name re-registered at Version 0 must not
+		// inherit cache entries from the graph it replaced. Successor
+		// versions (Explorer.Mutate republishing a lineage) keep the cache —
+		// their keys are version-disambiguated already.
+		c.Purge(ds.Name)
+	}
 	return nil
 }

@@ -1,0 +1,49 @@
+package dyntest
+
+import (
+	"fmt"
+	"testing"
+
+	"cexplorer/internal/api"
+)
+
+// TestCachedEquivalence is the serve-time speed layer's acceptance gate:
+// for many random seeds, cached reads interleave with the mutation stream
+// and every cached answer must equal the uncached oracle at the served
+// version. Failures shrink with the same ddmin machinery as the index gate
+// before reporting.
+func TestCachedEquivalence(t *testing.T) {
+	seeds := 10
+	nOps := 600
+	if testing.Short() {
+		seeds, nOps = 3, 150
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{
+				Seed:      int64(seed),
+				N:         50 + 10*(seed%5),
+				M:         120 + 20*(seed%4),
+				Vocab:     10,
+				BatchSize: 20 + 10*(seed%3),
+			}
+			sc.Ops = GenOps(baseGraph(sc), nOps, sc.Seed*6271)
+			if err := RunCached(sc); err != nil {
+				base := baseGraph(sc)
+				minimal := sc
+				minimal.Ops = shrinkWith(sc.Ops, 150, func(ops []api.Mutation) bool {
+					cand := sc
+					cand.Ops = Sanitize(base, ops)
+					if len(cand.Ops) == 0 {
+						return false
+					}
+					return RunCached(cand) != nil
+				})
+				minimal.Ops = Sanitize(base, minimal.Ops)
+				t.Fatalf("cached equivalence violated: %v\nminimal repro (%d ops):\n%s",
+					err, len(minimal.Ops), Repro(minimal))
+			}
+		})
+	}
+}

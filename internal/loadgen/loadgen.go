@@ -1,0 +1,182 @@
+// Package loadgen is the open-loop load-generation harness for the serving
+// stack: it fires requests at a configured arrival rate independent of how
+// fast responses come back (the open-loop discipline — a slow server faces
+// a growing backlog exactly as it would in production, instead of the
+// closed-loop mercy of waiting for each response before sending the next),
+// and reports completed/shed/error counts with latency percentiles.
+//
+// The harness is transport-agnostic: it drives any RequestFunc. The HTTP
+// client lives in cmd/loadgen; tests drive in-process Explorer calls
+// directly. Outcome classification is pluggable so a 429/ErrOverloaded shed
+// — the admission controller doing its job — is tallied separately from a
+// real failure.
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"slices"
+	"sync"
+	"time"
+)
+
+// RequestFunc issues one request and reports its error (nil on success).
+type RequestFunc func(ctx context.Context) error
+
+// Outcome classifies one completed request.
+type Outcome int
+
+const (
+	// OK is a successful response.
+	OK Outcome = iota
+	// Shed is a load-shedding rejection (HTTP 429 / ErrOverloaded): the
+	// server protecting its latency, not a failure.
+	Shed
+	// Failed is any other error.
+	Failed
+)
+
+// Classifier maps a RequestFunc error to its outcome; nil errors are always
+// OK and never reach the classifier. A nil Classifier treats every error as
+// Failed.
+type Classifier func(error) Outcome
+
+// Config tunes one load-generation run.
+type Config struct {
+	// Rate is the arrival rate in requests per second. Required.
+	Rate float64
+	// Duration bounds the arrival window; in-flight requests are awaited
+	// after it closes. Required.
+	Duration time.Duration
+	// Poisson draws exponential inter-arrival gaps (a Poisson process, the
+	// usual open-system model) instead of a fixed-interval drumbeat.
+	Poisson bool
+	// Seed feeds the Poisson gap sequence; 0 means seed 1.
+	Seed int64
+	// Timeout bounds each request (0 = none).
+	Timeout time.Duration
+	// Classify tallies errors as Shed vs Failed; nil means all Failed.
+	Classify Classifier
+}
+
+// Report is one run's result sheet. Latency quantiles cover completed
+// requests of every outcome — a shed response is an answer the client
+// waited for, so it belongs in the latency story.
+type Report struct {
+	Sent   int64 `json:"sent"`
+	OK     int64 `json:"ok"`
+	Shed   int64 `json:"shed"`
+	Failed int64 `json:"failed"`
+	// ElapsedMS is the wall time of the whole run, arrival window plus
+	// drain; ThroughputRPS is OK completions per elapsed second.
+	ElapsedMS     float64 `json:"elapsedMs"`
+	ThroughputRPS float64 `json:"throughputRps"`
+	P50MS         float64 `json:"p50Ms"`
+	P90MS         float64 `json:"p90Ms"`
+	P99MS         float64 `json:"p99Ms"`
+	MaxMS         float64 `json:"maxMs"`
+}
+
+// Run fires requests open-loop per cfg until the duration elapses, waits
+// for stragglers, and reports. ctx cancellation stops new arrivals and
+// propagates to in-flight requests.
+func Run(ctx context.Context, cfg Config, fn RequestFunc) Report {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	gap := func() time.Duration {
+		if !cfg.Poisson {
+			return interval
+		}
+		return time.Duration(rng.ExpFloat64() * float64(interval))
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       Report
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	// The schedule is absolute (next = previous arrival + gap, not "now +
+	// gap"), so a slow spawn path doesn't silently lower the offered rate.
+	next := start
+	for next.Before(deadline) && ctx.Err() == nil {
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		rep.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx := ctx
+			cancel := context.CancelFunc(func() {})
+			if cfg.Timeout > 0 {
+				rctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			}
+			defer cancel()
+			t0 := time.Now()
+			err := fn(rctx)
+			lat := time.Since(t0)
+			out := OK
+			if err != nil {
+				out = Failed
+				if cfg.Classify != nil {
+					out = cfg.Classify(err)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lat)
+			switch out {
+			case OK:
+				rep.OK++
+			case Shed:
+				rep.Shed++
+			default:
+				rep.Failed++
+			}
+			mu.Unlock()
+		}()
+		next = next.Add(gap())
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
+	}
+	slices.Sort(latencies)
+	rep.P50MS = quantileMS(latencies, 0.50)
+	rep.P90MS = quantileMS(latencies, 0.90)
+	rep.P99MS = quantileMS(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.MaxMS = float64(latencies[n-1].Microseconds()) / 1000
+	}
+	return rep
+}
+
+// quantileMS reads the q-quantile (nearest-rank) from sorted latencies.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx].Microseconds()) / 1000
+}

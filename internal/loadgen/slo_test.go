@@ -1,0 +1,87 @@
+package loadgen
+
+// The SLO smoke test: the harness drives the real HTTP serving stack —
+// cache on, hot query — and asserts the serving SLO held. Bounds are
+// deliberately loose (CI machines are noisy); the point is a standing
+// end-to-end proof that the speed layer serves a hot query fast and
+// error-free under sustained open-loop load, not a micro-benchmark.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/server"
+)
+
+func TestServingSLOUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke skipped in -short")
+	}
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(exp, nil)
+	s.EnableCache(1024, 16<<20, 0)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"algorithm": "ACQ", "names": []string{"A"}, "k": 2, "keywords": []string{"w", "x", "y"},
+	})
+	url := ts.URL + "/api/v1/datasets/fig5/search"
+	client := ts.Client()
+	rep := Run(context.Background(), Config{
+		Rate:     300,
+		Duration: 2 * time.Second,
+		Poisson:  true,
+		Seed:     7,
+		Timeout:  5 * time.Second,
+	}, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	})
+	t.Logf("report: %+v", rep)
+
+	// The SLO: nothing failed, the offered load was served, and the hot
+	// (fully cached) query stayed comfortably interactive at the tail.
+	if rep.Failed != 0 {
+		t.Fatalf("%d failed requests: %+v", rep.Failed, rep)
+	}
+	if rep.Sent < 300 || rep.OK != rep.Sent {
+		t.Fatalf("offered load not served: %+v", rep)
+	}
+	if rep.P99MS > 250 {
+		t.Fatalf("p99 %.1fms blows the 250ms smoke SLO: %+v", rep.P99MS, rep)
+	}
+
+	// The load was genuinely absorbed by the cache: one computation total;
+	// every other request either hit or coalesced onto the leader.
+	st := s.Stats()
+	if st.Cache == nil || st.Cache.Computations != 1 ||
+		st.Cache.Hits+st.Cache.Coalesced != rep.OK-1 {
+		t.Fatalf("cache stats = %+v (ok=%d)", st.Cache, rep.OK)
+	}
+}

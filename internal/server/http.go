@@ -35,6 +35,11 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, api.ErrMutationConflict):
 		return http.StatusConflict
+	case errors.Is(err, api.ErrOverloaded):
+		// Admission control shed the request: the dataset is at its
+		// in-flight computation bound. Retryable — unlike 503, the server
+		// is healthy, just protecting its latency under overload.
+		return http.StatusTooManyRequests
 	case errors.Is(err, api.ErrCanceled):
 		return StatusClientClosedRequest
 	case errors.Is(err, api.ErrTimeout):

@@ -63,16 +63,45 @@ func parseMutationRequest(body []byte) ([]api.Mutation, error) {
 	return []api.Mutation{{Op: req.Op, U: req.U, V: req.V, Name: req.Name, Keywords: req.Keywords}}, nil
 }
 
-// mutationResponse is the route's success payload.
+// mutationResponse is the route's success payload. Journaled/Compacted
+// (and, when batching is on, Coalesced) arrive embedded in the
+// MutationResult, set by applyMutations.
 type mutationResponse struct {
 	api.MutationResult
 	ElapsedMS float64 `json:"elapsedMs"`
-	// Journaled reports whether the batch was durably journaled (false when
-	// no data directory is configured — memory-only serving).
-	Journaled bool `json:"journaled"`
-	// Compacted reports that this batch tripped journal compaction (the
-	// snapshot was rewritten and the journal reset).
-	Compacted bool `json:"compacted,omitempty"`
+}
+
+// applyMutations is the one write path every mutation takes — the apply
+// seam the batcher wraps and the direct route calls. It runs the engine
+// apply, keeps the mutation counters, and (with a catalog configured)
+// journals the batch, recording durability in the result:
+//
+//   - Journaled reflects the append alone: a batch whose record was fsynced
+//     IS durable even when the follow-up compaction failed, and reporting
+//     otherwise would invite a client retry that applies the batch twice.
+//     Failures (append or compaction) are logged loudly.
+//   - With batching enabled, one call here may speak for several coalesced
+//     HTTP requests; the batch journals once, under the combined batch's
+//     version, so replay sees exactly the applied lineage.
+func (s *Server) applyMutations(ctx context.Context, name string, ops []api.Mutation) (*api.MutationResult, error) {
+	start := time.Now()
+	res, err := s.exp.Mutate(ctx, name, ops)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.mutationBatches.Add(1)
+	s.stats.mutationOps.Add(int64(len(ops)))
+	s.stats.mutationNanos.Add(elapsed.Nanoseconds())
+	if s.DataDir() != "" {
+		journaled, compacted, jerr := s.journalBatch(name, res.Version, ops)
+		res.Journaled = journaled
+		res.Compacted = compacted
+		if jerr != nil {
+			s.logf("mutations %s: %v (journaled=%v)", name, jerr, journaled)
+		}
+	}
+	return res, nil
 }
 
 func (s *Server) v1Mutations(w http.ResponseWriter, r *http.Request) {
@@ -88,30 +117,19 @@ func (s *Server) v1Mutations(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	start := time.Now()
-	res, err := s.exp.Mutate(r.Context(), name, ops)
+	var res *api.MutationResult
+	if b := s.mutationBatcher(); b != nil {
+		res, err = b.Mutate(r.Context(), name, ops)
+	} else {
+		res, err = s.applyMutations(r.Context(), name, ops)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		s.stats.mutationErrors.Add(1)
 		s.writeError(w, err)
 		return
 	}
-	s.stats.mutationBatches.Add(1)
-	s.stats.mutationOps.Add(int64(len(ops)))
-	s.stats.mutationNanos.Add(elapsed.Nanoseconds())
-	resp := mutationResponse{MutationResult: *res, ElapsedMS: msec(elapsed)}
-	if s.DataDir() != "" {
-		journaled, compacted, jerr := s.journalBatch(name, res.Version, ops)
-		// journaled reflects the append alone: a batch whose record was
-		// fsynced IS durable even when the follow-up compaction failed, and
-		// reporting otherwise would invite a client retry that applies the
-		// batch twice. Failures (append or compaction) are logged loudly.
-		resp.Journaled = journaled
-		resp.Compacted = compacted
-		if jerr != nil {
-			s.logf("mutations %s: %v (journaled=%v)", name, jerr, journaled)
-		}
-	}
-	writeJSON(w, resp)
+	writeJSON(w, mutationResponse{MutationResult: *res, ElapsedMS: msec(elapsed)})
 }
 
 // journalPath maps a dataset name to its mutation journal file.

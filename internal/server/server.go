@@ -45,6 +45,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/layout"
 	"cexplorer/internal/par"
+	"cexplorer/internal/servecache"
 	"cexplorer/internal/snapshot"
 )
 
@@ -78,6 +79,12 @@ type Server struct {
 	// request (queue wait + computation). Atomic so SetSearchTimeout is safe
 	// mid-serve.
 	searchTimeout atomic.Int64 // nanoseconds
+
+	// batcher, when non-nil, coalesces concurrent mutation submissions into
+	// combined Mutate batches (EnableBatcher); its apply seam is
+	// applyMutations, so batched and unbatched writes share the same
+	// journal-and-count path.
+	batcher *api.MutationBatcher
 
 	stats serverStats
 }
@@ -165,6 +172,13 @@ type StatsSnapshot struct {
 	// so the cold-build bill is observable next to the snapshot counters.
 	IndexWorkers int              `json:"indexWorkers"`
 	IndexBuilds  api.IndexTimings `json:"indexBuilds"`
+
+	// Cache reports the serve-time result cache (hits, misses, coalesced,
+	// negativeHits, shedded, occupancy); absent when caching is off.
+	Cache *servecache.Stats `json:"cache,omitempty"`
+	// Batcher reports the mutation batcher (submissions, batches,
+	// opsPerBatch); absent when batching is off.
+	Batcher *api.BatcherStats `json:"batcher,omitempty"`
 }
 
 // New returns a server over the given engine. logf may be nil (silent). The
@@ -225,6 +239,33 @@ func (s *Server) searchSemaphore() chan struct{} {
 	return s.searchSem
 }
 
+// EnableCache installs the serve-time result cache: Search/Detect/Analyze
+// become version-keyed cache lookups with singleflight coalescing, negative
+// caching, and — when shedInflight > 0 — per-dataset admission control that
+// sheds excess computations with a 429 instead of queueing them. entries
+// and bytes bound the cache (≤ 0 take the servecache defaults). Call before
+// serving.
+func (s *Server) EnableCache(entries int, bytes int64, shedInflight int) {
+	s.exp.SetCache(api.NewServeCache(entries, bytes, shedInflight))
+}
+
+// EnableBatcher turns on write-side mutation batching: concurrent
+// submissions to one dataset coalesce into a single atomic Mutate batch
+// (size and maxWait triggers), amortizing overlay materialization and
+// CL-tree repair across callers. Call before serving.
+func (s *Server) EnableBatcher(opts api.BatcherOptions) {
+	s.mu.Lock()
+	s.batcher = api.NewMutationBatcher(opts, s.applyMutations)
+	s.mu.Unlock()
+}
+
+// mutationBatcher reads the configured batcher (nil = unbatched writes).
+func (s *Server) mutationBatcher() *api.MutationBatcher {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.batcher
+}
+
 // SetSearchTimeout deadline-bounds every search-class request (search,
 // detect, compare, explore): the budget covers both the wait for a worker
 // slot and the computation itself, and an expired deadline cancels the
@@ -275,6 +316,14 @@ func (s *Server) Stats() StatsSnapshot {
 	}
 	snap.IndexWorkers = par.Workers()
 	snap.IndexBuilds = api.BuildTotals()
+	if c := s.exp.Cache(); c != nil {
+		cs := c.Stats()
+		snap.Cache = &cs
+	}
+	if b := s.mutationBatcher(); b != nil {
+		bs := b.Stats()
+		snap.Batcher = &bs
+	}
 	snap.MutationBatches = s.stats.mutationBatches.Load()
 	snap.MutationOps = s.stats.mutationOps.Load()
 	snap.MutationErrors = s.stats.mutationErrors.Load()
@@ -569,11 +618,15 @@ type graphInfo struct {
 	// version to build (zero when pre-seeded from a snapshot or carried
 	// over from the predecessor version).
 	IndexBuildMS api.IndexTimings `json:"indexBuildMs"`
+	// CacheEntries/CacheBytes are this dataset's slice of the serve-time
+	// result cache, across all its versions (zero when caching is off).
+	CacheEntries int   `json:"cacheEntries,omitempty"`
+	CacheBytes   int64 `json:"cacheBytes,omitempty"`
 }
 
 func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 	borrowed := ds.Graph.BorrowedBytes()
-	return graphInfo{
+	info := graphInfo{
 		Name:          name,
 		Vertices:      ds.Graph.N(),
 		Edges:         ds.Graph.M(),
@@ -588,6 +641,12 @@ func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 		Indexes:       ds.Indexes(),
 		IndexBuildMS:  ds.BuildTimings(),
 	}
+	if c := s.exp.Cache(); c != nil {
+		cs := c.DatasetStats(name)
+		info.CacheEntries = cs.Entries
+		info.CacheBytes = cs.Bytes
+	}
+	return info
 }
 
 func (s *Server) datasetInfos() []graphInfo {

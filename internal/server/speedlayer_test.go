@@ -1,0 +1,179 @@
+package server
+
+// Contract tests for the serve-time speed layer: the version-keyed result
+// cache behind the search routes, the overload envelope, and the batched
+// mutation route. Named TestV1* so the CI API-contract gate runs them.
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/servecache"
+)
+
+// statsOut decodes the speed-layer slice of /api/stats.
+type statsOut struct {
+	Cache   *servecache.Stats `json:"cache"`
+	Batcher *api.BatcherStats `json:"batcher"`
+}
+
+func TestV1CacheServesRepeatsAndSurfacesStats(t *testing.T) {
+	s, ts := testServer(t)
+	s.EnableCache(128, 1<<20, 0)
+	body := map[string]any{"algorithm": "ACQ", "names": []string{"A"}, "k": 2, "keywords": []string{"w", "x", "y"}}
+	var first, second v1SearchOut
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/search", body, &first)
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/search", body, &second)
+	if len(first.Communities) == 0 || len(first.Communities) != len(second.Communities) {
+		t.Fatalf("cached answer differs: %+v vs %+v", first, second)
+	}
+	var st statsOut
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Cache == nil {
+		t.Fatal("stats carry no cache block")
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Computations != 1 {
+		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+	if st.Cache.Entries == 0 || st.Cache.Bytes == 0 {
+		t.Fatalf("cache occupancy not surfaced: %+v", st.Cache)
+	}
+	// Per-dataset occupancy on the dataset resource.
+	var info graphInfo
+	doJSON(t, "GET", ts.URL+"/api/v1/datasets/fig5", nil, &info)
+	if info.CacheEntries != 1 || info.CacheBytes == 0 {
+		t.Fatalf("dataset cache occupancy = %+v", info)
+	}
+	// A deterministic failure from inside the kernel (an unknown param key,
+	// rejected by the algorithm itself) is negatively cached. Handler-level
+	// rejections (missing vertices, bad names) never reach the cache.
+	bad := map[string]any{"algorithm": "ACQ", "names": []string{"A"}, "k": 2,
+		"params": map[string]string{"bogus": "1"}}
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/datasets/fig5/search", bad, 400, "invalid_query")
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/datasets/fig5/search", bad, 400, "invalid_query")
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Cache.NegativeHits != 1 {
+		t.Fatalf("negative hit not recorded: %+v", st.Cache)
+	}
+}
+
+func TestV1OverloadedEnvelope(t *testing.T) {
+	s, ts := testServer(t)
+	s.EnableCache(128, 1<<20, 1)
+	c := s.exp.Cache()
+	// Occupy fig5's single computation slot with a blocking leader, then
+	// hit the search route: the HTTP request becomes a second leader and is
+	// shed with the 429 envelope.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "fig5", 999, "occupier", func(context.Context) (any, int64, error) {
+			close(started)
+			<-release
+			return "x", 1, nil
+		})
+		done <- err
+	}()
+	<-started
+	wantEnvelope(t, "POST", ts.URL+"/api/v1/datasets/fig5/search",
+		map[string]any{"algorithm": "ACQ", "names": []string{"A"}, "k": 2}, http.StatusTooManyRequests, "overloaded")
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("occupier: %v", err)
+	}
+	// Slot free again: the same search now computes.
+	var out v1SearchOut
+	resp := doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/search",
+		map[string]any{"algorithm": "ACQ", "names": []string{"A"}, "k": 2}, &out)
+	if resp.StatusCode != 200 || len(out.Communities) == 0 {
+		t.Fatalf("post-release search: status %d, %+v", resp.StatusCode, out)
+	}
+	var st statsOut
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Cache.Shedded != 1 {
+		t.Fatalf("shed not counted: %+v", st.Cache)
+	}
+}
+
+func TestV1BatchedMutationRoute(t *testing.T) {
+	s, ts := testServer(t)
+	s.EnableBatcher(api.BatcherOptions{MaxOps: 2, MaxWait: time.Hour})
+	// Two concurrent single-op requests: with MaxOps = 2 and an effectively
+	// infinite maxWait, neither answers until both arrive, so they must
+	// coalesce into exactly one applied batch.
+	type mutOut struct {
+		api.MutationResult
+		ElapsedMS float64 `json:"elapsedMs"`
+	}
+	outs := make([]mutOut, 2)
+	codes := make([]int, 2)
+	ops := []map[string]any{
+		{"op": "addEdge", "u": 5, "v": 9},
+		{"op": "addEdge", "u": 6, "v": 9},
+	}
+	var wg sync.WaitGroup
+	for i := range ops {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/mutations", ops[i], &outs[i])
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d", i, codes[i])
+		}
+		if outs[i].Coalesced != 2 || outs[i].Applied != 2 || outs[i].Version != 1 {
+			t.Fatalf("request %d: result = %+v", i, outs[i].MutationResult)
+		}
+		if outs[i].Journaled { // no data dir configured
+			t.Fatalf("request %d: journaled without a catalog", i)
+		}
+	}
+	var st statsOut
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Batcher == nil {
+		t.Fatal("stats carry no batcher block")
+	}
+	if st.Batcher.Submissions != 2 || st.Batcher.Batches != 1 || st.Batcher.Ops != 2 || st.Batcher.Coalesced != 2 {
+		t.Fatalf("batcher stats = %+v", st.Batcher)
+	}
+	// Fallback isolation over HTTP: pair a conflicting op (F–J now exists)
+	// with a valid one so the size trigger flushes; the combined batch
+	// fails, the batcher re-applies per submission, and each caller gets its
+	// own verdict.
+	var okOut mutOut
+	var env envelope
+	var okCode, envCode int
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resp := doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/mutations",
+			map[string]any{"op": "addEdge", "u": 7, "v": 9}, &okOut)
+		okCode = resp.StatusCode
+	}()
+	go func() {
+		defer wg.Done()
+		resp := doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/mutations",
+			map[string]any{"op": "addEdge", "u": 5, "v": 9}, &env)
+		envCode = resp.StatusCode
+	}()
+	wg.Wait()
+	if okCode != 200 || okOut.Applied != 1 || okOut.Coalesced != 0 {
+		t.Fatalf("valid half: status %d, %+v", okCode, okOut.MutationResult)
+	}
+	if envCode != http.StatusConflict || env.Code != "mutation_conflict" {
+		t.Fatalf("conflicting half: status %d, envelope %+v", envCode, env)
+	}
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Batcher.Fallbacks != 1 {
+		t.Fatalf("fallback not counted: %+v", st.Batcher)
+	}
+}

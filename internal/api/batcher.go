@@ -186,10 +186,15 @@ func (b *MutationBatcher) flush(pb *pendingBatch) {
 	res, err := b.applyOne(ctx, pb.dataset, combined)
 	if err == nil {
 		b.coalescedSubs.Add(int64(len(pb.subs)))
-		shared := *res
-		shared.Coalesced = len(pb.subs)
 		for _, sub := range pb.subs {
-			sub.ch <- batchOut{&shared, nil}
+			// Each caller gets its own copy: Applied answers for the
+			// caller's own ops (so applied == len(ops) holds whether or not
+			// the request was coalesced), while Version, the graph sizes,
+			// and CoreChanged describe the state after the combined batch.
+			out := *res
+			out.Applied = len(sub.ops)
+			out.Coalesced = len(pb.subs)
+			sub.ch <- batchOut{&out, nil}
 		}
 		return
 	}

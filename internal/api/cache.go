@@ -161,8 +161,9 @@ func communitiesBytes(cs []Community) int64 {
 
 // cachedCommunities adapts a community-list computation to the cache's
 // (value, error) contract and recovers the typed slice on the way out. The
-// cached slice is shared across callers; handlers treat results as
-// read-only (pagination slices, DTO building), which keeps sharing safe.
+// cached slice is shared across callers and with the cache itself: callers
+// must treat it as read-only (pagination subslicing and DTO building are
+// fine) and clone it before any in-place filter or sort.
 func (e *Explorer) cachedCommunities(ctx context.Context, c *servecache.Cache, dataset string, version uint64, key string, compute func(context.Context) ([]Community, error)) ([]Community, error) {
 	v, err := c.Do(ctx, dataset, version, key, func(ctx context.Context) (any, int64, error) {
 		out, err := compute(ctx)

@@ -114,6 +114,13 @@ type DatasetStats struct {
 
 type key struct {
 	dataset string
+	// epoch is the dataset's purge generation (bumped by Purge). Embedding
+	// it in the key means a computation started before a purge can neither
+	// be joined by post-purge callers nor fill an entry they can reach: a
+	// re-registered dataset restarts its Version counter, so without the
+	// epoch a late fill from the old lineage could shadow the new graph's
+	// results under a colliding (name, 0, query) key.
+	epoch   uint64
 	version uint64
 	query   string
 }
@@ -148,6 +155,9 @@ type Cache struct {
 	inflight map[key]*call
 	// computing counts in-flight leaders per dataset (admission control).
 	computing map[string]int
+	// epochs is each dataset's purge generation; lookups key on it so
+	// purged lineages can never serve or fill reachable entries.
+	epochs map[string]uint64
 
 	hits, negHits, misses, coalesced atomic.Int64
 	computations, shedded, evictions atomic.Int64
@@ -169,6 +179,7 @@ func New(cfg Config) *Cache {
 		perDS:     make(map[string]DatasetStats),
 		inflight:  make(map[key]*call),
 		computing: make(map[string]int),
+		epochs:    make(map[string]uint64),
 	}
 }
 
@@ -184,9 +195,9 @@ func New(cfg Config) *Cache {
 // The returned value is shared across callers and with the cache itself:
 // treat it as immutable.
 func (c *Cache) Do(ctx context.Context, dataset string, version uint64, query string, compute func(context.Context) (any, int64, error)) (any, error) {
-	k := key{dataset, version, query}
 	for {
 		c.mu.Lock()
+		k := key{dataset, c.epochs[dataset], version, query}
 		if el, ok := c.entries[k]; ok {
 			c.lru.MoveToFront(el)
 			e := el.Value.(*entry)
@@ -229,32 +240,54 @@ func (c *Cache) Do(ctx context.Context, dataset string, version uint64, query st
 		c.computing[dataset]++
 		c.mu.Unlock()
 
-		c.computations.Add(1)
-		val, bytes, err := compute(ctx)
+		return c.lead(ctx, k, cl, compute)
+	}
+}
 
-		cl.val, cl.err = val, err
-		cl.transient = err != nil && c.cfg.Transient != nil && c.cfg.Transient(err)
-		cacheable := err == nil || (!cl.transient && c.cfg.Cacheable != nil && c.cfg.Cacheable(err))
-
+// lead runs one computation as key k's leader and publishes the outcome to
+// followers. All bookkeeping runs in a defer: compute may panic (net/http
+// recovers per request, so the process survives), and without deferred
+// cleanup every future request for the key would coalesce onto the dead
+// call forever while the dataset permanently lost an admission slot. A
+// panicked call is marked transient so followers retry as new leaders, then
+// the panic is re-raised for the leader's own handler.
+func (c *Cache) lead(ctx context.Context, k key, cl *call, compute func(context.Context) (any, int64, error)) (any, error) {
+	completed := false
+	var bytes int64
+	defer func() {
+		if !completed {
+			cl.val, cl.err = nil, fmt.Errorf("servecache: computation for dataset %q panicked", k.dataset)
+			cl.transient = true
+		}
+		cacheable := completed && (cl.err == nil ||
+			(!cl.transient && c.cfg.Cacheable != nil && c.cfg.Cacheable(cl.err)))
 		c.mu.Lock()
 		delete(c.inflight, k)
-		if c.computing[dataset]--; c.computing[dataset] <= 0 {
-			delete(c.computing, dataset)
+		if c.computing[k.dataset]--; c.computing[k.dataset] <= 0 {
+			delete(c.computing, k.dataset)
 		}
-		if cacheable {
-			c.addLocked(k, val, err, bytes)
+		// A purge while we computed bumped the epoch: the result belongs to
+		// the dead lineage and must not be stored.
+		if cacheable && k.epoch == c.epochs[k.dataset] {
+			c.addLocked(k, cl.val, cl.err, bytes)
 		}
 		c.mu.Unlock()
 		close(cl.done)
-		return val, err
-	}
+	}()
+
+	c.computations.Add(1)
+	val, n, err := compute(ctx)
+	cl.val, cl.err, bytes = val, err, n
+	cl.transient = err != nil && c.cfg.Transient != nil && c.cfg.Transient(err)
+	completed = true
+	return val, err
 }
 
 // Get reports a cached value without computing (test and introspection
 // hook). It counts as a hit/negative hit when present.
 func (c *Cache) Get(dataset string, version uint64, query string) (any, error, bool) {
-	k := key{dataset, version, query}
 	c.mu.Lock()
+	k := key{dataset, c.epochs[dataset], version, query}
 	el, ok := c.entries[k]
 	if !ok {
 		c.mu.Unlock()
@@ -316,13 +349,18 @@ func (c *Cache) removeLocked(el *list.Element) {
 	}
 }
 
-// Purge drops every cached entry for a dataset, all versions. Required when
-// a dataset name is re-registered from scratch (re-upload): the new lineage
-// restarts its Version counter at zero, so without a purge an old entry
-// keyed (name, 0, q) could shadow results from the new graph.
+// Purge drops every cached entry for a dataset, all versions, and bumps the
+// dataset's epoch. Required when a dataset name is re-registered from
+// scratch (re-upload): the new lineage restarts its Version counter at
+// zero, so without a purge an old entry keyed (name, 0, q) could shadow
+// results from the new graph. The epoch bump extends the guarantee to
+// computations still in flight at purge time — their late fills land under
+// the old epoch's keys (never stored, see lead) and post-purge callers
+// cannot coalesce onto them.
 func (c *Cache) Purge(dataset string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.epochs[dataset]++
 	var next *list.Element
 	n := 0
 	for el := c.lru.Front(); el != nil; el = next {

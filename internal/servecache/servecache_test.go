@@ -322,6 +322,123 @@ func TestPurgeDataset(t *testing.T) {
 	}
 }
 
+// TestComputePanicReleasesCall: a panicking compute (net/http recovers per
+// request, so the process lives on) must not leave a dead in-flight call
+// behind. Followers blocked on the leader retry as new leaders, and the
+// dataset's admission slot is released — with MaxInflight = 1, a wedged
+// slot would reject every future request for the dataset.
+func TestComputePanicReleasesCall(t *testing.T) {
+	c := newTest(Config{MaxInflight: 1})
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		c.Do(ctx, "ds", 0, "q", func(context.Context) (any, int64, error) {
+			close(started)
+			<-release
+			panic("kernel bug")
+		})
+	}()
+	<-started
+
+	// Follower joins while the doomed leader is computing.
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		v, err := c.Do(ctx, "ds", 0, "q", func(context.Context) (any, int64, error) {
+			return "recovered", 8, nil
+		})
+		if err != nil || v != "recovered" {
+			t.Errorf("follower after panic: %v, %v", v, err)
+		}
+	}()
+	// Let the leader panic only once the follower has provably coalesced.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced onto the leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-leaderDone
+
+	select {
+	case <-followerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never unblocked after the leader panicked")
+	}
+	// The admission slot must be free again: a fresh leader computes.
+	v, err := c.Do(ctx, "ds", 0, "q2", func(context.Context) (any, int64, error) {
+		return "alive", 8, nil
+	})
+	if err != nil || v != "alive" {
+		t.Fatalf("post-panic Do = %v, %v (admission slot wedged?)", v, err)
+	}
+}
+
+// TestPurgeFencesInflightFills: a computation in flight when Purge runs
+// belongs to the purged lineage. Its late fill must not be stored under a
+// key the re-registered dataset (whose Version counter restarts at 0) can
+// reach, and post-purge callers must not coalesce onto it.
+func TestPurgeFencesInflightFills(t *testing.T) {
+	c := newTest(Config{})
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan struct{})
+	go func() {
+		defer close(oldDone)
+		v, err := c.Do(ctx, "ds", 0, "q", func(context.Context) (any, int64, error) {
+			close(started)
+			<-release
+			return "old-lineage", 8, nil
+		})
+		// The leader itself still gets its own (stale-lineage) answer.
+		if err != nil || v != "old-lineage" {
+			t.Errorf("old leader: %v, %v", v, err)
+		}
+	}()
+	<-started
+	c.Purge("ds") // re-upload of "ds": new lineage, Version restarts at 0
+
+	// A post-purge request for the same (version, query) must not join the
+	// stale in-flight call; it computes against the new lineage.
+	newDone := make(chan any, 1)
+	go func() {
+		v, err := c.Do(ctx, "ds", 0, "q", func(context.Context) (any, int64, error) {
+			return "new-lineage", 8, nil
+		})
+		if err != nil {
+			t.Errorf("new lineage Do: %v", err)
+		}
+		newDone <- v
+	}()
+	select {
+	case v := <-newDone:
+		if v != "new-lineage" {
+			t.Fatalf("post-purge Do = %v, want new-lineage", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-purge Do coalesced onto the purged lineage's call")
+	}
+
+	close(release)
+	<-oldDone
+	// The stale fill must be unreachable: lookups see the new lineage only.
+	if v, _, ok := c.Get("ds", 0, "q"); !ok || v != "new-lineage" {
+		t.Fatalf("Get after late fill = %v, %v (stale fill stored?)", v, ok)
+	}
+}
+
 func TestConcurrentMixedWorkload(t *testing.T) {
 	c := newTest(Config{MaxEntries: 64, MaxBytes: 1 << 20, MaxInflight: 4})
 	ctx := context.Background()

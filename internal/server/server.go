@@ -825,6 +825,10 @@ func (s *Server) execDetect(r *http.Request, dataset string, req detectRequest) 
 	if err != nil {
 		return nil, 0, err
 	}
+	// Detect may hand back the slice shared with the result cache and with
+	// concurrent requests; the filter and sort below mutate in place, so
+	// work on a private copy.
+	comms = slices.Clone(comms)
 	if req.MinSize > 0 {
 		filtered := comms[:0]
 		for _, c := range comms {

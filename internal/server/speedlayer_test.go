@@ -7,6 +7,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -58,6 +59,54 @@ func TestV1CacheServesRepeatsAndSurfacesStats(t *testing.T) {
 	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
 	if st.Cache.NegativeHits != 1 {
 		t.Fatalf("negative hit not recorded: %+v", st.Cache)
+	}
+}
+
+// TestV1DetectMinSizeDoesNotCorruptCache: execDetect filters and sorts the
+// detection result in place, and with the cache enabled Detect hands every
+// caller the slice the cache itself holds — so a minSize-filtered request
+// must work on a private copy, or it permanently clobbers the entry later
+// unfiltered requests are served from.
+func TestV1DetectMinSizeDoesNotCorruptCache(t *testing.T) {
+	s, ts := testServer(t)
+	s.EnableCache(128, 1<<20, 0)
+	type detOut struct {
+		Communities []struct {
+			Vertices []int32 `json:"vertices"`
+		} `json:"communities"`
+		Total int `json:"total"`
+	}
+	var full detOut
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/detect",
+		map[string]any{"algorithm": "CODICIL"}, &full)
+	if full.Total < 2 {
+		t.Fatalf("fixture too small to exercise filtering: %+v", full)
+	}
+	// Largest-first order: minSize = |largest| drops every smaller community.
+	var filtered detOut
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/detect",
+		map[string]any{"algorithm": "CODICIL", "minSize": len(full.Communities[0].Vertices)}, &filtered)
+	if filtered.Total >= full.Total {
+		t.Fatalf("minSize filtered nothing (total %d vs %d); fixture no longer exercises the filter", filtered.Total, full.Total)
+	}
+	var again detOut
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/detect",
+		map[string]any{"algorithm": "CODICIL"}, &again)
+	if again.Total != full.Total {
+		t.Fatalf("filtered request corrupted the cached entry: total %d, want %d", again.Total, full.Total)
+	}
+	for i := range full.Communities {
+		if !slices.Equal(again.Communities[i].Vertices, full.Communities[i].Vertices) {
+			t.Fatalf("community %d changed after the filtered request:\n got %v\nwant %v",
+				i, again.Communities[i].Vertices, full.Communities[i].Vertices)
+		}
+	}
+	// All three responses came from one computation: the filtered view was
+	// derived from (a copy of) the cached slice, not recomputed.
+	var st statsOut
+	doJSON(t, "GET", ts.URL+"/api/stats", nil, &st)
+	if st.Cache.Computations != 1 {
+		t.Fatalf("computations = %d, want 1: %+v", st.Cache.Computations, st.Cache)
 	}
 }
 
@@ -130,7 +179,9 @@ func TestV1BatchedMutationRoute(t *testing.T) {
 		if codes[i] != 200 {
 			t.Fatalf("request %d: status %d", i, codes[i])
 		}
-		if outs[i].Coalesced != 2 || outs[i].Applied != 2 || outs[i].Version != 1 {
+		// applied reflects the caller's own single op; version and the graph
+		// sizes reflect the combined batch.
+		if outs[i].Coalesced != 2 || outs[i].Applied != 1 || outs[i].Version != 1 {
 			t.Fatalf("request %d: result = %+v", i, outs[i].MutationResult)
 		}
 		if outs[i].Journaled { // no data dir configured

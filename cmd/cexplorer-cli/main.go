@@ -7,10 +7,14 @@
 //	index   -edges g.txt [-attrs a.txt] -out index.clt
 //	mutate  -server URL -dataset NAME -op addEdge -u 1 -v 2   (single op)
 //	mutate  -server URL -dataset NAME -file ops.json          (batch)
+//	journal inspect FILE.cxjrnl                               (verify + dump)
 //
 // mutate is the one networked subcommand: it posts streaming graph edits to
 // a running server's /api/v1/datasets/{name}/mutations route, since
 // mutations only make sense against live, versioned serving state.
+// journal inspect walks a mutation journal frame by frame — the same CRC
+// checks the server's replay and the replication feed perform — and prints
+// each record's version, op breakdown, and frame size, plus any torn tail.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"cexplorer/internal/api"
 	"cexplorer/internal/cltree"
 	"cexplorer/internal/graph"
+	"cexplorer/internal/snapshot"
 )
 
 func main() {
@@ -46,13 +51,15 @@ func main() {
 		runIndex(args)
 	case "mutate":
 		runMutate(args)
+	case "journal":
+		runJournal(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index|mutate} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index|mutate|journal} [flags]")
 	os.Exit(2)
 }
 
@@ -223,6 +230,113 @@ func runIndex(args []string) {
 	fatal(err)
 	fmt.Printf("CL-tree: %d nodes, depth %d, %d bytes on disk (%d in memory)\n",
 		tr.NumNodes(), tr.Depth(), n, tr.Bytes())
+}
+
+// runJournal dispatches the journal subcommands (inspect, for now).
+func runJournal(args []string) {
+	if len(args) < 1 || args[0] != "inspect" {
+		fmt.Fprintln(os.Stderr, "usage: cexplorer-cli journal inspect FILE")
+		os.Exit(2)
+	}
+	fatal(journalInspect(args[1:]))
+}
+
+// journalInspect verifies a mutation journal frame by frame and prints each
+// record's version (its replication seq), op breakdown, and frame size —
+// the CLI mirror of `cexplorer snapshot inspect` for the journal side. A
+// torn tail (crash mid-append) is reported, not treated as corruption; a
+// bad header or a checksummed-but-malformed record is a hard error.
+func journalInspect(args []string) error {
+	fs := flag.NewFlagSet("journal inspect", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print every op, not just per-record summaries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: cexplorer-cli journal inspect [-v] FILE")
+	}
+	path := fs.Arg(0)
+	if _, err := os.Stat(path); err != nil {
+		return err
+	}
+	cur := snapshot.OpenJournalCursor(path)
+	defer cur.Close()
+
+	var (
+		records  int
+		totalOps int
+		kinds    [4]int
+		first    uint64
+		last     uint64
+	)
+	for {
+		rec, frame, err := cur.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: %v", records+1, err)
+		}
+		if records == 0 {
+			first = rec.Version
+		}
+		last = rec.Version
+		records++
+		totalOps += len(rec.Ops)
+		counts := map[byte]int{}
+		for _, op := range rec.Ops {
+			if int(op.Kind) < len(kinds) {
+				kinds[op.Kind]++
+			}
+			counts[op.Kind]++
+		}
+		fmt.Printf("  record %-4d seq=%-6d ops=%-4d %-40s %6d bytes  crc OK\n",
+			records, rec.Version, len(rec.Ops), opSummary(counts), len(frame))
+		if *verbose {
+			for _, op := range rec.Ops {
+				switch op.Kind {
+				case snapshot.JournalAddVertex:
+					fmt.Printf("    addVertex  name=%q keywords=%v\n", op.Name, op.Keywords)
+				case snapshot.JournalAddEdge:
+					fmt.Printf("    addEdge    %d-%d\n", op.U, op.V)
+				case snapshot.JournalRemoveEdge:
+					fmt.Printf("    removeEdge %d-%d\n", op.U, op.V)
+				}
+			}
+		}
+	}
+	fmt.Printf("%s: journal v1, %d records (%d ops), %d bytes, checksums OK\n",
+		path, records, totalOps, cur.Offset())
+	if records > 0 {
+		fmt.Printf("  versions  %d..%d\n", first, last)
+		fmt.Printf("  ops       addEdge=%d removeEdge=%d addVertex=%d\n",
+			kinds[snapshot.JournalAddEdge], kinds[snapshot.JournalRemoveEdge], kinds[snapshot.JournalAddVertex])
+	}
+	if pending := cur.Pending(); pending > 0 {
+		fmt.Printf("  torn tail %d trailing bytes (partial append; replay and tailers skip it)\n", pending)
+	}
+	return nil
+}
+
+// opSummary renders a per-record op-kind histogram compactly.
+func opSummary(counts map[byte]int) string {
+	var parts []string
+	for _, k := range []struct {
+		kind byte
+		name string
+	}{
+		{snapshot.JournalAddEdge, "addEdge"},
+		{snapshot.JournalRemoveEdge, "removeEdge"},
+		{snapshot.JournalAddVertex, "addVertex"},
+	} {
+		if n := counts[k.kind]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k.name, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
 }
 
 // runMutate posts one mutation (or a -file batch) to a running server and

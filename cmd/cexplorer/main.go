@@ -4,8 +4,17 @@
 // Usage:
 //
 //	cexplorer [-addr :8080] [-data.dir ./data] [-edges graph.txt -attrs attrs.txt -name mygraph]
+//	cexplorer -role replica -primary http://primary:8080 [-addr :8081]
+//	cexplorer -role router -primary http://primary:8080 -replicas http://r1:8081,http://r2:8082
 //	cexplorer snapshot build -o out.cxsnap [-edges graph.txt [-attrs attrs.txt] | -json graph.json] [-name NAME]
 //	cexplorer snapshot inspect file.cxsnap
+//
+// -role selects the replication topology position (see internal/repl): a
+// primary (the default) accepts writes and ships its mutation journal; a
+// replica bootstraps every dataset from the primary's snapshots, tails the
+// journal, and serves reads (writes answer 403 read_only); a router fronts
+// the fleet, sending writes to the primary and fanning dataset reads across
+// the replicas by consistent hashing on the dataset name.
 //
 // Without -edges the server serves the built-in datasets: the paper's
 // Figure-5 example graph and a synthetic DBLP-like network (size via
@@ -23,9 +32,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,6 +46,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/graph"
 	"cexplorer/internal/par"
+	"cexplorer/internal/repl"
 	"cexplorer/internal/servecache"
 	"cexplorer/internal/server"
 	"cexplorer/internal/snapshot"
@@ -70,8 +82,19 @@ func runServer() {
 		shedInflight  = flag.Int("shed.inflight", 0, "max concurrent cache-miss computations per dataset before shedding with 429 (0 = no shedding)")
 		batchSize     = flag.Int("batch.size", api.DefaultBatchMaxOps, "mutation batcher flush threshold in ops (0 disables batching)")
 		batchWait     = flag.Duration("batch.wait", api.DefaultBatchMaxWait, "mutation batcher max wait before flushing a partial batch")
+		role          = flag.String("role", "primary", "replication role: primary (accept writes, ship journal), replica (tail a primary, serve reads), router (route across nodes)")
+		primaryURL    = flag.String("primary", "", "primary base URL (replica and router roles)")
+		replicaList   = flag.String("replicas", "", "comma-separated replica base URLs (router role)")
+		replicaWait   = flag.Duration("replica.wait", 2*time.Second, "read-your-writes catch-up budget before a replica answers 503 replica_lagging")
+		replRefresh   = flag.Duration("replica.refresh", 15*time.Second, "replica dataset-discovery period")
+		replBuffer    = flag.Int("repl.buffer", repl.DefaultFeedRecords, "journal-shipping buffer capacity in records per dataset (primary role)")
 	)
 	flag.Parse()
+
+	if *role == "router" {
+		runRouter(*addr, *primaryURL, *replicaList)
+		return
+	}
 
 	openMode, err := snapshot.ParseOpenMode(*openModeFlag)
 	if err != nil {
@@ -96,6 +119,34 @@ func runServer() {
 	if *batchSize > 0 {
 		srv.EnableBatcher(api.BatcherOptions{MaxOps: *batchSize, MaxWait: *batchWait})
 	}
+
+	if *role == "replica" {
+		// A replica owns no data: it bootstraps everything from the primary
+		// and applies the journal stream, so local sources and the catalog
+		// are ignored (replication would immediately replace them anyway).
+		if *primaryURL == "" {
+			log.Fatalf("-role replica requires -primary")
+		}
+		if *dataDir != "" || *edges != "" {
+			log.Printf("replica: ignoring -data.dir/-edges (datasets come from the primary)")
+		}
+		rep := repl.NewReplica(exp, *primaryURL, repl.ReplicaOptions{
+			Refresh: *replRefresh,
+			Logf:    log.Printf,
+		})
+		srv.EnableReplicationReplica(rep, *replicaWait)
+		go rep.Run(context.Background())
+		log.Printf("replica: tailing %s (refresh %s, read-your-writes wait %s)", *primaryURL, *replRefresh, *replicaWait)
+		if err := srv.ListenAndServe(*addr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *role != "primary" {
+		log.Fatalf("unknown -role %q (want primary, replica, or router)", *role)
+	}
+	srv.EnableReplicationPrimary(repl.FeedOptions{MaxRecords: *replBuffer})
 
 	if *dataDir != "" {
 		if err := srv.SetDataDir(*dataDir); err != nil {
@@ -162,6 +213,33 @@ func runServer() {
 	}
 
 	if err := srv.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runRouter serves the routing role: no engine, no datasets — just the
+// consistent-hash proxy over the primary and replicas.
+func runRouter(addr, primary, replicaList string) {
+	if primary == "" {
+		log.Fatalf("-role router requires -primary")
+	}
+	var replicas []string
+	for _, r := range strings.Split(replicaList, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	rt := repl.NewRouter(primary, replicas, repl.RouterOptions{Logf: log.Printf})
+	log.Printf("router: writes → %s, reads → %d replica(s) by dataset hash", primary, len(replicas))
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -8,6 +8,12 @@
 //	loadgen -addr http://localhost:8080 -dataset dblp -rate 500 -duration 10s
 //	loadgen -addr ... -vertices 64            # rotate 64 distinct query vertices
 //	loadgen -addr ... -writes 0.05            # 5% of arrivals are mutations
+//	loadgen -target http://r1:8080,http://r2:8080 ...   # round-robin several nodes
+//
+// With -target (comma-separated base URLs) arrivals rotate across the
+// listed nodes round-robin and the report gains a perTarget block with each
+// node's own latency percentiles — the tool for eyeballing a replication
+// fleet's balance (or a router vs its backends).
 //
 // A 429 response (the admission controller shedding) is tallied as "shed",
 // not as a failure — bounded-latency rejection under overload is the
@@ -38,6 +44,7 @@ var errShed = fmt.Errorf("shed (429)")
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "server base URL")
+		target   = flag.String("target", "", "comma-separated server base URLs to rotate across (overrides -addr)")
 		dataset  = flag.String("dataset", "figure5", "dataset to query")
 		algo     = flag.String("algo", "ACQ", "CS algorithm for searches")
 		k        = flag.Int("k", 2, "minimum degree k")
@@ -57,9 +64,21 @@ func main() {
 	if *keywords != "" {
 		kws = strings.Split(*keywords, ",")
 	}
+	targets := []string{strings.TrimRight(*addr, "/")}
+	if *target != "" {
+		targets = targets[:0]
+		for _, u := range strings.Split(*target, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				targets = append(targets, u)
+			}
+		}
+		if len(targets) == 0 {
+			log.Fatal("-target lists no usable URLs")
+		}
+	}
 	rng := rand.New(rand.NewSource(*seed))
-	searchURL := fmt.Sprintf("%s/api/v1/datasets/%s/search", *addr, *dataset)
-	mutateURL := fmt.Sprintf("%s/api/v1/datasets/%s/mutations", *addr, *dataset)
+	searchPath := fmt.Sprintf("/api/v1/datasets/%s/search", *dataset)
+	mutatePath := fmt.Sprintf("/api/v1/datasets/%s/mutations", *dataset)
 
 	// Pre-render one search body per query vertex; mutation bodies are
 	// generated per call (distinct random edges).
@@ -93,6 +112,11 @@ func main() {
 		return u, v
 	}
 
+	// Per-target latency samples, so a multi-node run reports each node's
+	// own percentiles next to the combined ones.
+	var latMu sync.Mutex
+	perTargetLat := make([][]time.Duration, len(targets))
+
 	rep := loadgen.Run(context.Background(), loadgen.Config{
 		Rate:     *rate,
 		Duration: *duration,
@@ -107,23 +131,28 @@ func main() {
 		},
 	}, func(ctx context.Context) error {
 		i := turn.Add(1)
-		url, body := searchURL, bodies[int(i)%len(bodies)]
+		node := int(i) % len(targets)
+		path, body := searchPath, bodies[int(i)%len(bodies)]
 		if *writes > 0 && isWrite() {
-			url = mutateURL
+			path = mutatePath
 			u, v := randomEdge()
 			body, _ = json.Marshal(map[string]any{"op": "addEdge", "u": u, "v": v})
 		}
-		req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, "POST", targets[node]+path, bytes.NewReader(body))
 		if err != nil {
 			return err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		t0 := time.Now()
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return err
 		}
 		defer resp.Body.Close()
 		io.Copy(io.Discard, resp.Body)
+		latMu.Lock()
+		perTargetLat[node] = append(perTargetLat[node], time.Since(t0))
+		latMu.Unlock()
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			return errShed
@@ -135,9 +164,19 @@ func main() {
 		return nil
 	})
 
+	out := struct {
+		loadgen.Report
+		PerTarget map[string]loadgen.Percentiles `json:"perTarget,omitempty"`
+	}{Report: rep}
+	if len(targets) > 1 {
+		out.PerTarget = make(map[string]loadgen.Percentiles, len(targets))
+		for i, u := range targets {
+			out.PerTarget[u] = loadgen.Summarize(perTargetLat[i])
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(out); err != nil {
 		log.Fatal(err)
 	}
 	if rep.Failed > 0 {

@@ -170,4 +170,26 @@
 // maintenance bit-compatible with from-scratch rebuilds: core numbers,
 // CL-tree communities, and ACQ answers are asserted identical after every
 // random mutation batch, with failing op streams shrunk to minimal repros.
+//
+// # Replication
+//
+// The serving stack scales reads horizontally with journal shipping
+// (internal/repl). A primary publishes every applied batch — direct,
+// coalesced, or replayed — into a per-dataset in-memory ring of CXJRNL
+// frames and serves them over long-polling HTTP; sequence numbers are
+// dataset versions, so one counter is both replication cursor and
+// read-your-writes token. Replicas bootstrap from the primary's snapshot
+// stream, tail the journal, and apply records through Explorer.Mutate —
+// the same incremental maintenance, minus batching and local journaling —
+// verifying each record lands on the exact version the primary published.
+// Epoch fencing (409 epoch_fenced) makes every discontinuity — primary
+// restart, buffer trim, re-upload, version gap — a forced re-bootstrap
+// rather than a silent divergence. A consistent-hashing router fronts the
+// fleet: writes to the primary, reads fanned across replicas with stable
+// per-dataset affinity (keeping result caches hot) and failover through
+// the ring to the primary. Read-your-writes is the X-CExplorer-Min-Version
+// header: a lagging replica waits, then answers 503 replica_lagging, which
+// the router converts into forwarding. Convergence — replica bit-equal to
+// primary at every version, across fences and restarts — is proven by the
+// dyntest oracles in internal/repl's test suite.
 package cexplorer

@@ -287,7 +287,13 @@ func (e *Explorer) Mutate(ctx context.Context, dataset string, ops []Mutation) (
 		}
 		e.mu.Lock()
 		e.datasets[dataset] = next
+		hook := e.mutateHook
 		e.mu.Unlock()
+		if hook != nil {
+			// Still under the lineage lock: hook calls for this dataset are
+			// serialized in exactly the order versions were published.
+			hook(dataset, res, ops)
+		}
 		mu.Unlock()
 		return res, nil
 	}

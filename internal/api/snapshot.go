@@ -54,6 +54,17 @@ func (d *Dataset) makeSnapshot() *snapshot.Snapshot {
 // snapshot without an index simply reloads with that index lazy, exactly
 // like an unindexed upload.
 func (d *Dataset) WriteResidentSnapshotFile(path string) (int64, error) {
+	return snapshot.WriteFile(path, d.residentSnapshot())
+}
+
+// WriteResidentSnapshot streams the resident-index snapshot to w. This is
+// the replica-bootstrap encoding: it runs on the primary's request path, so
+// like compaction it must never force an index build.
+func (d *Dataset) WriteResidentSnapshot(w io.Writer) (int64, error) {
+	return snapshot.Write(w, d.residentSnapshot())
+}
+
+func (d *Dataset) residentSnapshot() *snapshot.Snapshot {
 	s := &snapshot.Snapshot{Name: d.Name, Version: d.Version, Graph: d.Graph}
 	if d.coreReady.Load() {
 		s.Core = d.coreNum
@@ -64,7 +75,7 @@ func (d *Dataset) WriteResidentSnapshotFile(path string) (int64, error) {
 	if d.trussReady.Load() {
 		s.Truss = d.truss
 	}
-	return snapshot.WriteFile(path, s)
+	return s
 }
 
 // OpenSnapshot materializes a dataset from a snapshot stream. Every index

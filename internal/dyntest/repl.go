@@ -1,0 +1,59 @@
+package dyntest
+
+// Replication oracle: after a replica has caught up to the primary's
+// version, the two datasets must be indistinguishable — same graph bit for
+// bit, and the replica's incrementally maintained indexes equivalent to a
+// rebuild (CheckEquivalence), which together with graph equality makes its
+// answers equal to the primary's.
+
+import (
+	"fmt"
+	"slices"
+
+	"cexplorer/internal/api"
+)
+
+// CheckConverged asserts a replica dataset is an exact copy of the primary
+// dataset at the same version: identical version number, identical graph
+// (vertices, edges, names, keywords), and — via CheckEquivalence — indexes
+// that answer exactly like a from-scratch rebuild of that graph. Call it
+// only after waiting for the replica to reach the primary's version.
+func CheckConverged(primary, replica *api.Dataset) error {
+	if primary.Version != replica.Version {
+		return fmt.Errorf("version skew: primary at %d, replica at %d", primary.Version, replica.Version)
+	}
+	pg, rg := primary.Graph, replica.Graph
+	if pg.N() != rg.N() {
+		return fmt.Errorf("vertex count: primary %d, replica %d", pg.N(), rg.N())
+	}
+	if pg.M() != rg.M() {
+		return fmt.Errorf("edge count: primary %d, replica %d", pg.M(), rg.M())
+	}
+	for v := int32(0); int(v) < pg.N(); v++ {
+		if pn, rn := pg.Name(v), rg.Name(v); pn != rn {
+			return fmt.Errorf("name of v=%d: primary %q, replica %q", v, pn, rn)
+		}
+		pw := slices.Clone(pg.KeywordStrings(v))
+		rw := slices.Clone(rg.KeywordStrings(v))
+		slices.Sort(pw)
+		slices.Sort(rw)
+		if !slices.Equal(pw, rw) {
+			return fmt.Errorf("keywords of v=%d: primary %v, replica %v", v, pw, rw)
+		}
+		pa := slices.Clone(pg.Neighbors(v))
+		ra := slices.Clone(rg.Neighbors(v))
+		slices.Sort(pa)
+		slices.Sort(ra)
+		if !slices.Equal(pa, ra) {
+			return fmt.Errorf("adjacency of v=%d: primary %v, replica %v", v, pa, ra)
+		}
+	}
+	// The graphs match; now the replica's maintained indexes must answer
+	// like a rebuild of that graph — the same bar every primary batch
+	// passes in Run. Equal graphs + rebuild-equivalent indexes on both
+	// sides ⇒ bit-equal query results for this version.
+	if err := CheckEquivalence(replica); err != nil {
+		return fmt.Errorf("replica indexes: %w", err)
+	}
+	return nil
+}

@@ -156,14 +156,36 @@ func Run(ctx context.Context, cfg Config, fn RequestFunc) Report {
 	if elapsed > 0 {
 		rep.ThroughputRPS = float64(rep.OK) / elapsed.Seconds()
 	}
-	slices.Sort(latencies)
-	rep.P50MS = quantileMS(latencies, 0.50)
-	rep.P90MS = quantileMS(latencies, 0.90)
-	rep.P99MS = quantileMS(latencies, 0.99)
-	if n := len(latencies); n > 0 {
-		rep.MaxMS = float64(latencies[n-1].Microseconds()) / 1000
-	}
+	p := Summarize(latencies)
+	rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS = p.P50MS, p.P90MS, p.P99MS, p.MaxMS
 	return rep
+}
+
+// Percentiles is a latency summary over one set of completed requests —
+// the per-run block inside Report, and the per-target block a multi-target
+// client (cmd/loadgen -target a,b,c) reports for each upstream.
+type Percentiles struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50Ms"`
+	P90MS float64 `json:"p90Ms"`
+	P99MS float64 `json:"p99Ms"`
+	MaxMS float64 `json:"maxMs"`
+}
+
+// Summarize computes latency percentiles (nearest-rank). The input is
+// sorted in place.
+func Summarize(latencies []time.Duration) Percentiles {
+	slices.Sort(latencies)
+	p := Percentiles{
+		Count: int64(len(latencies)),
+		P50MS: quantileMS(latencies, 0.50),
+		P90MS: quantileMS(latencies, 0.90),
+		P99MS: quantileMS(latencies, 0.99),
+	}
+	if n := len(latencies); n > 0 {
+		p.MaxMS = float64(latencies[n-1].Microseconds()) / 1000
+	}
+	return p
 }
 
 // quantileMS reads the q-quantile (nearest-rank) from sorted latencies.

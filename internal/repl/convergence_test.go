@@ -1,0 +1,431 @@
+package repl_test
+
+// End-to-end replication tests: a real primary server, a real replica server
+// tailing it over HTTP, and the dyntest oracles asserting the replica is
+// bit-for-bit the primary — graph, core numbers, CL-tree covers, truss, and
+// ACQ answers — after every batch, across fences, and across restarts.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/dyntest"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/graph"
+	"cexplorer/internal/repl"
+	"cexplorer/internal/server"
+)
+
+// primaryNode is a primary server under test.
+type primaryNode struct {
+	exp  *api.Explorer
+	srv  *server.Server
+	ts   *httptest.Server
+	feed *repl.Feed
+}
+
+func startPrimary(t *testing.T, opt repl.FeedOptions) *primaryNode {
+	t.Helper()
+	exp := api.NewExplorer()
+	srv := server.New(exp, t.Logf)
+	feed := srv.EnableReplicationPrimary(opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &primaryNode{exp: exp, srv: srv, ts: ts, feed: feed}
+}
+
+// replicaNode is a replica server + tailer under test.
+type replicaNode struct {
+	exp    *api.Explorer
+	srv    *server.Server
+	ts     *httptest.Server
+	rep    *repl.Replica
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// fastTail are replica options tuned for tests: discover and retry quickly.
+func fastTail() repl.ReplicaOptions {
+	return repl.ReplicaOptions{
+		PollWait:   300 * time.Millisecond,
+		Refresh:    20 * time.Millisecond,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond,
+	}
+}
+
+func startReplica(t *testing.T, primaryURL string, opt repl.ReplicaOptions) *replicaNode {
+	t.Helper()
+	exp := api.NewExplorer()
+	opt.Logf = t.Logf
+	rep := repl.NewReplica(exp, primaryURL, opt)
+	srv := server.New(exp, t.Logf)
+	srv.EnableReplicationReplica(rep, 5*time.Second)
+	ts := httptest.NewServer(srv.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &replicaNode{exp: exp, srv: srv, ts: ts, rep: rep, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		rep.Run(ctx)
+		close(n.done)
+	}()
+	t.Cleanup(func() {
+		n.stop()
+		ts.Close()
+	})
+	return n
+}
+
+func (n *replicaNode) stop() {
+	n.cancel()
+	select {
+	case <-n.done:
+	case <-time.After(10 * time.Second):
+	}
+}
+
+// postMutations applies a batch through the primary's HTTP surface and
+// returns the version it produced.
+func postMutations(t *testing.T, baseURL, name string, ops []api.Mutation) uint64 {
+	t.Helper()
+	payload, _ := json.Marshal(map[string]any{"mutations": ops})
+	resp, err := http.Post(baseURL+"/api/v1/datasets/"+name+"/mutations", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutations: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Version
+}
+
+// waitApplied blocks until the replica has applied at least version v.
+func waitApplied(t *testing.T, rep *repl.Replica, name string, v uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rep.WaitVersion(ctx, name, v); err != nil {
+		st, ok := rep.Status(name)
+		t.Fatalf("replica never reached version %d of %q: %v (status %+v ok=%v)", v, name, err, st, ok)
+	}
+}
+
+// TestReplicaConvergence is the core acceptance test: a replica that tails
+// a mutating primary holds, at every version it reaches, a dataset
+// indistinguishable from the primary's — per batch, not just at the end.
+func TestReplicaConvergence(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{})
+	base := gen.GNMAttributed(60, 150, 6, 11)
+	if _, err := p.exp.AddGraph("dyn", base); err != nil {
+		t.Fatal(err)
+	}
+	ops := dyntest.GenOps(base, 120, 7)
+	r := startReplica(t, p.ts.URL, fastTail())
+
+	const batch = 6
+	for off := 0; off < len(ops); off += batch {
+		end := min(off+batch, len(ops))
+		v := postMutations(t, p.ts.URL, "dyn", ops[off:end])
+		waitApplied(t, r.rep, "dyn", v)
+		pds, _ := p.exp.Dataset("dyn")
+		rds, ok := r.exp.Dataset("dyn")
+		if !ok {
+			t.Fatal("replica lost the dataset")
+		}
+		if err := dyntest.CheckConverged(pds, rds); err != nil {
+			t.Fatalf("after batch at op %d (version %d): %v", off, v, err)
+		}
+	}
+	st := r.rep.Stats()
+	if st.AppliedRecords == 0 || st.Bootstraps == 0 {
+		t.Fatalf("replica stats %+v", st)
+	}
+}
+
+// TestReplicaFencesOnReupload: replacing a dataset wholesale (re-upload)
+// resets the feed; the tailing replica must fence, re-bootstrap the new
+// lineage, and converge on it — never splice new-lineage records onto the
+// old graph.
+func TestReplicaFencesOnReupload(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{})
+	if _, err := p.exp.AddGraph("dyn", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	r := startReplica(t, p.ts.URL, fastTail())
+	v := postMutations(t, p.ts.URL, "dyn", []api.Mutation{{Op: api.OpAddEdge, U: 0, V: 5}})
+	waitApplied(t, r.rep, "dyn", v)
+
+	// Re-upload a different graph under the same name via the HTTP surface,
+	// so the server's feed.Reset fencing path runs.
+	jg := graph.JSONGraph{
+		Vertices: []graph.JSONVertex{
+			{ID: 0, Name: "x", Keywords: []string{"a"}},
+			{ID: 1, Name: "y", Keywords: []string{"a", "b"}},
+			{ID: 2, Name: "z", Keywords: []string{"b"}},
+		},
+		Edges: [][2]int32{{0, 1}, {1, 2}},
+	}
+	raw, _ := json.Marshal(jg)
+	payload, _ := json.Marshal(map[string]any{"name": "dyn", "graph": json.RawMessage(raw)})
+	resp, err := http.Post(p.ts.URL+"/api/upload", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-upload: status %d", resp.StatusCode)
+	}
+
+	// Mutate the new lineage; the replica must fence, re-bootstrap, and
+	// converge on the replacement graph.
+	v = postMutations(t, p.ts.URL, "dyn", []api.Mutation{{Op: api.OpAddEdge, U: 0, V: 2}})
+	waitForConvergence(t, p.exp, r.exp, "dyn", v)
+	rds, _ := r.exp.Dataset("dyn")
+	if rds.Graph.N() != 3 {
+		t.Fatalf("replica still serving the old lineage: %d vertices", rds.Graph.N())
+	}
+	if st := r.rep.Stats(); st.Bootstraps < 2 {
+		t.Fatalf("re-upload did not force a re-bootstrap: %+v", st)
+	}
+}
+
+// waitForConvergence polls until the replica holds the primary's version v
+// and CheckConverged passes — for flows (fence, restart) where WaitVersion
+// alone can race a re-bootstrap that momentarily rewinds the state.
+func waitForConvergence(t *testing.T, pexp, rexp *api.Explorer, name string, v uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last error
+	for time.Now().Before(deadline) {
+		pds, ok1 := pexp.Dataset(name)
+		rds, ok2 := rexp.Dataset(name)
+		if ok1 && ok2 && pds.Version == v && rds.Version == v {
+			if last = dyntest.CheckConverged(pds, rds); last == nil {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("no convergence at version %d: %v", v, last)
+}
+
+// TestReplicaFencesOnTrimmedBuffer: a feed whose ring is too small to cover
+// a replica's outage forces a fence + re-bootstrap instead of a gapped
+// stream. The replica is stopped (simulated crash), the primary absorbs
+// more batches than the ring holds, and a fresh tailer must recover through
+// the snapshot and still converge.
+func TestReplicaFencesOnTrimmedBuffer(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{MaxRecords: 2})
+	base := gen.GNMAttributed(30, 60, 4, 3)
+	if _, err := p.exp.AddGraph("dyn", base); err != nil {
+		t.Fatal(err)
+	}
+	ops := dyntest.GenOps(base, 60, 5)
+	r := startReplica(t, p.ts.URL, fastTail())
+	v := postMutations(t, p.ts.URL, "dyn", ops[:5])
+	waitApplied(t, r.rep, "dyn", v)
+	r.stop() // replica goes dark holding version v
+
+	// The primary moves on far beyond the 2-record ring.
+	for off := 5; off < len(ops); off += 5 {
+		v = postMutations(t, p.ts.URL, "dyn", ops[off:off+5])
+	}
+
+	// A restarted tailer over the same (stale) explorer must re-bootstrap —
+	// its cursor is below the ring's base — and converge.
+	r2 := startReplica(t, p.ts.URL, fastTail())
+	// Reuse of explorers across replicaNodes is deliberate here: r2 has a
+	// fresh empty explorer, so this exercises the cold-restart path too.
+	waitForConvergence(t, p.exp, r2.exp, "dyn", v)
+	if p.feed.Stats().Fences == 0 && r2.rep.Stats().Bootstraps == 0 {
+		t.Fatalf("no fence or bootstrap recorded: feed %+v replica %+v", p.feed.Stats(), r2.rep.Stats())
+	}
+}
+
+// TestReplicaRestartResumes: stopping and restarting the tailer over the
+// same explorer (warm restart) resumes from the applied position and keeps
+// converging.
+func TestReplicaRestartResumes(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{})
+	base := gen.GNMAttributed(40, 90, 4, 9)
+	if _, err := p.exp.AddGraph("dyn", base); err != nil {
+		t.Fatal(err)
+	}
+	ops := dyntest.GenOps(base, 40, 13)
+	r := startReplica(t, p.ts.URL, fastTail())
+	v := postMutations(t, p.ts.URL, "dyn", ops[:10])
+	waitApplied(t, r.rep, "dyn", v)
+	r.stop()
+
+	v = postMutations(t, p.ts.URL, "dyn", ops[10:20])
+
+	// New tailer over the SAME explorer: bootstrap re-fetches the snapshot
+	// (simplest correct restart), then tails the remainder.
+	opt := fastTail()
+	opt.Logf = t.Logf
+	rep2 := repl.NewReplica(r.exp, p.ts.URL, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rep2.Run(ctx)
+	waitForConvergence(t, p.exp, r.exp, "dyn", v)
+
+	v = postMutations(t, p.ts.URL, "dyn", ops[20:])
+	waitForConvergence(t, p.exp, r.exp, "dyn", v)
+}
+
+// TestReplicaReadYourWrites: over the replica's HTTP surface, a read
+// carrying X-CExplorer-Min-Version never observes an older version — it
+// waits for the tailer — and an unreachable version answers a typed 503.
+// Writes against the replica answer a typed 403.
+func TestReplicaReadYourWrites(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{})
+	if _, err := p.exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	r := startReplica(t, p.ts.URL, fastTail())
+	waitApplied(t, r.rep, "fig5", 0) // wait for the bootstrap claim
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < 10; i++ {
+		v := postMutations(t, p.ts.URL, "fig5", []api.Mutation{{Op: api.OpAddVertex, Name: fmt.Sprintf("n%d", i)}})
+		req, _ := http.NewRequest("GET", r.ts.URL+"/api/v1/datasets/fig5", nil)
+		req.Header.Set(repl.HeaderMinVersion, fmt.Sprint(v))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var info struct {
+			Version uint64 `json:"version"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("write %d: replica read status %d", i, resp.StatusCode)
+		}
+		if info.Version < v {
+			t.Fatalf("read-your-writes violated: wrote version %d, read %d", v, info.Version)
+		}
+	}
+
+	// A version the primary never produced: the gate must give up with the
+	// typed 503 rather than hang or serve stale.
+	req, _ := http.NewRequest("GET", r.ts.URL+"/api/v1/datasets/fig5", nil)
+	req.Header.Set(repl.HeaderMinVersion, "999999")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable min-version: status %d body %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &env); env.Code != repl.CodeReplicaLagging {
+		t.Fatalf("unreachable min-version: code %q", env.Code)
+	}
+
+	// Replicas reject writes with the typed 403.
+	resp, err = http.Post(r.ts.URL+"/api/v1/datasets/fig5/mutations", "application/json",
+		bytes.NewReader([]byte(`{"op":"addEdge","u":0,"v":3}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("replica write: status %d", resp.StatusCode)
+	}
+	if json.Unmarshal(body, &env); env.Code != repl.CodeReadOnly {
+		t.Fatalf("replica write: code %q body %s", env.Code, body)
+	}
+}
+
+// TestReplicationStatsSurface: both roles expose their replication blocks
+// in /api/stats and in the dataset resource.
+func TestReplicationStatsSurface(t *testing.T) {
+	p := startPrimary(t, repl.FeedOptions{})
+	if _, err := p.exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	r := startReplica(t, p.ts.URL, fastTail())
+	v := postMutations(t, p.ts.URL, "fig5", []api.Mutation{{Op: api.OpAddEdge, U: 0, V: 5}})
+	waitApplied(t, r.rep, "fig5", v)
+	// A second batch after the bootstrap guarantees at least one record
+	// traveled the journal stream (the first may ride in the snapshot).
+	v = postMutations(t, p.ts.URL, "fig5", []api.Mutation{{Op: api.OpRemoveEdge, U: 0, V: 5}})
+	waitApplied(t, r.rep, "fig5", v)
+
+	var stats struct {
+		Replication *struct {
+			Role string `json:"role"`
+			Feed *struct {
+				Published int64 `json:"published"`
+			} `json:"feed"`
+			Replica *struct {
+				AppliedRecords int64 `json:"appliedRecords"`
+			} `json:"replica"`
+		} `json:"replication"`
+	}
+	getJSON := func(url string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		stats.Replication = nil
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getJSON(p.ts.URL + "/api/stats")
+	if stats.Replication == nil || stats.Replication.Role != "primary" ||
+		stats.Replication.Feed == nil || stats.Replication.Feed.Published == 0 {
+		t.Fatalf("primary stats replication block: %+v", stats.Replication)
+	}
+	getJSON(r.ts.URL + "/api/stats")
+	if stats.Replication == nil || stats.Replication.Role != "replica" ||
+		stats.Replication.Replica == nil || stats.Replication.Replica.AppliedRecords == 0 {
+		t.Fatalf("replica stats replication block: %+v", stats.Replication)
+	}
+
+	var info struct {
+		Replication *struct {
+			Role       string `json:"role"`
+			AppliedSeq uint64 `json:"appliedSeq"`
+			Phase      string `json:"phase"`
+		} `json:"replication"`
+	}
+	resp, err := http.Get(r.ts.URL + "/api/v1/datasets/fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Replication == nil || info.Replication.Role != "replica" || info.Replication.AppliedSeq != v {
+		t.Fatalf("replica dataset replication block: %+v", info.Replication)
+	}
+}

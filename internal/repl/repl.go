@@ -1,0 +1,125 @@
+// Package repl is the replication subsystem: it promotes the per-dataset
+// mutation journal (the durable CXJRNL log of internal/snapshot) into a
+// replication stream so read replicas can serve the full query API.
+//
+// Three roles cooperate:
+//
+//   - Feed runs on the primary. An Explorer mutate hook publishes every
+//     applied batch — as a pre-encoded journal frame keyed by the Version
+//     it produced — into a bounded per-dataset ring. Ship answers the
+//     journal-shipping endpoint: return buffered frames from a sequence
+//     number, or long-poll until one arrives. Every way a cursor can be
+//     stranded (buffer trimmed past fromSeq, re-upload starting a fresh
+//     lineage, primary restart) funnels into one signal: the fence. A
+//     fenced replica throws away its tail position and re-bootstraps from
+//     a snapshot; it never applies a record it cannot prove contiguous.
+//
+//   - Replica tails a primary. Per dataset it bootstraps from the
+//     primary's snapshot endpoint, then tails the journal and applies each
+//     record through Explorer.Mutate — the same incremental-maintenance
+//     path the primary used, bypassing the write batcher and the local
+//     journal (the primary's journal is the source of truth). It tracks
+//     (snapshotEpoch, appliedSeq, Version) per dataset, retries with
+//     exponential backoff when the primary is unreachable, and keeps
+//     serving its last-applied version meanwhile (graceful degradation).
+//
+//   - Router fronts the fleet. Mutations and uploads go to the primary;
+//     dataset reads fan out across replicas by consistent hashing on the
+//     dataset name (stable per-dataset affinity keeps exploration sessions
+//     and result caches hot); anything that fails over — transport error,
+//     5xx, or a replica answering 503 replica_lagging — falls back along
+//     the hash ring and finally to the primary.
+//
+// Read-your-writes rides the existing Version counter: a mutation response
+// carries the version it produced; a client echoes it back as the
+// X-CExplorer-Min-Version header; a replica serving that read waits (up to
+// a bound) until its applied version catches up, else answers 503
+// replica_lagging and the router forwards to the primary. Sequence numbers
+// ARE versions: journal record N is the batch that produced Version N, so
+// "replica applied seq N" and "replica serves Version N" are one fact.
+package repl
+
+import (
+	"cexplorer/internal/api"
+	"cexplorer/internal/snapshot"
+)
+
+// Protocol headers shared by primary, replica, and router.
+const (
+	// HeaderEpoch carries the snapshot epoch of a shipping response or
+	// bootstrap snapshot. Epochs are unique per (process boot, lineage):
+	// an epoch mismatch always means "your position is meaningless,
+	// re-bootstrap".
+	HeaderEpoch = "X-CExplorer-Epoch"
+	// HeaderHeadSeq is the primary's newest applied sequence (== Version)
+	// for the dataset, or a replica's last observed primary head.
+	HeaderHeadSeq = "X-CExplorer-Head-Seq"
+	// HeaderBaseSeq is the oldest sequence still shippable from the feed
+	// buffer plus one is the first available record; fromSeq at or below
+	// the base is fenced.
+	HeaderBaseSeq = "X-CExplorer-Base-Seq"
+	// HeaderVersion is the dataset Version embedded in a bootstrap
+	// snapshot response.
+	HeaderVersion = "X-CExplorer-Version"
+	// HeaderMinVersion is the read-your-writes request header: the client
+	// echoes the Version a mutation response reported, and the serving
+	// node guarantees the read observes that version or newer (or answers
+	// 503 replica_lagging so the router can forward to the primary).
+	HeaderMinVersion = "X-CExplorer-Min-Version"
+	// HeaderServedBy is stamped by the router with the upstream node that
+	// actually answered.
+	HeaderServedBy = "X-CExplorer-Served-By"
+)
+
+// Error envelope codes introduced by replication (the envelope shape is the
+// server's usual {"error","code"}).
+const (
+	// CodeEpochFenced (HTTP 409): the requested (epoch, fromSeq) cursor
+	// cannot be served contiguously; re-bootstrap.
+	CodeEpochFenced = "epoch_fenced"
+	// CodeReplicaLagging (HTTP 503): the replica could not reach the
+	// requested min-version within its wait budget.
+	CodeReplicaLagging = "replica_lagging"
+	// CodeReadOnly (HTTP 403): a mutation or upload reached a replica.
+	CodeReadOnly = "read_only"
+)
+
+// ContentTypeJournal is the media type of a journal-shipping response body:
+// a concatenation of CXJRNL frames (no file header).
+const ContentTypeJournal = "application/x-cexplorer-journal"
+
+// ToJournalOps maps API mutations to journal ops (the wire/disk encoding).
+func ToJournalOps(ops []api.Mutation) []snapshot.JournalOp {
+	out := make([]snapshot.JournalOp, len(ops))
+	for i, op := range ops {
+		j := snapshot.JournalOp{U: op.U, V: op.V, Name: op.Name, Keywords: op.Keywords}
+		switch op.Op {
+		case api.OpAddEdge:
+			j.Kind = snapshot.JournalAddEdge
+		case api.OpRemoveEdge:
+			j.Kind = snapshot.JournalRemoveEdge
+		case api.OpAddVertex:
+			j.Kind = snapshot.JournalAddVertex
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// FromJournalOps maps journal ops back to API mutations.
+func FromJournalOps(ops []snapshot.JournalOp) []api.Mutation {
+	out := make([]api.Mutation, len(ops))
+	for i, j := range ops {
+		op := api.Mutation{U: j.U, V: j.V, Name: j.Name, Keywords: j.Keywords}
+		switch j.Kind {
+		case snapshot.JournalAddEdge:
+			op.Op = api.OpAddEdge
+		case snapshot.JournalRemoveEdge:
+			op.Op = api.OpRemoveEdge
+		case snapshot.JournalAddVertex:
+			op.Op = api.OpAddVertex
+		}
+		out[i] = op
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions tune the router. Zero values take the noted defaults.
+type RouterOptions struct {
+	Client       *http.Client // upstream transport (default: 30s-timeout client)
+	VNodes       int          // virtual nodes per replica on the hash ring (default 64)
+	MaxBodyBytes int64        // largest request body buffered for failover replay (default 32 MiB)
+	Logf         func(format string, args ...any)
+}
+
+// Router is the version-aware front door of a replication fleet: a thin
+// HTTP layer that sends writes to the primary and fans dataset reads across
+// replicas by consistent hashing on the dataset name. Hashing gives every
+// dataset a stable home replica — exploration sessions and the serve-time
+// result cache stay hot — and the ring provides the failover order when
+// that home is down or lagging. Read-your-writes needs no router state:
+// the X-CExplorer-Min-Version header passes through, a lagging replica
+// answers 503 replica_lagging, and the router walks the ring to the
+// primary, which is never behind.
+type Router struct {
+	primary  string
+	replicas []string
+	ring     []ringPoint
+	opt      RouterOptions
+
+	reads       atomic.Int64
+	writes      atomic.Int64
+	passthrough atomic.Int64
+	failovers   atomic.Int64
+	errors      atomic.Int64
+	perNode     []nodeCounters // index-aligned with nodes(): replicas then primary
+}
+
+type nodeCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+type ringPoint struct {
+	hash uint32
+	node int // index into replicas
+}
+
+// NewRouter builds a router over one primary and zero or more replicas
+// (base URLs). With no replicas every request goes to the primary — a
+// degenerate but valid topology for bring-up.
+func NewRouter(primary string, replicas []string, opt RouterOptions) *Router {
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opt.VNodes <= 0 {
+		opt.VNodes = 64
+	}
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 32 << 20
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		primary:  strings.TrimRight(primary, "/"),
+		replicas: make([]string, 0, len(replicas)),
+		opt:      opt,
+	}
+	for _, rep := range replicas {
+		if rep = strings.TrimRight(rep, "/"); rep != "" {
+			rt.replicas = append(rt.replicas, rep)
+		}
+	}
+	for i, rep := range rt.replicas {
+		for v := 0; v < opt.VNodes; v++ {
+			h := fnv.New32a()
+			fmt.Fprintf(h, "%s#%d", rep, v)
+			rt.ring = append(rt.ring, ringPoint{hash: h.Sum32(), node: i})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool {
+		if rt.ring[i].hash != rt.ring[j].hash {
+			return rt.ring[i].hash < rt.ring[j].hash
+		}
+		return rt.ring[i].node < rt.ring[j].node
+	})
+	rt.perNode = make([]nodeCounters, len(rt.replicas)+1)
+	return rt
+}
+
+// replicaOrder returns replica indexes in ring order starting at the
+// dataset's home position: the failover preference list.
+func (rt *Router) replicaOrder(dataset string) []int {
+	if len(rt.replicas) == 0 {
+		return nil
+	}
+	h := fnv.New32a()
+	io.WriteString(h, dataset)
+	key := h.Sum32()
+	start := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= key })
+	order := make([]int, 0, len(rt.replicas))
+	seen := make([]bool, len(rt.replicas))
+	for i := 0; i < len(rt.ring) && len(order) < len(rt.replicas); i++ {
+		p := rt.ring[(start+i)%len(rt.ring)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			order = append(order, p.node)
+		}
+	}
+	return order
+}
+
+// DatasetFromPath extracts the {name} segment of /api/v1/datasets/{name}[/...],
+// or "" when the path is not a dataset resource.
+func DatasetFromPath(p string) string {
+	const prefix = "/api/v1/datasets/"
+	rest, ok := strings.CutPrefix(p, prefix)
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	name, err := url.PathUnescape(rest)
+	if err != nil {
+		return ""
+	}
+	return name
+}
+
+// route classifies a request into an ordered upstream preference list.
+func (rt *Router) route(r *http.Request) (targets []string, class string) {
+	p := r.URL.Path
+	dataset := DatasetFromPath(p)
+	isMutation := r.Method == http.MethodPost && dataset != "" && strings.HasSuffix(p, "/mutations")
+	isUpload := r.Method == http.MethodPost && (p == "/api/upload" || p == "/api/upload/attributed")
+	isShipping := dataset != "" && (strings.HasSuffix(p, "/journal") || strings.HasSuffix(p, "/snapshot"))
+	switch {
+	case isMutation, isUpload:
+		return []string{rt.primary}, "write"
+	case isShipping:
+		// Replication-internal traffic: replicas must tail the primary's
+		// feed, never each other's.
+		return []string{rt.primary}, "passthrough"
+	case dataset != "" && len(rt.replicas) > 0:
+		order := rt.replicaOrder(dataset)
+		targets = make([]string, 0, len(order)+1)
+		for _, i := range order {
+			targets = append(targets, rt.replicas[i])
+		}
+		return append(targets, rt.primary), "read"
+	default:
+		// Dataset list, legacy flat endpoints (dataset named in the body),
+		// stats of the primary, UI assets: the primary serves them all.
+		return []string{rt.primary}, "passthrough"
+	}
+}
+
+// Handler returns the router's HTTP surface: /api/stats reports routing
+// counters; everything else proxies along the routed preference list.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/stats", rt.handleStats)
+	mux.HandleFunc("/", rt.proxy)
+	return mux
+}
+
+// shouldFailover reports whether an upstream response means "try the next
+// node" rather than "relay to the client". 503 covers replica_lagging and
+// genuinely overloaded nodes; 502/504 cover dead proxies in between.
+func shouldFailover(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	targets, class := rt.route(r)
+	switch class {
+	case "read":
+		rt.reads.Add(1)
+	case "write":
+		rt.writes.Add(1)
+	default:
+		rt.passthrough.Add(1)
+	}
+	// Buffer the body so a failed upstream attempt can be replayed.
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, rt.opt.MaxBodyBytes+1))
+		r.Body.Close()
+		if err != nil {
+			writeRouterError(w, http.StatusBadRequest, "read request body: "+err.Error(), "invalid_request")
+			return
+		}
+		if int64(len(body)) > rt.opt.MaxBodyBytes {
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "request body exceeds router buffer", "invalid_request")
+			return
+		}
+	}
+	for i, target := range targets {
+		resp, err := rt.forward(r, target, body)
+		node := rt.nodeIndex(target)
+		rt.perNode[node].requests.Add(1)
+		if err != nil {
+			rt.perNode[node].errors.Add(1)
+			rt.errors.Add(1)
+			if i < len(targets)-1 {
+				rt.failovers.Add(1)
+				rt.opt.Logf("router: %s %s: %s unreachable (%v); failing over", r.Method, r.URL.Path, target, err)
+				continue
+			}
+			writeRouterError(w, http.StatusBadGateway, "no upstream reachable", "bad_gateway")
+			return
+		}
+		if shouldFailover(resp.StatusCode) && i < len(targets)-1 {
+			drain(resp)
+			rt.failovers.Add(1)
+			continue
+		}
+		relay(w, resp, target)
+		return
+	}
+	writeRouterError(w, http.StatusBadGateway, "no upstream configured", "bad_gateway")
+}
+
+func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Response, error) {
+	u := target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade", "Host":
+			continue
+		}
+		req.Header[k] = vs
+	}
+	return rt.opt.Client.Do(req)
+}
+
+func relay(w http.ResponseWriter, resp *http.Response, target string) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	h.Set(HeaderServedBy, target)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeRouterError(w http.ResponseWriter, status int, msg, code string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
+}
+
+// nodeIndex maps a target URL to its per-node counter slot (replicas in
+// order, then the primary last).
+func (rt *Router) nodeIndex(target string) int {
+	for i, rep := range rt.replicas {
+		if rep == target {
+			return i
+		}
+	}
+	return len(rt.replicas)
+}
+
+// RouterStats is the router's /api/stats payload.
+type RouterStats struct {
+	Role      string               `json:"role"`
+	Primary   string               `json:"primary"`
+	Replicas  []string             `json:"replicas"`
+	Reads     int64                `json:"reads"`
+	Writes    int64                `json:"writes"`
+	Proxied   int64                `json:"proxied"`
+	Failovers int64                `json:"failovers"`
+	Errors    int64                `json:"errors"`
+	PerNode   map[string]NodeStats `json:"perNode"`
+}
+
+// NodeStats is one upstream's share of router traffic.
+type NodeStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// Stats snapshots routing counters.
+func (rt *Router) Stats() RouterStats {
+	s := RouterStats{
+		Role:      "router",
+		Primary:   rt.primary,
+		Replicas:  rt.replicas,
+		Reads:     rt.reads.Load(),
+		Writes:    rt.writes.Load(),
+		Proxied:   rt.passthrough.Load(),
+		Failovers: rt.failovers.Load(),
+		Errors:    rt.errors.Load(),
+		PerNode:   map[string]NodeStats{},
+	}
+	for i := range rt.perNode {
+		name := rt.primary
+		if i < len(rt.replicas) {
+			name = rt.replicas[i]
+		}
+		s.PerNode[name] = NodeStats{
+			Requests: rt.perNode[i].requests.Load(),
+			Errors:   rt.perNode[i].errors.Load(),
+		}
+	}
+	return s
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.Stats())
+}

@@ -1,0 +1,257 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDatasetFromPath(t *testing.T) {
+	cases := []struct {
+		path, want string
+	}{
+		{"/api/v1/datasets/dblp", "dblp"},
+		{"/api/v1/datasets/dblp/search", "dblp"},
+		{"/api/v1/datasets/dblp/vertices/42", "dblp"},
+		{"/api/v1/datasets/my%20set/journal", "my set"},
+		{"/api/v1/datasets/", ""},
+		{"/api/v1/datasets", ""},
+		{"/api/stats", ""},
+		{"/", ""},
+	}
+	for _, c := range cases {
+		if got := DatasetFromPath(c.path); got != c.want {
+			t.Errorf("DatasetFromPath(%q) = %q, want %q", c.path, got, c.want)
+		}
+	}
+}
+
+// TestRouterAffinity: the ring gives each dataset a stable home replica and
+// a full-preference failover order covering every replica exactly once.
+func TestRouterAffinity(t *testing.T) {
+	replicas := []string{"http://r0", "http://r1", "http://r2"}
+	rt := NewRouter("http://p", replicas, RouterOptions{})
+	homes := map[int]int{}
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("dataset-%d", i)
+		order := rt.replicaOrder(name)
+		if len(order) != len(replicas) {
+			t.Fatalf("order for %s covers %d replicas", name, len(order))
+		}
+		sorted := slices.Clone(order)
+		slices.Sort(sorted)
+		if !slices.Equal(sorted, []int{0, 1, 2}) {
+			t.Fatalf("order for %s = %v: not a permutation", name, order)
+		}
+		if again := rt.replicaOrder(name); !slices.Equal(order, again) {
+			t.Fatalf("order for %s unstable: %v then %v", name, order, again)
+		}
+		homes[order[0]]++
+	}
+	// 64 datasets over 3 replicas with 64 vnodes each: every replica should
+	// be home to someone (balance, not perfection).
+	for i := range replicas {
+		if homes[i] == 0 {
+			t.Fatalf("replica %d is home to no dataset: %v", i, homes)
+		}
+	}
+}
+
+// echoNode runs a test upstream that records hits and answers with its own
+// tag, optionally failing with a fixed status.
+type echoNode struct {
+	ts     *httptest.Server
+	hits   atomic.Int64
+	status atomic.Int64 // 0 = 200 + tag body
+	tag    string
+}
+
+func newEchoNode(tag string) *echoNode {
+	n := &echoNode{tag: tag}
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.hits.Add(1)
+		if st := n.status.Load(); st != 0 {
+			w.WriteHeader(int(st))
+			fmt.Fprintf(w, `{"error":"down","code":"replica_lagging"}`)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s:%s %s len=%d", n.tag, r.Method, r.URL.Path, len(body))
+	}))
+	return n
+}
+
+func TestRouterRoutesWritesToPrimaryAndReadsToReplicas(t *testing.T) {
+	p := newEchoNode("primary")
+	r0 := newEchoNode("r0")
+	r1 := newEchoNode("r1")
+	defer p.ts.Close()
+	defer r0.ts.Close()
+	defer r1.ts.Close()
+	rt := NewRouter(p.ts.URL, []string{r0.ts.URL, r1.ts.URL}, RouterOptions{})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(front.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get(HeaderServedBy)
+	}
+
+	// Writes always land on the primary.
+	resp, err := http.Post(front.URL+"/api/v1/datasets/d/mutations", "application/json", strings.NewReader(`{"op":"addEdge","u":1,"v":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if p.hits.Load() != 1 || r0.hits.Load()+r1.hits.Load() != 0 {
+		t.Fatalf("mutation routed off-primary: p=%d r0=%d r1=%d", p.hits.Load(), r0.hits.Load(), r1.hits.Load())
+	}
+
+	// Shipping (replication-internal) goes to the primary too.
+	get("/api/v1/datasets/d/journal?fromSeq=1")
+	if p.hits.Load() != 2 {
+		t.Fatalf("journal request routed off-primary")
+	}
+
+	// Dataset reads go to the home replica, stably.
+	body1, served1 := get("/api/v1/datasets/d/vertices/1")
+	_, served2 := get("/api/v1/datasets/d/vertices/2")
+	if served1 != served2 {
+		t.Fatalf("read affinity broken: %q then %q", served1, served2)
+	}
+	if strings.HasPrefix(body1, "primary:") {
+		t.Fatalf("read served by primary while replicas healthy: %q", body1)
+	}
+	if p.hits.Load() != 2 {
+		t.Fatalf("reads leaked to primary: %d hits", p.hits.Load())
+	}
+
+	// Non-dataset paths pass through to the primary.
+	get("/api/v1/datasets")
+	if p.hits.Load() != 3 {
+		t.Fatalf("dataset listing not passed through to primary")
+	}
+
+	s := rt.Stats()
+	if s.Writes != 1 || s.Reads != 2 || s.Proxied != 2 {
+		t.Fatalf("router stats %+v", s)
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	p := newEchoNode("primary")
+	r0 := newEchoNode("r0")
+	r1 := newEchoNode("r1")
+	defer p.ts.Close()
+	defer r0.ts.Close()
+	defer r1.ts.Close()
+
+	// Both replicas answer 503 (lagging): the read must end at the primary.
+	r0.status.Store(503)
+	r1.status.Store(503)
+	rt := NewRouter(p.ts.URL, []string{r0.ts.URL, r1.ts.URL}, RouterOptions{})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/api/v1/datasets/d/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(body), "primary:") {
+		t.Fatalf("lagging replicas did not fail over to primary: %q", body)
+	}
+	if got := resp.Header.Get(HeaderServedBy); got != p.ts.URL {
+		t.Fatalf("%s = %q, want %q", HeaderServedBy, got, p.ts.URL)
+	}
+	if rt.Stats().Failovers != 2 {
+		t.Fatalf("failovers = %d, want 2", rt.Stats().Failovers)
+	}
+
+	// A dead replica (transport error) also fails over; the write path is
+	// unaffected. And a POST body is replayed intact on the retry target.
+	r0.ts.Close()
+	r1.status.Store(0)
+	resp, err = http.Post(front.URL+"/api/v1/datasets/d/search", "application/json", strings.NewReader(`{"algorithm":"ACQ","k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "len=25") {
+		t.Fatalf("failover dropped the request body: %q", body)
+	}
+
+	// Everything down: a typed 502.
+	r1.ts.Close()
+	p.ts.Close()
+	resp, err = http.Get(front.URL + "/api/v1/datasets/d/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-down status = %d, want 502", resp.StatusCode)
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Code != "bad_gateway" {
+		t.Fatalf("all-down envelope code %q err %v", env.Code, err)
+	}
+}
+
+func TestRouterBodyTooLarge(t *testing.T) {
+	p := newEchoNode("primary")
+	defer p.ts.Close()
+	rt := NewRouter(p.ts.URL, nil, RouterOptions{MaxBodyBytes: 16})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	resp, err := http.Post(front.URL+"/api/v1/datasets/d/mutations", "application/json", strings.NewReader(strings.Repeat("x", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body status = %d, want 413", resp.StatusCode)
+	}
+	if p.hits.Load() != 0 {
+		t.Fatal("oversize body reached the upstream")
+	}
+}
+
+func TestRouterStatsEndpoint(t *testing.T) {
+	p := newEchoNode("primary")
+	defer p.ts.Close()
+	rt := NewRouter(p.ts.URL, nil, RouterOptions{})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	http.Get(front.URL + "/api/v1/datasets/d/core")
+	resp, err := http.Get(front.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Role != "router" || s.Primary != p.ts.URL {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.PerNode[p.ts.URL].Requests != 1 {
+		t.Fatalf("per-node stats %+v", s.PerNode)
+	}
+}

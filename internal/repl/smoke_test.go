@@ -1,0 +1,188 @@
+package repl_test
+
+// Multi-node smoke: a full in-process fleet — one primary, two replicas,
+// one router — wired over real HTTP, driven by the loadgen harness through
+// the router while writes mutate the dataset. The SLO bar is modest (this
+// is CI, under -race), but hard: no failed requests, read-your-writes holds
+// through the router, and reads actually land on replicas.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/loadgen"
+	"cexplorer/internal/repl"
+)
+
+func TestMultiNodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node smoke is a second-long wall-clock test")
+	}
+	p := startPrimary(t, repl.FeedOptions{})
+	if _, err := p.exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	r1 := startReplica(t, p.ts.URL, fastTail())
+	r2 := startReplica(t, p.ts.URL, fastTail())
+	rt := repl.NewRouter(p.ts.URL, []string{r1.ts.URL, r2.ts.URL}, repl.RouterOptions{Logf: t.Logf})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Both replicas must have claimed the dataset before load starts.
+	waitApplied(t, r1.rep, "fig5", 0)
+	waitApplied(t, r2.rep, "fig5", 0)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	searchBody := []byte(`{"algorithm":"ACQ","names":["A"],"k":2}`)
+	search := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, "POST",
+			front.URL+"/api/v1/datasets/fig5/search", bytes.NewReader(searchBody))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return errShed
+		default:
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+
+	// Write churn in the background: vertices appended through the router
+	// (which must steer every one to the primary), each read back through
+	// the router with the min-version header — the read-your-writes
+	// contract end to end.
+	writerCtx, stopWriter := context.WithCancel(context.Background())
+	writerDone := make(chan error, 1)
+	go func() {
+		defer close(writerDone)
+		for i := 0; writerCtx.Err() == nil; i++ {
+			v, err := routedMutation(client, front.URL, fmt.Sprintf("smoke%d", i))
+			if err != nil {
+				writerDone <- fmt.Errorf("routed write %d: %w", i, err)
+				return
+			}
+			got, err := routedMinVersionRead(client, front.URL, v)
+			if err != nil {
+				writerDone <- fmt.Errorf("routed read after write %d: %w", i, err)
+				return
+			}
+			if got < v {
+				writerDone <- fmt.Errorf("read-your-writes violated through router: wrote %d, read %d", v, got)
+				return
+			}
+			select {
+			case <-writerCtx.Done():
+			case <-time.After(30 * time.Millisecond):
+			}
+		}
+	}()
+
+	rep := loadgen.Run(context.Background(), loadgen.Config{
+		Rate:     150,
+		Duration: 1500 * time.Millisecond,
+		Poisson:  true,
+		Timeout:  10 * time.Second,
+		Classify: func(err error) loadgen.Outcome {
+			if err == errShed {
+				return loadgen.Shed
+			}
+			return loadgen.Failed
+		},
+	}, search)
+	stopWriter()
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("smoke: sent=%d ok=%d shed=%d failed=%d p50=%.1fms p99=%.1fms",
+		rep.Sent, rep.OK, rep.Shed, rep.Failed, rep.P50MS, rep.P99MS)
+	if rep.Failed != 0 {
+		t.Fatalf("smoke run had %d failed requests: %+v", rep.Failed, rep)
+	}
+	if rep.OK == 0 {
+		t.Fatalf("smoke run completed nothing: %+v", rep)
+	}
+	if rep.P99MS > 5000 {
+		t.Fatalf("smoke p99 %.1fms blows the (very generous) SLO: %+v", rep.P99MS, rep)
+	}
+
+	// The fleet actually shared the load: reads on replicas, writes on the
+	// primary, nothing unrouted.
+	rs := rt.Stats()
+	if rs.Reads == 0 || rs.Writes == 0 {
+		t.Fatalf("router did not see both classes: %+v", rs)
+	}
+	repHits := rs.PerNode[r1.ts.URL].Requests + rs.PerNode[r2.ts.URL].Requests
+	if repHits == 0 {
+		t.Fatalf("no read landed on a replica: %+v", rs.PerNode)
+	}
+}
+
+var errShed = fmt.Errorf("shed")
+
+// routedMutation posts one addVertex through the router and returns the
+// version it produced.
+func routedMutation(client *http.Client, frontURL, name string) (uint64, error) {
+	body, _ := json.Marshal(map[string]any{"op": api.OpAddVertex, "name": name, "keywords": []string{"w"}})
+	resp, err := client.Post(frontURL+"/api/v1/datasets/fig5/mutations", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return 0, err
+	}
+	return out.Version, nil
+}
+
+// routedMinVersionRead fetches the dataset through the router demanding at
+// least version v, returning the version actually observed.
+func routedMinVersionRead(client *http.Client, frontURL string, v uint64) (uint64, error) {
+	req, err := http.NewRequest("GET", frontURL+"/api/v1/datasets/fig5", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set(repl.HeaderMinVersion, fmt.Sprint(v))
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var info struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return 0, err
+	}
+	return info.Version, nil
+}

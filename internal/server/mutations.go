@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cexplorer/internal/api"
+	"cexplorer/internal/repl"
 	"cexplorer/internal/snapshot"
 )
 
@@ -105,6 +106,9 @@ func (s *Server) applyMutations(ctx context.Context, name string, ops []api.Muta
 }
 
 func (s *Server) v1Mutations(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var body json.RawMessage
 	if !decodeBody(w, r, &body) {
 		return
@@ -221,6 +225,15 @@ func (s *Server) replayJournal(name string, baseVersion uint64) (int, error) {
 	}
 	if dropped > 0 {
 		s.logf("catalog: journal for %s: dropped %d trailing bytes (crash tail)", name, dropped)
+		// Truncate the torn tail away: appends go to the end of the file,
+		// so leaving garbage in place would strand every record written
+		// after it beyond the reach of replay and of journal cursors.
+		path := journalPath(dir, name)
+		if st, serr := os.Stat(path); serr == nil {
+			if terr := os.Truncate(path, st.Size()-int64(dropped)); terr != nil {
+				s.logf("catalog: truncating torn journal tail for %s: %v", name, terr)
+			}
+		}
 	}
 	slices.SortFunc(recs, func(a, b snapshot.JournalRecord) int { return cmp.Compare(a.Version, b.Version) })
 	replayed := 0
@@ -250,36 +263,9 @@ func (s *Server) replayJournal(name string, baseVersion uint64) (int, error) {
 	return replayed, nil
 }
 
-func toJournalOps(ops []api.Mutation) []snapshot.JournalOp {
-	out := make([]snapshot.JournalOp, len(ops))
-	for i, op := range ops {
-		j := snapshot.JournalOp{U: op.U, V: op.V, Name: op.Name, Keywords: op.Keywords}
-		switch op.Op {
-		case api.OpAddEdge:
-			j.Kind = snapshot.JournalAddEdge
-		case api.OpRemoveEdge:
-			j.Kind = snapshot.JournalRemoveEdge
-		case api.OpAddVertex:
-			j.Kind = snapshot.JournalAddVertex
-		}
-		out[i] = j
-	}
-	return out
-}
+// toJournalOps/fromJournalOps are the shared api↔journal mapping, now owned
+// by the replication package (the shipping stream and the on-disk journal
+// use the same encoding by design).
+func toJournalOps(ops []api.Mutation) []snapshot.JournalOp { return repl.ToJournalOps(ops) }
 
-func fromJournalOps(ops []snapshot.JournalOp) []api.Mutation {
-	out := make([]api.Mutation, len(ops))
-	for i, j := range ops {
-		op := api.Mutation{U: j.U, V: j.V, Name: j.Name, Keywords: j.Keywords}
-		switch j.Kind {
-		case snapshot.JournalAddEdge:
-			op.Op = api.OpAddEdge
-		case snapshot.JournalRemoveEdge:
-			op.Op = api.OpRemoveEdge
-		case snapshot.JournalAddVertex:
-			op.Op = api.OpAddVertex
-		}
-		out[i] = op
-	}
-	return out
-}
+func fromJournalOps(ops []snapshot.JournalOp) []api.Mutation { return repl.FromJournalOps(ops) }

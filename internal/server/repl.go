@@ -1,0 +1,363 @@
+package server
+
+// Replication wiring (see internal/repl): a primary publishes every applied
+// mutation batch into a repl.Feed and serves two shipping endpoints —
+//
+//	GET /api/v1/datasets/{name}/journal?fromSeq=N&epoch=E[&wait=20s][&maxRecords=512]
+//	GET /api/v1/datasets/{name}/snapshot
+//
+// — while a replica applies the tailed records through Explorer.Mutate and
+// guards reads with the X-CExplorer-Min-Version gate. Both roles surface
+// their counters in /api/stats and their per-dataset positions in the
+// dataset resources.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/repl"
+)
+
+// maxShipWait caps a journal long-poll; it must stay under ListenAndServe's
+// 60s WriteTimeout or parked polls would be killed mid-response.
+const maxShipWait = 30 * time.Second
+
+// defaultShipRecords bounds one shipping response when the client does not
+// say; maxShipRecords bounds what it may ask for.
+const (
+	defaultShipRecords = 512
+	maxShipRecords     = 4096
+)
+
+// ReplicaSource is what a replica-role server needs from its tailer (the
+// concrete type is *repl.Replica; the seam keeps tests light).
+type ReplicaSource interface {
+	WaitVersion(ctx context.Context, dataset string, version uint64) error
+	Status(dataset string) (repl.DatasetStatus, bool)
+	Stats() repl.ReplicaStats
+	Primary() string
+}
+
+// EnableReplicationPrimary makes this server a replication primary: every
+// applied mutation batch (direct, batched, or journal-replayed) is
+// published into the returned feed, and Handler registers the
+// journal/snapshot shipping endpoints. Call before Handler.
+func (s *Server) EnableReplicationPrimary(opt repl.FeedOptions) *repl.Feed {
+	feed := repl.NewFeed(func(name string) (uint64, bool) {
+		ds, ok := s.exp.Dataset(name)
+		if !ok {
+			return 0, false
+		}
+		return ds.Version, true
+	}, opt)
+	s.exp.SetMutateHook(func(name string, res *api.MutationResult, ops []api.Mutation) {
+		feed.Publish(name, res.Version, repl.ToJournalOps(ops))
+	})
+	s.mu.Lock()
+	s.role = "primary"
+	s.replFeed = feed
+	s.mu.Unlock()
+	return feed
+}
+
+// EnableReplicationReplica makes this server a read-only replica: mutations
+// and uploads answer 403 read_only, and dataset reads carrying
+// X-CExplorer-Min-Version wait up to maxWait for the tailer to catch up
+// before answering 503 replica_lagging. Call before Handler; run the
+// tailer (repl.Replica.Run) separately.
+func (s *Server) EnableReplicationReplica(src ReplicaSource, maxWait time.Duration) {
+	if maxWait <= 0 {
+		maxWait = 2 * time.Second
+	}
+	s.mu.Lock()
+	s.role = "replica"
+	s.replSrc = src
+	s.replicaWait = maxWait
+	s.mu.Unlock()
+}
+
+// Role reports the replication role: "" (standalone), "primary", or
+// "replica".
+func (s *Server) Role() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.role
+}
+
+func (s *Server) feed() *repl.Feed {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replFeed
+}
+
+func (s *Server) replicaSource() (ReplicaSource, time.Duration) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replSrc, s.replicaWait
+}
+
+// rejectReadOnly answers 403 read_only on a replica; true when handled.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if src, _ := s.replicaSource(); src == nil {
+		return false
+	}
+	writeEnvelope(w, http.StatusForbidden,
+		"replica is read-only: send writes to the primary (or through the router)", repl.CodeReadOnly)
+	return true
+}
+
+// registerRepl adds the role-specific routes to the v1 tree.
+func (s *Server) registerRepl(mux *http.ServeMux) {
+	if s.feed() != nil {
+		mux.HandleFunc("GET /api/v1/datasets/{name}/journal", s.v1JournalShip)
+		mux.HandleFunc("GET /api/v1/datasets/{name}/snapshot", s.v1SnapshotShip)
+	}
+}
+
+// minVersionGate is the replica's read-your-writes middleware: a dataset
+// read carrying X-CExplorer-Min-Version blocks until the tailer has applied
+// that version, else answers 503 replica_lagging (which the router treats
+// as "forward to the primary"). Standalone and primary servers serve the
+// newest version by construction, so the gate is a no-op there.
+func (s *Server) minVersionGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		src, maxWait := s.replicaSource()
+		hdr := r.Header.Get(repl.HeaderMinVersion)
+		if src == nil || hdr == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		name := repl.DatasetFromPath(r.URL.Path)
+		if name == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		want, err := strconv.ParseUint(hdr, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad %s header: %v", repl.HeaderMinVersion, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), maxWait)
+		err = src.WaitVersion(ctx, name, want)
+		cancel()
+		if err != nil {
+			if st, ok := src.Status(name); ok {
+				w.Header().Set(repl.HeaderHeadSeq, strconv.FormatUint(st.AppliedSeq, 10))
+			}
+			w.Header().Set("Retry-After", "1")
+			writeEnvelope(w, http.StatusServiceUnavailable,
+				"replica has not applied version "+hdr+" yet", repl.CodeReplicaLagging)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// v1JournalShip serves framed journal records from the feed: the body is a
+// concatenation of CXJRNL frames starting at fromSeq, or — when the cursor
+// is at the head and wait > 0 — a long-poll that returns as soon as a batch
+// is published. A cursor the feed cannot serve contiguously answers 409
+// epoch_fenced: throw away the position and re-bootstrap from the snapshot
+// endpoint.
+func (s *Server) v1JournalShip(w http.ResponseWriter, r *http.Request) {
+	feed := s.feed()
+	name := r.PathValue("name")
+	if _, ok := s.exp.Dataset(name); !ok {
+		writeEnvelope(w, http.StatusNotFound, "dataset not found: "+name, "dataset_not_found")
+		return
+	}
+	q := r.URL.Query()
+	fromSeq, err := strconv.ParseUint(q.Get("fromSeq"), 10, 64)
+	if err != nil || fromSeq == 0 {
+		httpError(w, http.StatusBadRequest, "fromSeq must be a positive integer")
+		return
+	}
+	var epoch uint64
+	if v := q.Get("epoch"); v != "" {
+		if epoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad epoch: %v", err)
+			return
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		if wait, err = time.ParseDuration(v); err != nil {
+			httpError(w, http.StatusBadRequest, "bad wait: %v", err)
+			return
+		}
+		wait = min(wait, maxShipWait)
+	}
+	maxRecords := defaultShipRecords
+	if v := q.Get("maxRecords"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad maxRecords")
+			return
+		}
+		maxRecords = min(n, maxShipRecords)
+	}
+	res, ok := feed.Ship(r.Context(), name, epoch, fromSeq, maxRecords, 0, wait)
+	if !ok {
+		writeEnvelope(w, http.StatusNotFound, "dataset not found: "+name, "dataset_not_found")
+		return
+	}
+	h := w.Header()
+	h.Set(repl.HeaderEpoch, strconv.FormatUint(res.Epoch, 10))
+	h.Set(repl.HeaderBaseSeq, strconv.FormatUint(res.Base, 10))
+	h.Set(repl.HeaderHeadSeq, strconv.FormatUint(res.Head, 10))
+	if res.Fenced {
+		writeEnvelope(w, http.StatusConflict,
+			"cursor cannot be served contiguously (epoch or sequence out of window): re-bootstrap from the snapshot endpoint",
+			repl.CodeEpochFenced)
+		return
+	}
+	h.Set("Content-Type", repl.ContentTypeJournal)
+	var sent int64
+	for _, frame := range res.Frames {
+		n, err := w.Write(frame)
+		sent += int64(n)
+		if err != nil {
+			break
+		}
+	}
+	s.stats.replShipRequests.Add(1)
+	s.stats.replShipBytes.Add(sent)
+}
+
+// v1SnapshotShip streams the dataset's resident-index snapshot — the
+// replica bootstrap image — stamped with the epoch and Version the stream
+// represents. The epoch is read before and after fetching the dataset so a
+// concurrent re-upload cannot pair the new lineage's bytes with the old
+// lineage's epoch (or vice versa); a mismatch simply retries.
+func (s *Server) v1SnapshotShip(w http.ResponseWriter, r *http.Request) {
+	feed := s.feed()
+	name := r.PathValue("name")
+	var (
+		ds    *api.Dataset
+		epoch uint64
+	)
+	for {
+		e1, ok := feed.Epoch(name)
+		if !ok {
+			writeEnvelope(w, http.StatusNotFound, "dataset not found: "+name, "dataset_not_found")
+			return
+		}
+		ds, ok = s.exp.Dataset(name)
+		if !ok {
+			writeEnvelope(w, http.StatusNotFound, "dataset not found: "+name, "dataset_not_found")
+			return
+		}
+		e2, ok := feed.Epoch(name)
+		if ok && e1 == e2 {
+			epoch = e1
+			break
+		}
+	}
+	unpin, err := ds.Pin()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer unpin()
+	h := w.Header()
+	h.Set(repl.HeaderEpoch, strconv.FormatUint(epoch, 10))
+	h.Set(repl.HeaderVersion, strconv.FormatUint(ds.Version, 10))
+	h.Set("Content-Type", "application/octet-stream")
+	n, err := ds.WriteResidentSnapshot(w)
+	if err != nil {
+		// Headers are gone; all we can do is log and let the replica's
+		// decoder reject the truncated stream.
+		s.logf("replication: snapshot ship %s: %v", name, err)
+	}
+	s.stats.replSnapshotShips.Add(1)
+	s.stats.replSnapshotBytes.Add(n)
+}
+
+// ReplInfo is the replication block of /api/stats.
+type ReplInfo struct {
+	Role string `json:"role"`
+	// Primary-side: the feed counters plus bootstrap-snapshot traffic.
+	Feed              *repl.FeedStats `json:"feed,omitempty"`
+	ShipRequests      int64           `json:"shipRequests,omitempty"`
+	ShipBytes         int64           `json:"shipBytes,omitempty"`
+	SnapshotShips     int64           `json:"snapshotShips,omitempty"`
+	SnapshotShipBytes int64           `json:"snapshotShipBytes,omitempty"`
+	// Replica-side: the tailer counters.
+	Replica *repl.ReplicaStats `json:"replica,omitempty"`
+}
+
+// replInfo builds the stats block; nil for a standalone server.
+func (s *Server) replInfo() *ReplInfo {
+	switch s.Role() {
+	case "primary":
+		fs := s.feed().Stats()
+		return &ReplInfo{
+			Role:              "primary",
+			Feed:              &fs,
+			ShipRequests:      s.stats.replShipRequests.Load(),
+			ShipBytes:         s.stats.replShipBytes.Load(),
+			SnapshotShips:     s.stats.replSnapshotShips.Load(),
+			SnapshotShipBytes: s.stats.replSnapshotBytes.Load(),
+		}
+	case "replica":
+		src, _ := s.replicaSource()
+		rs := src.Stats()
+		return &ReplInfo{Role: "replica", Replica: &rs}
+	default:
+		return nil
+	}
+}
+
+// datasetRepl is the per-dataset replication block of dataset resources.
+type datasetRepl struct {
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// AppliedSeq is the newest sequence (== Version) this node has applied:
+	// the head on a primary, the tail position on a replica.
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// BaseSeq (primary) is the oldest sequence still in the shipping
+	// buffer; HeadSeq (replica) the last observed primary head, and
+	// ReplicaLag = HeadSeq − AppliedSeq.
+	BaseSeq    uint64 `json:"baseSeq,omitempty"`
+	HeadSeq    uint64 `json:"headSeq,omitempty"`
+	ReplicaLag uint64 `json:"replicaLag"`
+	// Phase (replica) is bootstrapping | tailing | degraded.
+	Phase string `json:"phase,omitempty"`
+}
+
+// datasetRepl builds the per-dataset block; nil for a standalone server or
+// a replica dataset the tailer has not claimed.
+func (s *Server) datasetReplInfo(name string, ds *api.Dataset) *datasetRepl {
+	switch s.Role() {
+	case "primary":
+		info := &datasetRepl{Role: "primary", AppliedSeq: ds.Version}
+		if st, ok := s.feed().Status(name); ok {
+			info.Epoch = st.Epoch
+			info.BaseSeq = st.Base
+			info.AppliedSeq = st.Head
+		}
+		return info
+	case "replica":
+		src, _ := s.replicaSource()
+		st, ok := src.Status(name)
+		if !ok {
+			return &datasetRepl{Role: "replica", AppliedSeq: ds.Version, Phase: "unclaimed"}
+		}
+		info := &datasetRepl{
+			Role:       "replica",
+			Epoch:      st.Epoch,
+			AppliedSeq: st.AppliedSeq,
+			HeadSeq:    st.HeadSeq,
+			Phase:      st.Phase,
+		}
+		if st.HeadSeq > st.AppliedSeq {
+			info.ReplicaLag = st.HeadSeq - st.AppliedSeq
+		}
+		return info
+	default:
+		return nil
+	}
+}

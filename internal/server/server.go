@@ -45,6 +45,7 @@ import (
 	"cexplorer/internal/gen"
 	"cexplorer/internal/layout"
 	"cexplorer/internal/par"
+	"cexplorer/internal/repl"
 	"cexplorer/internal/servecache"
 	"cexplorer/internal/snapshot"
 )
@@ -86,6 +87,14 @@ type Server struct {
 	// journal-and-count path.
 	batcher *api.MutationBatcher
 
+	// Replication wiring (see repl.go): role is "" (standalone),
+	// "primary" (replFeed ships the journal), or "replica" (replSrc tails
+	// a primary; replicaWait bounds read-your-writes gate waits).
+	role        string
+	replFeed    *repl.Feed
+	replSrc     ReplicaSource
+	replicaWait time.Duration
+
 	stats serverStats
 }
 
@@ -116,6 +125,13 @@ type serverStats struct {
 	mutationOps     atomic.Int64
 	mutationErrors  atomic.Int64
 	mutationNanos   atomic.Int64
+
+	// Replication shipping counters (primary role): journal ship responses
+	// and bytes, bootstrap snapshot streams and bytes.
+	replShipRequests  atomic.Int64
+	replShipBytes     atomic.Int64
+	replSnapshotShips atomic.Int64
+	replSnapshotBytes atomic.Int64
 }
 
 // StatsSnapshot is the /api/stats payload.
@@ -179,6 +195,9 @@ type StatsSnapshot struct {
 	// Batcher reports the mutation batcher (submissions, batches,
 	// opsPerBatch); absent when batching is off.
 	Batcher *api.BatcherStats `json:"batcher,omitempty"`
+	// Replication reports the replication role and its counters (feed
+	// shipping on a primary, tail/apply on a replica); absent standalone.
+	Replication *ReplInfo `json:"replication,omitempty"`
 }
 
 // New returns a server over the given engine. logf may be nil (silent). The
@@ -330,6 +349,7 @@ func (s *Server) Stats() StatsSnapshot {
 	if snap.MutationBatches > 0 {
 		snap.AvgMutationMS = float64(s.stats.mutationNanos.Load()) / float64(snap.MutationBatches) / 1e6
 	}
+	snap.Replication = s.replInfo()
 	return snap
 }
 
@@ -361,9 +381,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/compare", s.handleCompare)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 
-	// The versioned, resource-oriented surface (see v1.go).
+	// The versioned, resource-oriented surface (see v1.go) and the
+	// role-specific replication routes (see repl.go).
 	s.registerV1(mux)
-	return s.logging(mux)
+	s.registerRepl(mux)
+	// The read-your-writes gate wraps the whole tree; it is a no-op on
+	// every role but replica.
+	return s.logging(s.minVersionGate(mux))
 }
 
 // ListenAndServe runs the server until the listener fails.
@@ -555,6 +579,9 @@ type compareRow struct {
 // --- handlers ---
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req uploadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request: %v", err)
@@ -568,6 +595,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "upload: %v", err)
 		return
+	}
+	if f := s.feed(); f != nil {
+		// A re-upload replaces the lineage wholesale: fence every shipping
+		// cursor so replicas re-bootstrap instead of applying the new
+		// lineage's records onto the old graph.
+		f.Reset(ds.Name)
 	}
 	st := ds.Graph.ComputeStats()
 	resp := map[string]any{"name": ds.Name, "stats": st}
@@ -622,6 +655,9 @@ type graphInfo struct {
 	// result cache, across all its versions (zero when caching is off).
 	CacheEntries int   `json:"cacheEntries,omitempty"`
 	CacheBytes   int64 `json:"cacheBytes,omitempty"`
+	// Replication is the node's replication position for this dataset
+	// (appliedSeq, replicaLag, phase); absent on a standalone server.
+	Replication *datasetRepl `json:"replication,omitempty"`
 }
 
 func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
@@ -646,6 +682,7 @@ func (s *Server) datasetInfo(name string, ds *api.Dataset) graphInfo {
 		info.CacheEntries = cs.Entries
 		info.CacheBytes = cs.Bytes
 	}
+	info.Replication = s.datasetReplInfo(name, ds)
 	return info
 }
 

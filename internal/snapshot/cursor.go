@@ -1,0 +1,222 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Incremental journal access: the replication-facing half of the journal
+// format. ReadJournal slurps a whole file — right for boot-time replay,
+// wrong for a primary shipping a live journal to replicas. JournalCursor
+// reads a journal frame-at-a-time from a byte offset and treats "no
+// complete frame yet" as a clean, retryable EOF, so a tailer can poll a
+// file that another goroutine is still appending to. FrameReader applies
+// the same frame discipline to an io.Reader (the HTTP shipping stream),
+// where there is no header and a short read is a hard truncation error,
+// not a tail to wait out.
+
+// maxJournalFrame bounds a single frame's payload. A length prefix larger
+// than this is treated as a torn tail (a crash can leave arbitrary bytes in
+// the length slot), never as a frame to wait for.
+const maxJournalFrame = 1 << 28 // 256 MiB
+
+// EncodeJournalFrame renders one record as a shippable frame:
+// payloadLen | payload | crc — exactly the bytes AppendJournal writes after
+// the file header. A stream of these frames is what the journal-shipping
+// endpoint serves and what FrameReader decodes.
+func EncodeJournalFrame(rec JournalRecord) []byte {
+	payload := encodeJournalPayload(rec)
+	out := make([]byte, 0, 4+len(payload)+4)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	return out
+}
+
+// DecodeJournalFrame decodes one frame produced by EncodeJournalFrame.
+func DecodeJournalFrame(frame []byte) (JournalRecord, error) {
+	if len(frame) < 8 {
+		return JournalRecord{}, fmt.Errorf("journal: frame too short (%d bytes)", len(frame))
+	}
+	plen := int(binary.LittleEndian.Uint32(frame))
+	if plen > maxJournalFrame || len(frame) != 4+plen+4 {
+		return JournalRecord{}, fmt.Errorf("journal: frame length %d does not match %d payload bytes", len(frame), plen)
+	}
+	payload := frame[4 : 4+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4+plen:]) {
+		return JournalRecord{}, fmt.Errorf("journal: frame checksum mismatch")
+	}
+	return decodeJournalPayload(payload)
+}
+
+// JournalCursor reads a journal file incrementally. Next returns records in
+// file order; when it runs out of complete, checksum-clean frames it
+// returns io.EOF without advancing, and a later Next observes any bytes
+// appended since — the contract a journal tailer needs. A missing file is
+// the empty journal (a dataset that has never been mutated), also io.EOF.
+type JournalCursor struct {
+	path string
+	f    *os.File
+	off  int64 // offset of the next unread frame
+	hdr  bool  // file header validated
+}
+
+// OpenJournalCursor positions a cursor at the start of the journal at path.
+// The file need not exist yet; the cursor will pick it up once the first
+// append creates it.
+func OpenJournalCursor(path string) *JournalCursor {
+	return &JournalCursor{path: path}
+}
+
+// Close releases the underlying file. The cursor remains usable; a later
+// Next reopens.
+func (c *JournalCursor) Close() error {
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+// Offset reports the file offset of the next unread frame (after the header
+// once any record has been read or the header validated).
+func (c *JournalCursor) Offset() int64 { return c.off }
+
+// Pending reports how many bytes sit at or beyond the cursor without
+// forming a complete intact frame — zero when fully caught up. After Next
+// returns io.EOF, a nonzero Pending on a quiescent file is a torn tail.
+func (c *JournalCursor) Pending() int64 {
+	if c.f == nil {
+		return 0
+	}
+	st, err := c.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size() - c.off
+}
+
+// Next returns the next intact record. io.EOF means "nothing more right
+// now": the file is missing, ends exactly at the cursor, or ends in a
+// partial or checksum-failing frame (an append in flight, or a crash tail).
+// Any other error is real corruption — a bad header or a checksummed frame
+// with a malformed body — and the cursor stays put.
+func (c *JournalCursor) Next() (JournalRecord, error) {
+	rec, _, err := c.next()
+	return rec, err
+}
+
+// NextFrame is Next, also returning the raw frame bytes (payloadLen |
+// payload | crc) so a shipper can forward records without re-encoding.
+func (c *JournalCursor) NextFrame() (JournalRecord, []byte, error) {
+	return c.next()
+}
+
+func (c *JournalCursor) next() (JournalRecord, []byte, error) {
+	if c.f == nil {
+		f, err := os.Open(c.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return JournalRecord{}, nil, io.EOF
+			}
+			return JournalRecord{}, nil, fmt.Errorf("journal: %w", err)
+		}
+		c.f = f
+	}
+	if !c.hdr {
+		hdr := make([]byte, len(journalMagic)+2)
+		if _, err := c.f.ReadAt(hdr, 0); err != nil {
+			// Too short to hold a header yet: an append may be in flight.
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return JournalRecord{}, nil, io.EOF
+			}
+			return JournalRecord{}, nil, fmt.Errorf("journal: %w", err)
+		}
+		if string(hdr[:len(journalMagic)]) != string(journalMagic[:]) {
+			return JournalRecord{}, nil, fmt.Errorf("journal: bad magic %q (not a journal file)", hdr[:len(journalMagic)])
+		}
+		if v := binary.LittleEndian.Uint16(hdr[len(journalMagic):]); v != journalVersion {
+			return JournalRecord{}, nil, fmt.Errorf("journal: unsupported version %d (this build reads version %d)", v, journalVersion)
+		}
+		c.hdr = true
+		c.off = int64(len(journalMagic) + 2)
+	}
+	var lenBuf [4]byte
+	if _, err := c.f.ReadAt(lenBuf[:], c.off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return JournalRecord{}, nil, io.EOF
+		}
+		return JournalRecord{}, nil, fmt.Errorf("journal: %w", err)
+	}
+	plen := binary.LittleEndian.Uint32(lenBuf[:])
+	if plen > maxJournalFrame {
+		// Garbage in the length slot: a crash tail, not a frame to wait for.
+		return JournalRecord{}, nil, io.EOF
+	}
+	frame := make([]byte, 4+int(plen)+4)
+	if _, err := c.f.ReadAt(frame, c.off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return JournalRecord{}, nil, io.EOF // partial frame: append in flight or crash tail
+		}
+		return JournalRecord{}, nil, fmt.Errorf("journal: %w", err)
+	}
+	payload := frame[4 : 4+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4+plen:]) {
+		return JournalRecord{}, nil, io.EOF // torn write: retryable, do not advance
+	}
+	rec, err := decodeJournalPayload(payload)
+	if err != nil {
+		// Checksummed clean but malformed: corruption, not a tail.
+		return JournalRecord{}, nil, fmt.Errorf("journal: record at offset %d: %w", c.off, err)
+	}
+	c.off += int64(len(frame))
+	return rec, frame, nil
+}
+
+// FrameReader decodes a stream of journal frames (no file header) from an
+// io.Reader — the receive side of the journal-shipping endpoint. Unlike the
+// file cursor, a short read mid-frame is io.ErrUnexpectedEOF: on a stream
+// there is no "wait for the writer", a truncated frame means the connection
+// died and the caller should reconnect from its last applied sequence.
+type FrameReader struct {
+	r *bufio.Reader
+}
+
+// NewFrameReader wraps r for frame-at-a-time decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next record. io.EOF marks a clean end between frames;
+// io.ErrUnexpectedEOF a mid-frame truncation; other errors corruption.
+func (fr *FrameReader) Next() (JournalRecord, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(fr.r, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return JournalRecord{}, io.ErrUnexpectedEOF
+		}
+		return JournalRecord{}, err // io.EOF: clean frame boundary
+	}
+	plen := binary.LittleEndian.Uint32(lenBuf[:])
+	if plen > maxJournalFrame {
+		return JournalRecord{}, fmt.Errorf("journal: frame payload %d exceeds limit", plen)
+	}
+	body := make([]byte, int(plen)+4)
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return JournalRecord{}, io.ErrUnexpectedEOF
+	}
+	payload := body[:plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(body[plen:]) {
+		return JournalRecord{}, fmt.Errorf("journal: stream frame checksum mismatch")
+	}
+	rec, err := decodeJournalPayload(payload)
+	if err != nil {
+		return JournalRecord{}, fmt.Errorf("journal: stream frame: %w", err)
+	}
+	return rec, nil
+}

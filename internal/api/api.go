@@ -679,6 +679,33 @@ func (e *Explorer) AddGraph(name string, g *graph.Graph) (*Dataset, error) {
 	return ds, nil
 }
 
+// RemoveDataset unregisters a dataset: reads from this point on see
+// ErrDatasetNotFound, exploration sessions anchored on it are closed, its
+// cached results are purged, and its backing file mapping (if any) is
+// released once in-flight pinned reads finish. Reports whether the name was
+// registered. Used by the admin delete endpoint on a primary and by a
+// replica un-claiming a dataset its primary no longer serves.
+func (e *Explorer) RemoveDataset(name string) bool {
+	e.mu.Lock()
+	ds, ok := e.datasets[name]
+	delete(e.datasets, name)
+	c := e.cache
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	m := &e.explore
+	m.mu.Lock()
+	evicted := m.dropDatasetLocked(name)
+	m.mu.Unlock()
+	closeSessions(evicted)
+	if c != nil {
+		c.Purge(name)
+	}
+	ds.Close()
+	return true
+}
+
 // Dataset returns a registered dataset.
 func (e *Explorer) Dataset(name string) (*Dataset, bool) {
 	e.mu.RLock()

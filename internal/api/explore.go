@@ -163,6 +163,21 @@ func (m *exploreManager) sweepLocked(now time.Time) []*exploreSession {
 	return evicted
 }
 
+// dropDatasetLocked removes every session anchored on the named dataset and
+// returns them for the caller to close outside m.mu (same discipline as
+// sweepLocked). Used when the dataset itself is unregistered.
+func (m *exploreManager) dropDatasetLocked(name string) []*exploreSession {
+	var evicted []*exploreSession
+	for id, s := range m.sessions {
+		if s.ds.Name == name {
+			delete(m.sessions, id)
+			evicted = append(evicted, s)
+			m.closed.Add(1)
+		}
+	}
+	return evicted
+}
+
 // evictOldestLocked removes the least-recently-used session (cap pressure)
 // and returns it for the caller to close outside m.mu (nil if none).
 func (m *exploreManager) evictOldestLocked() *exploreSession {

@@ -1,0 +1,201 @@
+// Package chaos is a deterministic fault-injection proxy for hardening the
+// replication fleet: a TCP-level proxy that sits on one link (router →
+// replica, replica → primary, client → router) and injects the failure
+// modes real networks produce — dropped connections, blackholes (accept,
+// then never respond), added latency, responses truncated mid-body,
+// corrupted response bytes, and synthetic 5xx answers.
+//
+// Faults are scheduled, not random-at-runtime: a Plan is a seed-generated
+// list of faults indexed by connection accept order, so the nth connection
+// through a proxy always suffers plan[n]. Re-running a scenario with the
+// same seed replays the same schedule, and a failing schedule shrinks with
+// ShrinkPlan (ddmin over the plan, neutralizing chunks to transparent) to a
+// minimal fault list that still reproduces the failure — the same
+// repro-first discipline the dyntest equivalence harness applies to
+// mutation streams.
+//
+// The proxy never interprets HTTP beyond locating the end of the response
+// headers (so Truncate and Corrupt target response bodies, where journal
+// frames and JSON payloads live). Everything else is byte-level, which is
+// exactly what makes the faults honest: the components under test see the
+// same torn streams, stalls, and garbage a faulty network would hand them.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None proxies the connection transparently.
+	None Kind = iota
+	// Drop closes the client connection immediately on accept — the
+	// "connection refused / reset" class.
+	Drop
+	// Blackhole accepts the connection and reads the request but never
+	// responds, holding the socket open up to Options.BlackholeHold — the
+	// fault an unbounded client wedges on forever.
+	Blackhole
+	// Latency delays the connection by Delay before proxying transparently.
+	Latency
+	// Truncate proxies, then hard-closes both sides after After response
+	// body bytes — the client sees a mid-body EOF under a 200 header.
+	Truncate
+	// Corrupt proxies but XORs the response body byte at offset After —
+	// the bit-flip a checksum (journal frame CRC) must catch.
+	Corrupt
+	// Err5xx answers a canned HTTP error without contacting the upstream.
+	Err5xx
+
+	numKinds
+)
+
+// String names a fault kind for logs and repro reports.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Blackhole:
+		return "blackhole"
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	case Err5xx:
+		return "err5xx"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault. The zero value is transparent.
+type Fault struct {
+	Kind Kind `json:"kind"`
+	// Delay is the injected latency (Latency only).
+	Delay time.Duration `json:"delay,omitempty"`
+	// After is the response-body byte offset at which Truncate cuts or
+	// Corrupt flips. A body shorter than After escapes the fault — faults
+	// are opportunities, not guarantees, exactly like a real flaky link.
+	After int `json:"after,omitempty"`
+	// Status is the synthetic response code (Err5xx only; default 503).
+	Status int `json:"status,omitempty"`
+}
+
+// Plan is a deterministic fault schedule: the nth connection accepted by a
+// proxy suffers Plan[n]; connections past the end are transparent.
+type Plan []Fault
+
+// Mix weights the fault classes for plan generation. Zero-valued fields get
+// no share; the zero Mix is replaced by DefaultMix.
+type Mix struct {
+	None, Drop, Blackhole, Latency, Truncate, Corrupt, Err5xx int
+	// MaxDelay caps injected latency (default 150ms); MaxAfter caps the
+	// truncate/corrupt body offset (default 2048).
+	MaxDelay time.Duration
+	MaxAfter int
+}
+
+// DefaultMix is a balanced storm: plenty of transparent connections so the
+// system makes progress, with every fault class represented.
+var DefaultMix = Mix{None: 6, Drop: 2, Blackhole: 1, Latency: 3, Truncate: 2, Corrupt: 2, Err5xx: 2}
+
+func (m Mix) total() int {
+	return m.None + m.Drop + m.Blackhole + m.Latency + m.Truncate + m.Corrupt + m.Err5xx
+}
+
+// GenPlan derives a length-n schedule from seed. Identical (seed, n, mix)
+// always produce the identical plan.
+func GenPlan(seed int64, n int, mix Mix) Plan {
+	if mix.total() == 0 {
+		mix = DefaultMix
+	}
+	if mix.MaxDelay <= 0 {
+		mix.MaxDelay = 150 * time.Millisecond
+	}
+	if mix.MaxAfter <= 0 {
+		mix.MaxAfter = 2048
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := make(Plan, n)
+	for i := range plan {
+		r := rng.Intn(mix.total())
+		pick := func(w int) bool {
+			if r < w {
+				return true
+			}
+			r -= w
+			return false
+		}
+		switch {
+		case pick(mix.None):
+			// transparent
+		case pick(mix.Drop):
+			plan[i] = Fault{Kind: Drop}
+		case pick(mix.Blackhole):
+			plan[i] = Fault{Kind: Blackhole}
+		case pick(mix.Latency):
+			plan[i] = Fault{Kind: Latency, Delay: time.Duration(1 + rng.Int63n(int64(mix.MaxDelay)))}
+		case pick(mix.Truncate):
+			plan[i] = Fault{Kind: Truncate, After: rng.Intn(mix.MaxAfter)}
+		case pick(mix.Corrupt):
+			plan[i] = Fault{Kind: Corrupt, After: rng.Intn(mix.MaxAfter)}
+		default:
+			plan[i] = Fault{Kind: Err5xx, Status: 500 + []int{0, 2, 3, 4}[rng.Intn(4)]}
+		}
+	}
+	return plan
+}
+
+// Faults counts the non-transparent entries of the plan.
+func (p Plan) Faults() int {
+	n := 0
+	for _, f := range p {
+		if f.Kind != None {
+			n++
+		}
+	}
+	return n
+}
+
+// ShrinkPlan reduces a failing plan to a (locally) minimal one that still
+// fails, ddmin-style: chunks of halving size are neutralized to None — not
+// removed, so every surviving fault keeps its connection index and the
+// schedule replays against the same accept order — and any neutralization
+// that preserves the failure is kept. trials bounds the total re-runs;
+// chaos scenarios are whole-fleet replays, so budgets are small.
+func ShrinkPlan(p Plan, trials int, fails func(Plan) bool) Plan {
+	plan := slices.Clone(p)
+	neutralize := func(from, to int) (Plan, int) {
+		cand := slices.Clone(plan)
+		cleared := 0
+		for i := from; i < to; i++ {
+			if cand[i].Kind != None {
+				cand[i] = Fault{}
+				cleared++
+			}
+		}
+		return cand, cleared
+	}
+	for chunk := len(plan); chunk >= 1 && trials > 0; chunk /= 2 {
+		for start := 0; start+chunk <= len(plan) && trials > 0; start += chunk {
+			cand, cleared := neutralize(start, start+chunk)
+			if cleared == 0 {
+				continue
+			}
+			trials--
+			if fails(cand) {
+				plan = cand
+			}
+		}
+	}
+	return plan
+}

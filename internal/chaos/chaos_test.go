@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream serves a fixed body so byte-level faults are observable.
+func upstream(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// An explicit length keeps the response unchunked, so body byte N
+		// of the HTTP payload is byte N on the wire — the unit tests here
+		// assert exact offsets. (Chunked responses still get faulted, just
+		// at transfer-encoded offsets.)
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// oneShotClient maps one request to one proxy connection, so plan index ==
+// request index.
+func oneShotClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func startProxy(t *testing.T, upstreamURL string, plan Plan, opt Options) *Proxy {
+	t.Helper()
+	p, err := NewProxy(upstreamURL, plan, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestGenPlanDeterministic(t *testing.T) {
+	a := GenPlan(42, 200, Mix{})
+	b := GenPlan(42, 200, Mix{})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	if a.Faults() == 0 {
+		t.Fatal("default mix produced a fault-free plan")
+	}
+	if c := GenPlan(43, 200, Mix{}); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestProxyTransparentAndDrop(t *testing.T) {
+	ts := upstream(t, "hello")
+	p := startProxy(t, ts.URL, Plan{{}, {Kind: Drop}, {}}, Options{Logf: t.Logf})
+	client := oneShotClient(5 * time.Second)
+
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("transparent conn failed: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "hello" {
+		t.Fatalf("transparent body %q", b)
+	}
+
+	if _, err := client.Get(p.URL()); err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+
+	resp, err = client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("post-drop transparent conn failed: %v", err)
+	}
+	resp.Body.Close()
+	if p.Injected(Drop) != 1 || p.Conns() != 3 {
+		t.Fatalf("counters: conns=%d drops=%d", p.Conns(), p.Injected(Drop))
+	}
+}
+
+func TestProxyBlackholeIsBounded(t *testing.T) {
+	ts := upstream(t, "hello")
+	p := startProxy(t, ts.URL, Plan{{Kind: Blackhole}}, Options{BlackholeHold: 3 * time.Second})
+	client := oneShotClient(300 * time.Millisecond)
+
+	start := time.Now()
+	_, err := client.Get(p.URL())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("blackholed request got a response")
+	}
+	// The bounded client gave up on its own timeout, well before the hold:
+	// exactly the behavior the replica's per-phase deadlines must show.
+	if elapsed > 2*time.Second {
+		t.Fatalf("client stalled %v against a blackhole", elapsed)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	ts := upstream(t, "hello")
+	delay := 120 * time.Millisecond
+	p := startProxy(t, ts.URL, Plan{{Kind: Latency, Delay: delay}}, Options{})
+	client := oneShotClient(5 * time.Second)
+
+	start := time.Now()
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("delayed conn failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("latency fault took only %v, scheduled %v", elapsed, delay)
+	}
+}
+
+func TestProxyTruncateMidBody(t *testing.T) {
+	body := strings.Repeat("x", 64<<10)
+	ts := upstream(t, body)
+	p := startProxy(t, ts.URL, Plan{{Kind: Truncate, After: 1024}}, Options{})
+	client := oneShotClient(5 * time.Second)
+
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("truncated conn refused before headers: %v", err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated body read cleanly (%d of %d bytes): clients must see an error", len(got), len(body))
+	}
+	if len(got) > 1024 {
+		t.Fatalf("cut at %d bytes, scheduled 1024", len(got))
+	}
+}
+
+func TestProxyCorruptFlipsExactlyOneByte(t *testing.T) {
+	body := strings.Repeat("abcdefgh", 512)
+	ts := upstream(t, body)
+	p := startProxy(t, ts.URL, Plan{{Kind: Corrupt, After: 777}}, Options{})
+	client := oneShotClient(5 * time.Second)
+
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("corrupt conn died: %v", err)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(got), len(body))
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != body[i] {
+			diffs++
+			if i != 777 {
+				t.Fatalf("byte %d corrupted, scheduled 777", i)
+			}
+			if got[i] != body[i]^0xFF {
+				t.Fatalf("byte %d = %#x, want %#x", i, got[i], body[i]^0xFF)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Fatalf("%d bytes corrupted, want exactly 1", diffs)
+	}
+}
+
+func TestProxyErr5xx(t *testing.T) {
+	ts := upstream(t, "hello")
+	p := startProxy(t, ts.URL, Plan{{Kind: Err5xx, Status: 503}}, Options{})
+	client := oneShotClient(5 * time.Second)
+
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(b), "chaos_injected") {
+		t.Fatalf("body %q lacks the chaos marker", b)
+	}
+}
+
+func TestProxyDisableEndsTheStorm(t *testing.T) {
+	ts := upstream(t, "hello")
+	plan := make(Plan, 16)
+	for i := range plan {
+		plan[i] = Fault{Kind: Drop}
+	}
+	p := startProxy(t, ts.URL, plan, Options{})
+	client := oneShotClient(5 * time.Second)
+
+	if _, err := client.Get(p.URL()); err == nil {
+		t.Fatal("pre-disable request survived an all-drop plan")
+	}
+	p.Disable()
+	resp, err := client.Get(p.URL())
+	if err != nil {
+		t.Fatalf("post-disable request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestShrinkPlanIsolatesTheFault(t *testing.T) {
+	plan := GenPlan(7, 64, Mix{})
+	plan[33] = Fault{Kind: Drop}
+	// The "scenario" fails iff connection 33 is dropped: shrinking must
+	// neutralize everything else and keep that fault at its index.
+	fails := func(p Plan) bool { return p[33].Kind == Drop }
+	minimal := ShrinkPlan(plan, 500, fails)
+	if minimal.Faults() != 1 {
+		t.Fatalf("shrunk plan keeps %d faults, want 1", minimal.Faults())
+	}
+	if minimal[33].Kind != Drop {
+		t.Fatalf("shrunk plan lost the failing fault: %+v", minimal[33])
+	}
+}

@@ -1,0 +1,305 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tune a Proxy. Zero values take the noted defaults.
+type Options struct {
+	// BlackholeHold bounds how long a blackholed connection is held open
+	// before the proxy closes it (default 2s). The bound exists so chaos
+	// runs terminate; the component under test must NOT rely on it — its
+	// own deadlines are exactly what the blackhole fault probes.
+	BlackholeHold time.Duration
+	// DialTimeout bounds the upstream dial (default 5s).
+	DialTimeout time.Duration
+	Logf        func(format string, args ...any)
+}
+
+// Proxy is one faulty link: it listens on a loopback port and forwards TCP
+// connections to a fixed upstream, injecting the scheduled fault for each
+// connection in accept order. Connections past the end of the plan — and
+// all connections after Disable — are proxied transparently.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+	opt      Options
+	plan     Plan
+
+	next     atomic.Int64
+	disabled atomic.Bool
+	closed   chan struct{}
+	closeOne sync.Once
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	injected [numKinds]atomic.Int64
+}
+
+// NewProxy starts a proxy in front of upstream (a base URL like
+// "http://127.0.0.1:8080" or a bare host:port) with the given schedule.
+func NewProxy(upstream string, plan Plan, opt Options) (*Proxy, error) {
+	upstream = strings.TrimPrefix(strings.TrimPrefix(upstream, "http://"), "tcp://")
+	upstream = strings.TrimSuffix(upstream, "/")
+	if opt.BlackholeHold <= 0 {
+		opt.BlackholeHold = 2 * time.Second
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 5 * time.Second
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		opt:      opt,
+		plan:     plan,
+		closed:   make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// URL returns the proxy's listen address as an http base URL — what the
+// component under test is pointed at instead of the real upstream.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Addr returns the raw listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns reports how many connections the proxy has accepted.
+func (p *Proxy) Conns() int64 { return p.next.Load() }
+
+// Injected reports how many connections suffered the given fault kind.
+func (p *Proxy) Injected(k Kind) int64 {
+	if k < 0 || k >= numKinds {
+		return 0
+	}
+	return p.injected[k].Load()
+}
+
+// Disable ends the storm: every connection from now on is transparent, and
+// all in-flight faulty connections are severed so the components under test
+// reconnect cleanly instead of waiting out blackhole holds.
+func (p *Proxy) Disable() {
+	p.disabled.Store(true)
+	p.closeActive()
+}
+
+// Close shuts the proxy down, severing active connections.
+func (p *Proxy) Close() {
+	p.closeOne.Do(func() { close(p.closed) })
+	p.ln.Close()
+	p.closeActive()
+	p.wg.Wait()
+}
+
+func (p *Proxy) closeActive() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		i := int(p.next.Add(1) - 1)
+		var f Fault
+		if !p.disabled.Load() && i < len(p.plan) {
+			f = p.plan[i]
+		}
+		p.injected[f.Kind].Add(1)
+		if f.Kind != None {
+			p.opt.Logf("chaos: conn %d -> %s: %s", i, p.upstream, f.Kind)
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.handle(c, f)
+		}()
+	}
+}
+
+func (p *Proxy) handle(c net.Conn, f Fault) {
+	p.track(c)
+	defer p.untrack(c)
+	switch f.Kind {
+	case Drop:
+		return // deferred untrack closes: an immediate reset
+	case Blackhole:
+		// Read (and discard) whatever the client sends so the request is
+		// fully accepted, then go silent until the hold expires or the
+		// client gives up — the classic wedge for unbounded clients.
+		c.SetReadDeadline(time.Now().Add(p.opt.BlackholeHold))
+		io.Copy(io.Discard, c)
+		return
+	case Err5xx:
+		p.answer5xx(c, f.Status)
+		return
+	case Latency:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-p.closed:
+			return
+		}
+	}
+	up, err := net.DialTimeout("tcp", p.upstream, p.opt.DialTimeout)
+	if err != nil {
+		p.opt.Logf("chaos: dial %s: %v", p.upstream, err)
+		return
+	}
+	p.track(up)
+	defer p.untrack(up)
+
+	// Client -> upstream is always clean; faults target the response.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(up, c)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	dst := io.Writer(c)
+	if f.Kind == Truncate || f.Kind == Corrupt {
+		dst = &bodyFaulter{w: c, kind: f.Kind, after: f.After}
+	}
+	_, err = io.Copy(dst, up)
+	if errors.Is(err, errTruncated) {
+		// Hard-close so the client observes a mid-body connection death,
+		// not a polite half-close it could mistake for a clean EOF.
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+}
+
+// answer5xx reads the request head (bounded) and replies with a canned
+// error without touching the upstream.
+func (p *Proxy) answer5xx(c net.Conn, status int) {
+	if status < 500 || status > 599 {
+		status = 503
+	}
+	c.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+	buf := make([]byte, 4096)
+	for {
+		// Drain up to one buffer past the header terminator so simple
+		// requests are fully read before the canned answer goes out.
+		n, err := c.Read(buf)
+		if err != nil || bytes.Contains(buf[:n], []byte("\r\n\r\n")) || n < len(buf) {
+			break
+		}
+	}
+	const body = `{"error":"injected fault","code":"chaos_injected"}`
+	fmt.Fprintf(c, "HTTP/1.1 %d Chaos\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		status, len(body), body)
+}
+
+// errTruncated aborts the response copy at the scheduled cut point.
+var errTruncated = errors.New("chaos: truncated")
+
+// bodyFaulter applies Truncate/Corrupt to the upstream->client byte stream.
+// It forwards response headers untouched, locating their end (CRLFCRLF)
+// across write boundaries, then counts body bytes: Corrupt XORs the byte at
+// offset `after`; Truncate forwards exactly `after` body bytes and then
+// fails the copy. On a keep-alive connection carrying several responses the
+// offsets are counted from the first body — chaos, not surgery.
+type bodyFaulter struct {
+	w        io.Writer
+	kind     Kind
+	after    int
+	inBody   bool
+	bodySeen int
+	tail     [3]byte // last bytes of the previous chunk, for split CRLFCRLF
+	tailLen  int
+}
+
+func (b *bodyFaulter) Write(chunk []byte) (int, error) {
+	if b.inBody {
+		return b.writeBody(chunk)
+	}
+	// Look for the header terminator, including across the chunk seam.
+	seam := append(append([]byte{}, b.tail[:b.tailLen]...), chunk...)
+	if i := bytes.Index(seam, []byte("\r\n\r\n")); i >= 0 {
+		split := i + 4 - b.tailLen // body starts here within chunk
+		if split < 0 {
+			split = 0
+		}
+		if _, err := b.w.Write(chunk[:split]); err != nil {
+			return 0, err
+		}
+		b.inBody = true
+		n, err := b.writeBody(chunk[split:])
+		return split + n, err
+	}
+	b.tailLen = copy(b.tail[:], seam[max(0, len(seam)-3):])
+	n, err := b.w.Write(chunk)
+	return n, err
+}
+
+func (b *bodyFaulter) writeBody(chunk []byte) (int, error) {
+	switch b.kind {
+	case Corrupt:
+		if off := b.after - b.bodySeen; off >= 0 && off < len(chunk) {
+			chunk = append([]byte{}, chunk...)
+			chunk[off] ^= 0xFF
+		}
+		b.bodySeen += len(chunk)
+		return b.w.Write(chunk)
+	case Truncate:
+		keep := b.after - b.bodySeen
+		if keep <= 0 {
+			return 0, errTruncated
+		}
+		if keep >= len(chunk) {
+			b.bodySeen += len(chunk)
+			return b.w.Write(chunk)
+		}
+		n, err := b.w.Write(chunk[:keep])
+		b.bodySeen += n
+		if err != nil {
+			return n, err
+		}
+		return n, errTruncated
+	default:
+		return b.w.Write(chunk)
+	}
+}

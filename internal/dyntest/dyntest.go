@@ -304,6 +304,16 @@ func Shrink(sc Scenario, trials int) Scenario {
 // shrinkWith is the predicate-generic core of Shrink (also exercised
 // directly by the shrinker's own tests).
 func shrinkWith(in []api.Mutation, trials int, fails func([]api.Mutation) bool) []api.Mutation {
+	return ShrinkSlice(in, trials, fails)
+}
+
+// ShrinkSlice is the element-generic ddmin core: it reduces a failing slice
+// to a (locally) minimal one that still fails by deleting chunks of halving
+// size and keeping any deletion that preserves the failure. trials bounds
+// the total number of predicate calls. Harnesses over other element types
+// (the chaos suite's fault schedules, for one) reuse it instead of
+// re-deriving the chunk walk.
+func ShrinkSlice[T any](in []T, trials int, fails func([]T) bool) []T {
 	ops := slices.Clone(in)
 	for chunk := len(ops) / 2; chunk >= 1 && trials > 0; {
 		removedAny := false

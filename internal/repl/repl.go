@@ -37,6 +37,40 @@
 // replica_lagging and the router forwards to the primary. Sequence numbers
 // ARE versions: journal record N is the batch that produced Version N, so
 // "replica applied seq N" and "replica serves Version N" are one fact.
+//
+// # Fault model
+//
+// The fleet is hardened against (and chaos-tested under, via internal/chaos
+// and the chaos-convergence suite) the failure modes a real network hands
+// it:
+//
+//   - Stalls and blackholes are bounded, never fatal: every request a
+//     replica issues has a per-phase deadline (HeaderTimeout to first
+//     header byte — plus PollWait for journal long-polls the primary
+//     legitimately parks — then StallTimeout between body reads), so a
+//     blackholed primary costs one bounded stall and a backoff, not a
+//     wedged tailer. Deliberately NOT a whole-request timeout: a large
+//     snapshot stream that keeps making progress is never killed.
+//   - Corruption and truncation never reach the graph: journal frames are
+//     CRC-framed and snapshots checksummed, so a flipped or torn byte
+//     fails the read and the replica reconnects from its last applied
+//     sequence. Convergence is delayed, never poisoned.
+//   - Anything that breaks stream contiguity — trimmed buffer, re-upload,
+//     primary restart, apply divergence — fences, and a fenced replica
+//     re-bootstraps from a snapshot rather than guess.
+//   - A dataset deleted at the primary is dropped at the replicas too:
+//     MissingLimit consecutive 404 answers un-claim it (and re-discovery
+//     re-claims if it reappears), instead of serving a ghost stale forever.
+//   - The router relays upstream deaths honestly: a response dying
+//     mid-body aborts the client connection (http.ErrAbortHandler, counted
+//     in relayAborts) rather than passing off a truncated 200 as complete.
+//     Plain reads fail over along the ring to the primary; session-scoped
+//     routes (/explore...) stay pinned to the home node, because a ring
+//     walk cannot revive server-side session state that lives only there.
+//
+// Degradation is by design, not by accident: through all of the above a
+// replica keeps serving its last-applied version, and convergence resumes
+// when the fault clears.
 package repl
 
 import (

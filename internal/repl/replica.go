@@ -28,13 +28,32 @@ const (
 // ReplicaOptions tune a replica's tailing behavior. Zero values take the
 // defaults noted per field.
 type ReplicaOptions struct {
-	Client     *http.Client  // transport (default http.DefaultClient)
+	Client     *http.Client  // transport (default: a fresh timeout-free client; see below)
 	PollWait   time.Duration // long-poll wait per journal request (default 20s)
 	Refresh    time.Duration // dataset-discovery period (default 15s)
 	MaxRecords int           // records per journal request (default 512)
 	BackoffMin time.Duration // first retry delay after an error (default 100ms)
 	BackoffMax time.Duration // retry delay cap (default 5s)
-	Logf       func(format string, args ...any)
+	// HeaderTimeout bounds the connect-through-response-headers phase of
+	// every request the replica issues (default 5s). Journal long-polls get
+	// PollWait on top, since the primary legitimately parks them. This —
+	// not Client.Timeout — is what keeps a blackholed primary from wedging
+	// a tailer: a whole-request timeout would also kill slow-but-live
+	// snapshot streams, so the replica bounds each phase instead.
+	HeaderTimeout time.Duration
+	// StallTimeout bounds the gap between successive body reads once the
+	// headers are in (default 10s): a response that stops making progress
+	// mid-stream is aborted and retried with backoff, however large the
+	// snapshot behind it.
+	StallTimeout time.Duration
+	// MissingLimit is how many consecutive dataset-missing answers (404
+	// from the journal or snapshot endpoint) a tailer tolerates before it
+	// un-claims the dataset and drops it from the local explorer (default
+	// 3). A dataset deleted at the primary thus disappears here too instead
+	// of being served stale forever; if the name reappears at the primary,
+	// the discovery loop re-claims and re-bootstraps it.
+	MissingLimit int
+	Logf         func(format string, args ...any)
 }
 
 // Replica tails one primary: it discovers datasets, bootstraps each from
@@ -57,6 +76,7 @@ type Replica struct {
 	bootstraps atomic.Int64
 	fences     atomic.Int64
 	netErrors  atomic.Int64
+	dropped    atomic.Int64
 }
 
 type replicaState struct {
@@ -64,15 +84,25 @@ type replicaState struct {
 	applied uint64 // last applied sequence == served Version
 	head    uint64 // last observed primary head
 	phase   string
+	// missing counts consecutive dataset-missing (404) answers from the
+	// primary; at MissingLimit the tailer un-claims and drops the dataset.
+	missing int
 	// notify is closed and replaced on every apply; WaitVersion parks on it.
 	notify chan struct{}
 }
+
+// errDatasetMissing marks a 404 from the journal or snapshot endpoint: the
+// primary is reachable but no longer has the dataset.
+var errDatasetMissing = errors.New("dataset missing at primary")
 
 // NewReplica wraps exp as a replica of the primary at primaryURL (base URL,
 // e.g. "http://primary:8080"). Call Run to start tailing.
 func NewReplica(exp *api.Explorer, primaryURL string, opt ReplicaOptions) *Replica {
 	if opt.Client == nil {
-		opt.Client = http.DefaultClient
+		// Deliberately no Client.Timeout: per-phase bounds (HeaderTimeout,
+		// StallTimeout, PollWait) govern instead, so a multi-second snapshot
+		// stream that is making progress is never killed by a blanket cap.
+		opt.Client = &http.Client{}
 	}
 	if opt.PollWait <= 0 {
 		opt.PollWait = 20 * time.Second
@@ -88,6 +118,15 @@ func NewReplica(exp *api.Explorer, primaryURL string, opt ReplicaOptions) *Repli
 	}
 	if opt.BackoffMax <= 0 {
 		opt.BackoffMax = 5 * time.Second
+	}
+	if opt.HeaderTimeout <= 0 {
+		opt.HeaderTimeout = 5 * time.Second
+	}
+	if opt.StallTimeout <= 0 {
+		opt.StallTimeout = 10 * time.Second
+	}
+	if opt.MissingLimit <= 0 {
+		opt.MissingLimit = 3
 	}
 	if opt.Logf == nil {
 		opt.Logf = func(string, ...any) {}
@@ -148,15 +187,52 @@ func (r *Replica) claim(name string) bool {
 	return true
 }
 
-func (r *Replica) discover(ctx context.Context) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, "GET", r.primary+"/api/v1/datasets", nil)
+// boundedGet issues a GET whose every phase has a deadline: headerBudget
+// covers connect + request + response headers (the phase a blackholed
+// primary stalls forever), and once headers are in, each body read must
+// complete within the stall budget or the request is aborted. The returned
+// release cancels the watchdog and the request context; call it exactly
+// once, after the body is drained (drain calls Close, not release — both
+// are needed).
+func (r *Replica) boundedGet(ctx context.Context, url string, headerBudget time.Duration) (*http.Response, func(), error) {
+	rctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(rctx, "GET", url, nil)
 	if err != nil {
-		return nil, err
+		cancel()
+		return nil, nil, err
 	}
+	watchdog := time.AfterFunc(headerBudget, cancel)
 	resp, err := r.opt.Client.Do(req)
 	if err != nil {
+		watchdog.Stop()
+		cancel()
+		return nil, nil, err
+	}
+	watchdog.Reset(r.opt.StallTimeout)
+	resp.Body = &stalledBody{ReadCloser: resp.Body, watchdog: watchdog, stall: r.opt.StallTimeout}
+	return resp, func() { watchdog.Stop(); cancel() }, nil
+}
+
+// stalledBody re-arms the request watchdog before every body read: a read
+// that blocks past the stall budget fires the watchdog, which cancels the
+// request context and unwedges the read with an error.
+type stalledBody struct {
+	io.ReadCloser
+	watchdog *time.Timer
+	stall    time.Duration
+}
+
+func (b *stalledBody) Read(p []byte) (int, error) {
+	b.watchdog.Reset(b.stall)
+	return b.ReadCloser.Read(p)
+}
+
+func (r *Replica) discover(ctx context.Context) ([]string, error) {
+	resp, release, err := r.boundedGet(ctx, r.primary+"/api/v1/datasets", r.opt.HeaderTimeout)
+	if err != nil {
 		return nil, err
 	}
+	defer release()
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("list datasets: status %d", resp.StatusCode)
@@ -202,6 +278,10 @@ func (r *Replica) tailDataset(ctx context.Context, name string) {
 				}
 				r.netErrors.Add(1)
 				r.opt.Logf("repl: bootstrap %q: %v", name, err)
+				if r.noteMissing(name, err) {
+					r.unclaim(name)
+					return
+				}
 				if !sleep() {
 					return
 				}
@@ -223,29 +303,81 @@ func (r *Replica) tailDataset(ctx context.Context, name string) {
 		case err != nil:
 			r.netErrors.Add(1)
 			r.opt.Logf("repl: tail %q: %v", name, err)
+			if r.noteMissing(name, err) {
+				r.unclaim(name)
+				return
+			}
 			if !sleep() {
 				return
 			}
 		default:
 			backoff = r.opt.BackoffMin
+			r.clearMissing(name)
 			r.setPhase(name, PhaseTailing)
 		}
 	}
 }
 
+// noteMissing records one more consecutive dataset-missing (404) answer
+// when err wraps the sentinel — any other error resets the streak — and
+// reports true once the streak reaches MissingLimit: the dataset is gone at
+// the primary, not merely unreachable, and must be dropped.
+func (r *Replica) noteMissing(name string, err error) (drop bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.states[name]
+	if st == nil {
+		return false
+	}
+	if !errors.Is(err, errDatasetMissing) {
+		st.missing = 0
+		return false
+	}
+	st.missing++
+	return st.missing >= r.opt.MissingLimit
+}
+
+func (r *Replica) clearMissing(name string) {
+	r.mu.Lock()
+	if st := r.states[name]; st != nil {
+		st.missing = 0
+	}
+	r.mu.Unlock()
+}
+
+// unclaim withdraws the tailer's claim and removes the dataset from the
+// local explorer: the primary no longer serves it, so keeping it would mean
+// serving an indefinitely stale ghost (and hammering the journal endpoint
+// with 404s every backoff). Parked WaitVersion callers wake, observe the
+// dataset as unknown, and time out as lagging. If the name reappears at the
+// primary, the discovery loop re-claims and re-bootstraps it fresh.
+func (r *Replica) unclaim(name string) {
+	r.mu.Lock()
+	st := r.states[name]
+	delete(r.states, name)
+	if st != nil {
+		close(st.notify)
+	}
+	r.mu.Unlock()
+	r.exp.RemoveDataset(name)
+	r.dropped.Add(1)
+	r.opt.Logf("repl: %q: missing at primary; un-claimed and dropped", name)
+}
+
 // bootstrap fetches the primary's snapshot and (re)registers the dataset.
 func (r *Replica) bootstrap(ctx context.Context, name string) error {
 	u := r.primary + "/api/v1/datasets/" + url.PathEscape(name) + "/snapshot"
-	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	resp, release, err := r.boundedGet(ctx, u, r.opt.HeaderTimeout)
 	if err != nil {
 		return err
 	}
-	resp, err := r.opt.Client.Do(req)
-	if err != nil {
-		return err
-	}
+	defer release()
 	defer drain(resp)
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return fmt.Errorf("snapshot fetch: %w", errDatasetMissing)
+	default:
 		return fmt.Errorf("snapshot fetch: status %d", resp.StatusCode)
 	}
 	epoch, err := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
@@ -293,14 +425,15 @@ func (r *Replica) tailOnce(ctx context.Context, name string) (fenced bool, err e
 
 	u := fmt.Sprintf("%s/api/v1/datasets/%s/journal?fromSeq=%d&epoch=%d&wait=%s&maxRecords=%d",
 		r.primary, url.PathEscape(name), applied+1, epoch, r.opt.PollWait, r.opt.MaxRecords)
-	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	// The primary legitimately parks a long-poll for up to PollWait before
+	// the first header byte, so the header budget is PollWait plus the
+	// ordinary headroom; a blackholed primary still stalls the tailer for
+	// at most that bound, never forever.
+	resp, release, err := r.boundedGet(ctx, u, r.opt.PollWait+r.opt.HeaderTimeout)
 	if err != nil {
 		return false, err
 	}
-	resp, err := r.opt.Client.Do(req)
-	if err != nil {
-		return false, err
-	}
+	defer release()
 	defer drain(resp)
 	if head, err := strconv.ParseUint(resp.Header.Get(HeaderHeadSeq), 10, 64); err == nil {
 		r.mu.Lock()
@@ -315,8 +448,9 @@ func (r *Replica) tailOnce(ctx context.Context, name string) (fenced bool, err e
 		return true, nil // epoch_fenced
 	case http.StatusNotFound:
 		// Dataset dropped at the primary (or the primary restarted without
-		// it). Keep serving; retry with backoff in case it returns.
-		return false, fmt.Errorf("journal: dataset missing at primary")
+		// it). tailDataset counts consecutive misses and un-claims at the
+		// limit rather than serving the stale dataset forever.
+		return false, fmt.Errorf("journal: %w", errDatasetMissing)
 	default:
 		return false, fmt.Errorf("journal: status %d", resp.StatusCode)
 	}
@@ -438,6 +572,7 @@ type ReplicaStats struct {
 	Bootstraps     int64  `json:"bootstraps"`
 	Fences         int64  `json:"fences"`
 	NetErrors      int64  `json:"netErrors"`
+	Dropped        int64  `json:"dropped"` // datasets un-claimed after going missing at the primary
 	MaxLag         uint64 `json:"maxLag"`
 }
 
@@ -451,6 +586,7 @@ func (r *Replica) Stats() ReplicaStats {
 		Bootstraps:     r.bootstraps.Load(),
 		Fences:         r.fences.Load(),
 		NetErrors:      r.netErrors.Load(),
+		Dropped:        r.dropped.Load(),
 	}
 	r.mu.Lock()
 	s.Datasets = len(r.states)

@@ -2,12 +2,14 @@ package repl
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
+	"slices"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -39,8 +41,10 @@ type Router struct {
 
 	reads       atomic.Int64
 	writes      atomic.Int64
+	sessions    atomic.Int64
 	passthrough atomic.Int64
 	failovers   atomic.Int64
+	relayAborts atomic.Int64
 	errors      atomic.Int64
 	perNode     []nodeCounters // index-aligned with nodes(): replicas then primary
 }
@@ -88,11 +92,11 @@ func NewRouter(primary string, replicas []string, opt RouterOptions) *Router {
 			rt.ring = append(rt.ring, ringPoint{hash: h.Sum32(), node: i})
 		}
 	}
-	sort.Slice(rt.ring, func(i, j int) bool {
-		if rt.ring[i].hash != rt.ring[j].hash {
-			return rt.ring[i].hash < rt.ring[j].hash
+	slices.SortFunc(rt.ring, func(a, b ringPoint) int {
+		if c := cmp.Compare(a.hash, b.hash); c != 0 {
+			return c
 		}
-		return rt.ring[i].node < rt.ring[j].node
+		return cmp.Compare(a.node, b.node)
 	})
 	rt.perNode = make([]nodeCounters, len(rt.replicas)+1)
 	return rt
@@ -142,16 +146,34 @@ func DatasetFromPath(p string) string {
 func (rt *Router) route(r *http.Request) (targets []string, class string) {
 	p := r.URL.Path
 	dataset := DatasetFromPath(p)
+	sub := "" // sub-resource path after the dataset segment
+	if dataset != "" {
+		rest, _ := strings.CutPrefix(p, "/api/v1/datasets/")
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			sub = rest[i:]
+		}
+	}
 	isMutation := r.Method == http.MethodPost && dataset != "" && strings.HasSuffix(p, "/mutations")
 	isUpload := r.Method == http.MethodPost && (p == "/api/upload" || p == "/api/upload/attributed")
+	isDelete := r.Method == http.MethodDelete && dataset != "" && sub == ""
 	isShipping := dataset != "" && (strings.HasSuffix(p, "/journal") || strings.HasSuffix(p, "/snapshot"))
+	isSession := sub == "/explore" || strings.HasPrefix(sub, "/explore/")
 	switch {
-	case isMutation, isUpload:
+	case isMutation, isUpload, isDelete:
 		return []string{rt.primary}, "write"
 	case isShipping:
 		// Replication-internal traffic: replicas must tail the primary's
 		// feed, never each other's.
 		return []string{rt.primary}, "passthrough"
+	case isSession && len(rt.replicas) > 0:
+		// Exploration sessions are server-side state living on exactly one
+		// node. A ring walk here would be failover theater: the next replica
+		// never saw the session, so a briefly-down or lagging home node would
+		// turn every /step into a session_not_found 404 — worse than the
+		// honest 502/503 the client can retry against the same home once it
+		// recovers. Stick to the home node, no fallback.
+		order := rt.replicaOrder(dataset)
+		return []string{rt.replicas[order[0]]}, "session"
 	case dataset != "" && len(rt.replicas) > 0:
 		order := rt.replicaOrder(dataset)
 		targets = make([]string, 0, len(order)+1)
@@ -191,6 +213,8 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		rt.reads.Add(1)
 	case "write":
 		rt.writes.Add(1)
+	case "session":
+		rt.sessions.Add(1)
 	default:
 		rt.passthrough.Add(1)
 	}
@@ -229,7 +253,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 			rt.failovers.Add(1)
 			continue
 		}
-		relay(w, resp, target)
+		rt.relay(w, resp, target)
 		return
 	}
 	writeRouterError(w, http.StatusBadGateway, "no upstream configured", "bad_gateway")
@@ -254,7 +278,7 @@ func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Re
 	return rt.opt.Client.Do(req)
 }
 
-func relay(w http.ResponseWriter, resp *http.Response, target string) {
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, target string) {
 	defer resp.Body.Close()
 	h := w.Header()
 	for k, vs := range resp.Header {
@@ -262,7 +286,16 @@ func relay(w http.ResponseWriter, resp *http.Response, target string) {
 	}
 	h.Set(HeaderServedBy, target)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The upstream died mid-body (or the client went away). The status
+		// line is already out, so the copy error cannot become an error
+		// response; swallowing it would hand the client a truncated body
+		// under a clean 200. Abort the connection instead — the client sees
+		// a torn response it knows to distrust.
+		rt.relayAborts.Add(1)
+		rt.opt.Logf("router: relay from %s aborted mid-body: %v", target, err)
+		panic(http.ErrAbortHandler)
+	}
 }
 
 func writeRouterError(w http.ResponseWriter, status int, msg, code string) {
@@ -284,15 +317,20 @@ func (rt *Router) nodeIndex(target string) int {
 
 // RouterStats is the router's /api/stats payload.
 type RouterStats struct {
-	Role      string               `json:"role"`
-	Primary   string               `json:"primary"`
-	Replicas  []string             `json:"replicas"`
-	Reads     int64                `json:"reads"`
-	Writes    int64                `json:"writes"`
-	Proxied   int64                `json:"proxied"`
-	Failovers int64                `json:"failovers"`
-	Errors    int64                `json:"errors"`
-	PerNode   map[string]NodeStats `json:"perNode"`
+	Role      string   `json:"role"`
+	Primary   string   `json:"primary"`
+	Replicas  []string `json:"replicas"`
+	Reads     int64    `json:"reads"`
+	Writes    int64    `json:"writes"`
+	Sessions  int64    `json:"sessions"` // session-scoped requests pinned to the home node
+	Proxied   int64    `json:"proxied"`
+	Failovers int64    `json:"failovers"`
+	// RelayAborts counts responses killed mid-body because the upstream died
+	// while the router was relaying — torn connections, never silent
+	// truncated 200s.
+	RelayAborts int64                `json:"relayAborts"`
+	Errors      int64                `json:"errors"`
+	PerNode     map[string]NodeStats `json:"perNode"`
 }
 
 // NodeStats is one upstream's share of router traffic.
@@ -304,15 +342,17 @@ type NodeStats struct {
 // Stats snapshots routing counters.
 func (rt *Router) Stats() RouterStats {
 	s := RouterStats{
-		Role:      "router",
-		Primary:   rt.primary,
-		Replicas:  rt.replicas,
-		Reads:     rt.reads.Load(),
-		Writes:    rt.writes.Load(),
-		Proxied:   rt.passthrough.Load(),
-		Failovers: rt.failovers.Load(),
-		Errors:    rt.errors.Load(),
-		PerNode:   map[string]NodeStats{},
+		Role:        "router",
+		Primary:     rt.primary,
+		Replicas:    rt.replicas,
+		Reads:       rt.reads.Load(),
+		Writes:      rt.writes.Load(),
+		Sessions:    rt.sessions.Load(),
+		Proxied:     rt.passthrough.Load(),
+		Failovers:   rt.failovers.Load(),
+		RelayAborts: rt.relayAborts.Load(),
+		Errors:      rt.errors.Load(),
+		PerNode:     map[string]NodeStats{},
 	}
 	for i := range rt.perNode {
 		name := rt.primary

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"cexplorer/internal/chaos"
 )
 
 func TestDatasetFromPath(t *testing.T) {
@@ -210,6 +212,110 @@ func TestRouterFailover(t *testing.T) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Code != "bad_gateway" {
 		t.Fatalf("all-down envelope code %q err %v", env.Code, err)
+	}
+}
+
+// TestRouterSessionRoutesStickToHome: exploration-session routes pin to the
+// dataset's home replica. A down or lagging home must surface its failure to
+// the client — never a ring walk onto a node that has no idea the session
+// exists and would answer session_not_found 404 to every step.
+func TestRouterSessionRoutesStickToHome(t *testing.T) {
+	p := newEchoNode("primary")
+	r0 := newEchoNode("r0")
+	r1 := newEchoNode("r1")
+	defer p.ts.Close()
+	defer r0.ts.Close()
+	defer r1.ts.Close()
+	rt := NewRouter(p.ts.URL, []string{r0.ts.URL, r1.ts.URL}, RouterOptions{})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	nodes := []*echoNode{r0, r1}
+	home := nodes[rt.replicaOrder("d")[0]]
+	other := nodes[1-rt.replicaOrder("d")[0]]
+
+	post := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(front.URL+path, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// Healthy home: create and step both land there.
+	resp := post("/api/v1/datasets/d/explore")
+	if got := resp.Header.Get(HeaderServedBy); got != home.ts.URL {
+		t.Fatalf("session create served by %q, want home %q", got, home.ts.URL)
+	}
+	post("/api/v1/datasets/d/explore/abc/step")
+	if home.hits.Load() != 2 || other.hits.Load() != 0 {
+		t.Fatalf("session traffic off-home: home=%d other=%d", home.hits.Load(), other.hits.Load())
+	}
+
+	// Lagging home: the failure is relayed, not "failed over" to a node
+	// that never saw the session.
+	home.status.Store(503)
+	resp = post("/api/v1/datasets/d/explore/abc/step")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("down-home step status = %d, want the home's own 503", resp.StatusCode)
+	}
+	if other.hits.Load() != 0 || p.hits.Load() != 0 {
+		t.Fatalf("session request walked the ring: other=%d primary=%d", other.hits.Load(), p.hits.Load())
+	}
+
+	// Plain dataset reads on the same dataset still fail over as before.
+	rresp, err := http.Get(front.URL + "/api/v1/datasets/d/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if got := rresp.Header.Get(HeaderServedBy); got == home.ts.URL {
+		t.Fatal("plain read stuck to the lagging home")
+	}
+	if s := rt.Stats(); s.Sessions != 3 {
+		t.Fatalf("sessions counter = %d, want 3 (stats %+v)", s.Sessions, s)
+	}
+}
+
+// TestRouterRelayAbortsOnTruncatedUpstream: an upstream dying mid-body must
+// tear the client connection (http.ErrAbortHandler), never complete a
+// truncated body under a clean 200. The dying upstream is the chaos proxy's
+// Truncate fault — the exact failure the chaos suite schedules.
+func TestRouterRelayAbortsOnTruncatedUpstream(t *testing.T) {
+	body := strings.Repeat("x", 64<<10)
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		io.WriteString(w, body)
+	}))
+	defer up.Close()
+	px, err := chaos.NewProxy(up.URL, chaos.Plan{{Kind: chaos.Truncate, After: 1024}}, chaos.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	rt := NewRouter(px.URL(), nil, RouterOptions{Logf: t.Logf})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/api/v1/datasets/d/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && len(got) == len(body) {
+		t.Fatal("truncated upstream relayed as a complete body")
+	}
+	if rerr == nil {
+		t.Fatalf("truncated upstream relayed as a clean EOF after %d of %d bytes", len(got), len(body))
+	}
+	if aborts := rt.Stats().RelayAborts; aborts != 1 {
+		t.Fatalf("relayAborts = %d, want 1", aborts)
 	}
 }
 

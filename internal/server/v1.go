@@ -17,6 +17,7 @@ package server
 //	GET    /api/v1/datasets/{name}/explore/{id}     — session state
 //	POST   /api/v1/datasets/{name}/explore/{id}/step — expand/contract/set k
 //	DELETE /api/v1/datasets/{name}/explore/{id}     — close a session
+//	DELETE /api/v1/datasets/{name}                  — drop a dataset (primary)
 //	GET    /api/v1/algorithms                       — registered algorithms
 //
 // Community lists paginate with limit/offset and always report the total,
@@ -28,6 +29,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 func (s *Server) registerV1(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v1/datasets", s.v1ListDatasets)
 	mux.HandleFunc("GET /api/v1/datasets/{name}", s.v1GetDataset)
+	mux.HandleFunc("DELETE /api/v1/datasets/{name}", s.v1DeleteDataset)
 	mux.HandleFunc("GET /api/v1/datasets/{name}/vertices/{id}", s.v1GetVertex)
 	mux.HandleFunc("POST /api/v1/datasets/{name}/mutations", s.v1Mutations)
 	mux.HandleFunc("POST /api/v1/datasets/{name}/search", s.v1Search)
@@ -64,6 +67,36 @@ func (s *Server) v1GetDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.datasetInfo(name, ds))
+}
+
+// v1DeleteDataset drops a dataset wholesale: registry, exploration
+// sessions, cached results, catalog snapshot + journal, and the replication
+// feed buffer. Parked journal long-polls wake and see 404 from then on, so
+// replicas un-claim and drop the dataset too instead of serving a stale
+// ghost forever. Replicas refuse the call — dataset lifecycle is the
+// primary's to decide and replicate, never a per-node edit.
+func (s *Server) v1DeleteDataset(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if !s.exp.RemoveDataset(name) {
+		s.writeError(w, fmt.Errorf("%w: %q", api.ErrDatasetNotFound, name))
+		return
+	}
+	if f := s.feed(); f != nil {
+		f.Reset(name)
+	}
+	if dir := s.DataDir(); dir != "" {
+		s.journalMu.Lock()
+		s.resetJournalLocked(name)
+		if err := os.Remove(snapshotPath(dir, name)); err != nil && !os.IsNotExist(err) {
+			s.logf("catalog: removing snapshot for %s: %v", name, err)
+		}
+		s.journalMu.Unlock()
+	}
+	s.logf("dataset %s deleted", name)
+	writeJSON(w, map[string]any{"deleted": name})
 }
 
 // v1GetVertex resolves the {id} path segment as a vertex id when numeric,

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -91,6 +92,67 @@ func TestV1DatasetsResource(t *testing.T) {
 	if len(algos.CS) == 0 || len(algos.CD) == 0 {
 		t.Fatalf("algorithms = %+v", algos)
 	}
+}
+
+// TestV1DeleteDataset pins the delete contract: the dataset disappears from
+// the registry AND the on-disk catalog (snapshot + journal), open exploration
+// sessions on it close, and unknown names answer the typed 404. Replicas
+// lean on this — their tailers turn the resulting 404s into an un-claim.
+func TestV1DeleteDataset(t *testing.T) {
+	dir := t.TempDir()
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, t.Logf)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := exp.Dataset("fig5")
+	if _, err := s.PersistDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A mutation grows a journal tail on disk; an explore create opens a
+	// session — delete must clean up both.
+	var mresp mutationResponse
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/mutations",
+		map[string]any{"op": "addEdge", "u": 0, "v": 9}, &mresp)
+	if mresp.Version != 1 || !mresp.Journaled {
+		t.Fatalf("mutation: %+v", mresp)
+	}
+	var st v1State
+	doJSON(t, "POST", ts.URL+"/api/v1/datasets/fig5/explore",
+		map[string]any{"name": "A", "k": 2}, &st)
+	if st.ID == "" {
+		t.Fatalf("explore create: %+v", st)
+	}
+
+	var del struct {
+		Deleted string `json:"deleted"`
+	}
+	resp := doJSON(t, "DELETE", ts.URL+"/api/v1/datasets/fig5", nil, &del)
+	if resp.StatusCode != 200 || del.Deleted != "fig5" {
+		t.Fatalf("delete: status %d body %+v", resp.StatusCode, del)
+	}
+
+	// Gone everywhere: registry, session table, and the catalog files.
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/datasets/fig5", nil, 404, "dataset_not_found")
+	wantEnvelope(t, "GET", ts.URL+"/api/v1/datasets/fig5/explore/"+st.ID, nil, 404, "session_not_found")
+	if _, err := os.Stat(snapshotPath(dir, "fig5")); !os.IsNotExist(err) {
+		t.Fatalf("catalog snapshot survived delete: err=%v", err)
+	}
+	if _, err := os.Stat(journalPath(dir, "fig5")); !os.IsNotExist(err) {
+		t.Fatalf("journal survived delete: err=%v", err)
+	}
+	if snap := s.Stats(); snap.Explore.Active != 0 {
+		t.Fatalf("sessions not closed on delete: %+v", snap.Explore)
+	}
+
+	// Deleting again (or any unknown name) is the typed 404.
+	wantEnvelope(t, "DELETE", ts.URL+"/api/v1/datasets/fig5", nil, 404, "dataset_not_found")
 }
 
 func TestV1VertexResource(t *testing.T) {

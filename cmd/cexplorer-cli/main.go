@@ -8,13 +8,18 @@
 //	mutate  -server URL -dataset NAME -op addEdge -u 1 -v 2   (single op)
 //	mutate  -server URL -dataset NAME -file ops.json          (batch)
 //	journal inspect FILE.cxjrnl                               (verify + dump)
+//	fleet   status -nodes URL1,URL2,...                       (probe a fleet)
 //
-// mutate is the one networked subcommand: it posts streaming graph edits to
-// a running server's /api/v1/datasets/{name}/mutations route, since
-// mutations only make sense against live, versioned serving state.
+// mutate posts streaming graph edits to a running server's
+// /api/v1/datasets/{name}/mutations route, since mutations only make sense
+// against live, versioned serving state.
 // journal inspect walks a mutation journal frame by frame — the same CRC
 // checks the server's replay and the replication feed perform — and prints
 // each record's version, op breakdown, and frame size, plus any torn tail.
+// fleet status probes each node's /api/v1/health (the same endpoint the
+// router's failure detector uses) and prints a table of role, fleet epoch,
+// and per-dataset applied position and lag — the operator's view of who is
+// primary after a failover.
 package main
 
 import (
@@ -26,12 +31,16 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"cexplorer/internal/api"
 	"cexplorer/internal/cltree"
 	"cexplorer/internal/graph"
+	"cexplorer/internal/repl"
 	"cexplorer/internal/snapshot"
 )
 
@@ -53,13 +62,15 @@ func main() {
 		runMutate(args)
 	case "journal":
 		runJournal(args)
+	case "fleet":
+		runFleet(args)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index|mutate|journal} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cexplorer-cli {search|detect|analyze|index|mutate|journal|fleet} [flags]")
 	os.Exit(2)
 }
 
@@ -337,6 +348,81 @@ func opSummary(counts map[byte]int) string {
 		return "(empty)"
 	}
 	return strings.Join(parts, " ")
+}
+
+// runFleet dispatches the fleet subcommands (status, for now).
+func runFleet(args []string) {
+	if len(args) < 1 || args[0] != "status" {
+		fmt.Fprintln(os.Stderr, "usage: cexplorer-cli fleet status -nodes URL1,URL2,...")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("fleet status", flag.ExitOnError)
+	nodes := fs.String("nodes", "", "comma-separated node base URLs to probe")
+	timeout := fs.Duration("timeout", 2*time.Second, "probe deadline per node")
+	fatal(fs.Parse(args[1:]))
+	var list []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimRight(strings.TrimSpace(n), "/"); n != "" {
+			list = append(list, n)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "fleet status: -nodes lists no usable URLs")
+		os.Exit(2)
+	}
+
+	type probed struct {
+		node   string
+		health *repl.HealthStatus
+		err    error
+	}
+	results := make([]probed, len(list))
+	var wg sync.WaitGroup
+	for i, n := range list {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			h, err := repl.FetchHealth(ctx, nil, n)
+			results[i] = probed{node: n, health: h, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+
+	unreachable := 0
+	fmt.Printf("%-32s %-10s %6s %8s %s\n", "NODE", "ROLE", "EPOCH", "UPTIME", "PRIMARY")
+	for _, p := range results {
+		if p.err != nil {
+			unreachable++
+			fmt.Printf("%-32s %-10s %6s %8s (%v)\n", p.node, "DOWN", "-", "-", p.err)
+			continue
+		}
+		h := p.health
+		fmt.Printf("%-32s %-10s %6d %7ds %s\n", p.node, h.Role, h.FleetEpoch, h.UptimeSec, h.Primary)
+	}
+	fmt.Println()
+	fmt.Printf("%-32s %-16s %22s %10s %10s %6s %s\n",
+		"NODE", "DATASET", "EPOCH", "APPLIED", "HEAD", "LAG", "PHASE")
+	for _, p := range results {
+		if p.err != nil {
+			continue
+		}
+		names := make([]string, 0, len(p.health.Datasets))
+		for name := range p.health.Datasets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d := p.health.Datasets[name]
+			lag := int64(d.HeadSeq) - int64(d.AppliedSeq)
+			fmt.Printf("%-32s %-16s %22d %10d %10d %6d %s\n",
+				p.node, name, d.Epoch, d.AppliedSeq, d.HeadSeq, lag, d.Phase)
+		}
+	}
+	if unreachable > 0 {
+		os.Exit(1)
+	}
 }
 
 // runMutate posts one mutation (or a -file batch) to a running server and

@@ -14,7 +14,12 @@
 // replica bootstraps every dataset from the primary's snapshots, tails the
 // journal, and serves reads (writes answer 403 read_only); a router fronts
 // the fleet, sending writes to the primary and fanning dataset reads across
-// the replicas by consistent hashing on the dataset name.
+// the replicas by consistent hashing on the dataset name. A router with
+// self-healing on (the default; tune with -probe.interval, -probe.failures,
+// -promote) probes every node's /api/v1/health, ejects dead nodes from the
+// read ring via a per-node circuit breaker, and on sustained primary failure
+// promotes the most-caught-up replica under a fenced fleet epoch. All roles
+// drain gracefully on SIGTERM/SIGINT (-drain.timeout).
 //
 // Without -edges the server serves the built-in datasets: the paper's
 // Figure-5 example graph and a synthetic DBLP-like network (size via
@@ -33,13 +38,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"cexplorer/internal/api"
@@ -88,11 +96,20 @@ func runServer() {
 		replicaWait   = flag.Duration("replica.wait", 2*time.Second, "read-your-writes catch-up budget before a replica answers 503 replica_lagging")
 		replRefresh   = flag.Duration("replica.refresh", 15*time.Second, "replica dataset-discovery period")
 		replBuffer    = flag.Int("repl.buffer", repl.DefaultFeedRecords, "journal-shipping buffer capacity in records per dataset (primary role)")
+		probeInterval = flag.Duration("probe.interval", time.Second, "router health-probe cadence (0 disables self-healing)")
+		probeFailures = flag.Int("probe.failures", 3, "consecutive probe failures before a node's circuit opens")
+		promote       = flag.Bool("promote", true, "router: auto-promote the most-caught-up replica when the primary is declared down")
+		drainTimeout  = flag.Duration("drain.timeout", 10*time.Second, "graceful-shutdown drain budget on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
 	if *role == "router" {
-		runRouter(*addr, *primaryURL, *replicaList)
+		runRouter(*addr, *primaryURL, *replicaList, routerHealOptions{
+			interval: *probeInterval,
+			failures: *probeFailures,
+			promote:  *promote,
+			drain:    *drainTimeout,
+		})
 		return
 	}
 
@@ -120,6 +137,31 @@ func runServer() {
 		srv.EnableBatcher(api.BatcherOptions{MaxOps: *batchSize, MaxWait: *batchWait})
 	}
 
+	// Fleet control: both server roles get the role-transition endpoints, so
+	// a router can promote a replica or demote a returning stale primary
+	// without operator intervention. The tailer factory is also what a
+	// demotion uses to start following the new primary.
+	srv.EnableFleet(server.FleetControl{
+		StartTailer: func(primaryURL string) (server.ReplicaSource, func()) {
+			rep := repl.NewReplica(exp, primaryURL, repl.ReplicaOptions{
+				Refresh: *replRefresh,
+				Logf:    log.Printf,
+			})
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rep.Run(ctx)
+			}()
+			return rep, func() {
+				cancel()
+				<-done
+			}
+		},
+		Feed:        repl.FeedOptions{MaxRecords: *replBuffer},
+		ReplicaWait: *replicaWait,
+	})
+
 	if *role == "replica" {
 		// A replica owns no data: it bootstraps everything from the primary
 		// and applies the journal stream, so local sources and the catalog
@@ -130,17 +172,9 @@ func runServer() {
 		if *dataDir != "" || *edges != "" {
 			log.Printf("replica: ignoring -data.dir/-edges (datasets come from the primary)")
 		}
-		rep := repl.NewReplica(exp, *primaryURL, repl.ReplicaOptions{
-			Refresh: *replRefresh,
-			Logf:    log.Printf,
-		})
-		srv.EnableReplicationReplica(rep, *replicaWait)
-		go rep.Run(context.Background())
+		srv.StartFleetReplica(*primaryURL)
 		log.Printf("replica: tailing %s (refresh %s, read-your-writes wait %s)", *primaryURL, *replRefresh, *replicaWait)
-		if err := srv.ListenAndServe(*addr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		serveUntilSignal(srv, *addr, *drainTimeout)
 		return
 	}
 	if *role != "primary" {
@@ -212,15 +246,50 @@ func runServer() {
 		}
 	}
 
-	if err := srv.ListenAndServe(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	serveUntilSignal(srv, *addr, *drainTimeout)
+}
+
+// serveUntilSignal runs the server until it fails or a SIGTERM/SIGINT
+// arrives, then drains gracefully: in-flight requests finish (bounded by the
+// drain budget), journal long-polls are released, and a replica's tailer
+// stops before the listener closes.
+func serveUntilSignal(srv *server.Server, addr string, drain time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(addr) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills us
+		log.Printf("shutdown: draining (budget %s)", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-errc // ListenAndServe returns nil after a clean Shutdown
+		log.Printf("shutdown: complete")
 	}
 }
 
+// routerHealOptions carries the self-healing flags into runRouter.
+type routerHealOptions struct {
+	interval time.Duration
+	failures int
+	promote  bool
+	drain    time.Duration
+}
+
 // runRouter serves the routing role: no engine, no datasets — just the
-// consistent-hash proxy over the primary and replicas.
-func runRouter(addr, primary, replicaList string) {
+// consistent-hash proxy over the primary and replicas, plus (unless
+// -probe.interval=0) the health monitor and promotion supervisor.
+func runRouter(addr, primary, replicaList string, heal routerHealOptions) {
 	if primary == "" {
 		log.Fatalf("-role router requires -primary")
 	}
@@ -231,6 +300,21 @@ func runRouter(addr, primary, replicaList string) {
 		}
 	}
 	rt := repl.NewRouter(primary, replicas, repl.RouterOptions{Logf: log.Printf})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	if heal.interval > 0 {
+		rt.EnableSelfHealing(repl.SelfHealOptions{
+			Monitor: repl.MonitorOptions{
+				Interval:      heal.interval,
+				FailThreshold: heal.failures,
+				Logf:          log.Printf,
+			},
+			Promote: heal.promote,
+		})
+		go rt.Run(ctx)
+		log.Printf("router: self-healing on (probe %s, threshold %d, promote %v)",
+			heal.interval, heal.failures, heal.promote)
+	}
 	log.Printf("router: writes → %s, reads → %d replica(s) by dataset hash", primary, len(replicas))
 	srv := &http.Server{
 		Addr:              addr,
@@ -239,9 +323,25 @@ func runRouter(addr, primary, replicaList string) {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown: draining router (budget %s)", heal.drain)
+		sctx, cancel := context.WithTimeout(context.Background(), heal.drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		<-errc
+		log.Printf("shutdown: complete")
 	}
 }
 

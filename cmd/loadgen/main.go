@@ -18,6 +18,13 @@
 // A 429 response (the admission controller shedding) is tallied as "shed",
 // not as a failure — bounded-latency rejection under overload is the
 // speed layer behaving as designed.
+//
+// With -retry503 a 503 answer (no_primary during an election window,
+// replica_lagging during catch-up) is retried within the request timeout,
+// honouring the Retry-After header — the client posture the self-healing
+// fleet is designed for. When any write fails, the report gains a
+// "recovery" block measuring time-to-recovery: from the first failed write
+// to the first write that succeeded afterwards.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,6 +65,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		writes   = flag.Float64("writes", 0, "fraction of arrivals that are addEdge mutations (0..1)")
 		writeN   = flag.Int("write.vertices", 100, "mutations draw edge endpoints from 0..n-1 (keep within the dataset's vertex count)")
+		retry503 = flag.Bool("retry503", false, "retry 503 answers within the request timeout, honouring Retry-After")
 	)
 	flag.Parse()
 
@@ -117,6 +126,31 @@ func main() {
 	var latMu sync.Mutex
 	perTargetLat := make([][]time.Duration, len(targets))
 
+	// Time-to-recovery bookkeeping: the wall-clock offsets (from run start)
+	// of the first failed write and of the first write that succeeded after
+	// it — the outage window a failover leaves in the write stream.
+	var (
+		recMu        sync.Mutex
+		firstFail    time.Duration = -1
+		recovered    time.Duration = -1
+		failedWrites int64
+	)
+	runStart := time.Now()
+	noteWrite := func(ok bool) {
+		recMu.Lock()
+		defer recMu.Unlock()
+		if !ok {
+			failedWrites++
+			if firstFail < 0 {
+				firstFail = time.Since(runStart)
+			}
+			return
+		}
+		if firstFail >= 0 && recovered < 0 {
+			recovered = time.Since(runStart)
+		}
+	}
+
 	rep := loadgen.Run(context.Background(), loadgen.Config{
 		Rate:     *rate,
 		Duration: *duration,
@@ -133,41 +167,103 @@ func main() {
 		i := turn.Add(1)
 		node := int(i) % len(targets)
 		path, body := searchPath, bodies[int(i)%len(bodies)]
+		write := false
 		if *writes > 0 && isWrite() {
+			write = true
 			path = mutatePath
 			u, v := randomEdge()
 			body, _ = json.Marshal(map[string]any{"op": "addEdge", "u": u, "v": v})
 		}
-		req, err := http.NewRequestWithContext(ctx, "POST", targets[node]+path, bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
 		t0 := time.Now()
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return err
+		var status int
+		for {
+			req, err := http.NewRequestWithContext(ctx, "POST", targets[node]+path, bytes.NewReader(body))
+			if err != nil {
+				if write {
+					noteWrite(false)
+				}
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				if write {
+					noteWrite(false)
+				}
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			status = resp.StatusCode
+			if status != http.StatusServiceUnavailable || !*retry503 {
+				break
+			}
+			// 503 + -retry503: back off as the server asked (default 200ms)
+			// and try again until the request timeout expires.
+			wait := 200 * time.Millisecond
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if sec, err := strconv.Atoi(ra); err == nil && sec > 0 {
+					wait = time.Duration(sec) * time.Second
+				}
+			}
+			select {
+			case <-ctx.Done():
+				if write {
+					noteWrite(false)
+				}
+				return ctx.Err()
+			case <-time.After(wait):
+			}
 		}
-		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body)
 		latMu.Lock()
 		perTargetLat[node] = append(perTargetLat[node], time.Since(t0))
 		latMu.Unlock()
 		switch {
-		case resp.StatusCode == http.StatusTooManyRequests:
+		case status == http.StatusTooManyRequests:
+			if write {
+				noteWrite(false)
+			}
 			return errShed
-		case resp.StatusCode >= 400 && resp.StatusCode != http.StatusConflict:
+		case status >= 400 && status != http.StatusConflict:
 			// A mutation conflict (double-insert of a random edge) is an
 			// expected outcome of the random write mix, not a server failure.
-			return fmt.Errorf("status %d", resp.StatusCode)
+			if write {
+				noteWrite(false)
+			}
+			return fmt.Errorf("status %d", status)
+		}
+		if write {
+			noteWrite(true)
 		}
 		return nil
 	})
 
+	type recoveryReport struct {
+		FirstFailureMs int64 `json:"firstFailureMs"`
+		RecoveredMs    int64 `json:"recoveredMs"` // -1 = writes never recovered
+		OutageMs       int64 `json:"outageMs"`    // -1 = writes never recovered
+		FailedWrites   int64 `json:"failedWrites"`
+	}
 	out := struct {
 		loadgen.Report
 		PerTarget map[string]loadgen.Percentiles `json:"perTarget,omitempty"`
+		Recovery  *recoveryReport                `json:"recovery,omitempty"`
 	}{Report: rep}
+	recMu.Lock()
+	if firstFail >= 0 {
+		rr := &recoveryReport{
+			FirstFailureMs: firstFail.Milliseconds(),
+			RecoveredMs:    -1,
+			OutageMs:       -1,
+			FailedWrites:   failedWrites,
+		}
+		if recovered >= 0 {
+			rr.RecoveredMs = recovered.Milliseconds()
+			rr.OutageMs = (recovered - firstFail).Milliseconds()
+		}
+		out.Recovery = rr
+	}
+	recMu.Unlock()
 	if len(targets) > 1 {
 		out.PerTarget = make(map[string]loadgen.Percentiles, len(targets))
 		for i, u := range targets {

@@ -36,6 +36,7 @@ type Proxy struct {
 
 	next     atomic.Int64
 	disabled atomic.Bool
+	forced   atomic.Int64 // Kind forced on every new connection; -1 = none
 	closed   chan struct{}
 	closeOne sync.Once
 	wg       sync.WaitGroup
@@ -72,6 +73,7 @@ func NewProxy(upstream string, plan Plan, opt Options) (*Proxy, error) {
 		closed:   make(chan struct{}),
 		conns:    map[net.Conn]struct{}{},
 	}
+	p.forced.Store(int64(None) - 1)
 	p.wg.Add(1)
 	go p.serve()
 	return p, nil
@@ -93,6 +95,28 @@ func (p *Proxy) Injected(k Kind) int64 {
 		return 0
 	}
 	return p.injected[k].Load()
+}
+
+// Force overrides the plan: every connection accepted from now on suffers
+// the given fault kind until Restore. Unlike the per-connection plan
+// (consumed in accept order), Force is a toggleable condition — what a
+// partition looks like: Force(Blackhole) takes the upstream off the network,
+// Restore puts it back. Forcing also severs in-flight connections so the
+// condition applies immediately, not only to the next dial.
+func (p *Proxy) Force(k Kind) {
+	if k < 0 || k >= numKinds {
+		return
+	}
+	p.forced.Store(int64(k))
+	p.closeActive()
+}
+
+// Restore lifts a Force: subsequent connections fall back to the plan (or
+// transparency after Disable). In-flight forced connections are severed so
+// recovery is immediate.
+func (p *Proxy) Restore() {
+	p.forced.Store(int64(None) - 1)
+	p.closeActive()
 }
 
 // Disable ends the storm: every connection from now on is transparent, and
@@ -141,7 +165,9 @@ func (p *Proxy) serve() {
 		}
 		i := int(p.next.Add(1) - 1)
 		var f Fault
-		if !p.disabled.Load() && i < len(p.plan) {
+		if forced := p.forced.Load(); forced >= 0 {
+			f = Fault{Kind: Kind(forced)}
+		} else if !p.disabled.Load() && i < len(p.plan) {
 			f = p.plan[i]
 		}
 		p.injected[f.Kind].Add(1)

@@ -40,8 +40,9 @@ type Feed struct {
 	epochSalt  uint64
 	epochCount atomic.Uint64
 
-	mu     sync.Mutex
-	states map[string]*feedState
+	mu       sync.Mutex
+	states   map[string]*feedState
+	draining bool
 
 	published      atomic.Int64
 	publishedOps   atomic.Int64
@@ -246,8 +247,9 @@ func (f *Feed) Ship(ctx context.Context, name string, epoch, fromSeq uint64, max
 		}
 		// Caught up: long-poll or return empty.
 		notify := st.notify
+		draining := f.draining
 		f.mu.Unlock()
-		if wait <= 0 {
+		if wait <= 0 || draining {
 			return res, true
 		}
 		select {
@@ -259,6 +261,23 @@ func (f *Feed) Ship(ctx context.Context, name string, epoch, fromSeq uint64, max
 			// Re-examine: a publish extended the head, or a reset fenced us.
 		}
 	}
+}
+
+// Drain releases every parked long-poller and makes subsequent Ship calls
+// answer immediately instead of parking. Call on graceful shutdown (so
+// replicas' in-flight long-polls return within one round trip, not after
+// PollWait) and on demotion (the feed is being abandoned). Publishing after
+// Drain still works but no longer parks anyone; there is no un-drain.
+func (f *Feed) Drain() {
+	f.mu.Lock()
+	if !f.draining {
+		f.draining = true
+		for _, st := range f.states {
+			close(st.notify)
+			st.notify = make(chan struct{})
+		}
+	}
+	f.mu.Unlock()
 }
 
 // FeedStats is the primary-side replication counter block for /api/stats.

@@ -1,0 +1,151 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HealthStatus is the body of GET /api/v1/health — deliberately tiny, so a
+// probe is cheap enough to run every second against every node. It carries
+// exactly what the failure detector and the promotion protocol need: who the
+// node thinks it is (role, fleet epoch, tail target) and how far it has
+// applied each dataset.
+type HealthStatus struct {
+	// Role is "primary", "replica", or "standalone".
+	Role string `json:"role"`
+	// FleetEpoch is the node's promotion counter. Zero means the node has
+	// never taken part in a promotion (a freshly started replica); a
+	// primary always reports at least 1.
+	FleetEpoch uint64 `json:"fleetEpoch"`
+	// Primary is the upstream a replica tails (empty on a primary or
+	// standalone node). The router's supervision loop compares it against
+	// the fleet topology to find replicas left pointing at a dead node.
+	Primary string `json:"primary,omitempty"`
+	// UptimeSec is seconds since the server started.
+	UptimeSec int64 `json:"uptimeSec"`
+	// Datasets maps dataset name to per-dataset replication position.
+	Datasets map[string]DatasetHealth `json:"datasets,omitempty"`
+	// Promotions and Demotions count role transitions this boot.
+	Promotions uint64 `json:"promotions,omitempty"`
+	Demotions  uint64 `json:"demotions,omitempty"`
+}
+
+// DatasetHealth is one dataset's replication position as reported by health.
+type DatasetHealth struct {
+	// Epoch is the snapshot epoch the position is relative to.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// AppliedSeq is the last journal sequence applied locally. Sequence
+	// numbers are versions, so on a primary this is simply the dataset
+	// Version.
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// HeadSeq is the newest sequence known to exist upstream (equals
+	// AppliedSeq on a primary). HeadSeq-AppliedSeq is the replication lag.
+	HeadSeq uint64 `json:"headSeq"`
+	// Phase is the replica tail phase ("tailing", "bootstrapping", ...);
+	// empty on a primary.
+	Phase string `json:"phase,omitempty"`
+}
+
+// AppliedTotal sums AppliedSeq across datasets — the scalar the election
+// ranks candidates by. Summing is safe because every node tails the same
+// dataset set from the same lineage; a candidate missing a dataset entirely
+// scores lower, which is the desired order.
+func (h *HealthStatus) AppliedTotal() uint64 {
+	var total uint64
+	for _, d := range h.Datasets {
+		total += d.AppliedSeq
+	}
+	return total
+}
+
+// FetchHealth probes one node's health endpoint. The ctx bounds the whole
+// probe (the monitor passes a per-probe deadline); any transport error,
+// non-200 status, or undecodable body is an error — the caller counts it as
+// a probe failure, nothing more granular.
+func FetchHealth(ctx context.Context, client *http.Client, baseURL string) (*HealthStatus, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimRight(baseURL, "/") + "/api/v1/health"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("health %s: status %d", baseURL, resp.StatusCode)
+	}
+	var h HealthStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("health %s: %w", baseURL, err)
+	}
+	return &h, nil
+}
+
+// promoteRequest is the body of POST /api/v1/promote: the fleet epoch the
+// candidate must adopt and the peers it must verify it is caught up against.
+type promoteRequest struct {
+	Epoch uint64   `json:"epoch"`
+	Peers []string `json:"peers,omitempty"`
+}
+
+// demoteRequest is the body of POST /api/v1/demote: the (higher) fleet epoch
+// that fences the node and the primary it must start tailing.
+type demoteRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary"`
+}
+
+// retargetRequest is the body of POST /api/v1/retarget: point a replica's
+// tailer at a new primary under the given fleet epoch.
+type retargetRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary"`
+}
+
+// postControl issues one fleet-control POST (promote/demote/retarget) and
+// decodes nothing but success: 2xx nil, anything else an error carrying the
+// status for the caller's logs.
+func postControl(ctx context.Context, client *http.Client, baseURL, path string, body any) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(baseURL, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("%s %s: status %d", path, baseURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// healthDeadline is the default per-probe budget when the caller did not
+// configure one.
+const healthDeadline = 2 * time.Second

@@ -71,6 +71,50 @@
 // Degradation is by design, not by accident: through all of the above a
 // replica keeps serving its last-applied version, and convergence resumes
 // when the fault clears.
+//
+// # Promotion protocol (self-healing fleet)
+//
+// The primary is the only single point of failure the fault model above
+// leaves standing, so the router doubles as the failure detector and
+// promotion coordinator:
+//
+//  1. Detect. The router's Monitor probes every node's GET /api/v1/health
+//     on a fixed cadence with a per-probe deadline and keeps a circuit
+//     breaker per node: FailThreshold consecutive probe failures open the
+//     circuit (the node leaves the read ring immediately; open nodes are
+//     re-probed on exponential backoff), one success moves it to half-open,
+//     and a second closes it again.
+//  2. Elect. When the primary's circuit opens and promotion is enabled,
+//     the router ranks the reachable replicas by total appliedSeq (from
+//     their last health payloads) and asks the best one to promote,
+//     passing a fleet epoch one above the highest it has observed. The
+//     candidate independently re-verifies it is the most caught up among
+//     the reachable peers (409 not_caught_up sends the router to the next
+//     candidate), stops its tailer, opens its own journal Feed — with
+//     fresh, boot-salted snapshot epochs no old cursor can match — and
+//     flips to accepting writes.
+//  3. Re-target. Surviving replicas are pointed at the new primary
+//     (Replica.Retarget); their first shipping request against the new
+//     feed fences on the epoch mismatch and they re-bootstrap from the new
+//     primary's snapshots.
+//  4. Fence the past. Every write the router forwards is stamped with the
+//     fleet epoch (X-CExplorer-Fleet-Epoch); a node whose own epoch
+//     differs answers 409 epoch_fenced without applying, so a stale
+//     primary that comes back can never acknowledge a routed write. When
+//     the old primary reappears, the router sees its stale epoch and
+//     demotes it: it drops its feed, starts a tailer against the new
+//     primary, and re-bootstraps — the new primary's lineage wins.
+//
+// During the election window reads keep flowing from the replicas while
+// writes answer a typed 503 no_primary with Retry-After, bounding write
+// unavailability at roughly (FailThreshold × probe interval) + one
+// promotion round trip.
+//
+// The failure model is asynchronous replication, stated plainly: a
+// mutation acknowledged by the old primary but not yet shipped when the
+// primary died is LOST on promotion. The fleet converges on the new
+// primary's lineage; durability of acknowledged-but-unshipped writes is
+// bounded by replication lag, not zero.
 package repl
 
 import (
@@ -103,6 +147,12 @@ const (
 	// HeaderServedBy is stamped by the router with the upstream node that
 	// actually answered.
 	HeaderServedBy = "X-CExplorer-Served-By"
+	// HeaderFleetEpoch stamps a routed write with the router's fleet epoch
+	// (the promotion counter, distinct from per-dataset snapshot epochs).
+	// A node whose own fleet epoch differs answers 409 epoch_fenced
+	// without applying: the split-brain guard that keeps a stale primary
+	// from acknowledging writes after a promotion.
+	HeaderFleetEpoch = "X-CExplorer-Fleet-Epoch"
 )
 
 // Error envelope codes introduced by replication (the envelope shape is the
@@ -116,6 +166,13 @@ const (
 	CodeReplicaLagging = "replica_lagging"
 	// CodeReadOnly (HTTP 403): a mutation or upload reached a replica.
 	CodeReadOnly = "read_only"
+	// CodeNoPrimary (HTTP 503): the fleet has no reachable primary (an
+	// election is in progress, or a demoted node no longer hosts a feed).
+	// Always served with Retry-After; the write is safe to retry.
+	CodeNoPrimary = "no_primary"
+	// CodeNotCaughtUp (HTTP 409): a promotion candidate found a reachable
+	// peer with a higher applied sequence and refused the promotion.
+	CodeNotCaughtUp = "not_caught_up"
 )
 
 // ContentTypeJournal is the media type of a journal-shipping response body:

@@ -64,11 +64,16 @@ type ReplicaOptions struct {
 // Explorer throughout; when the primary is unreachable the replica simply
 // stops advancing and keeps serving its last-applied version.
 type Replica struct {
-	exp     *api.Explorer
-	primary string
-	opt     ReplicaOptions
+	exp *api.Explorer
+	opt ReplicaOptions
 
-	mu     sync.Mutex
+	mu      sync.Mutex
+	primary string
+	// gen counts re-targets. Each tailer loop snapshots it; a mismatch on
+	// the next iteration means the primary changed underfoot, so the tailer
+	// re-bootstraps from the new one instead of trusting a position that
+	// belongs to the old lineage.
+	gen    uint64
 	states map[string]*replicaState
 
 	applied    atomic.Int64
@@ -77,6 +82,7 @@ type Replica struct {
 	fences     atomic.Int64
 	netErrors  atomic.Int64
 	dropped    atomic.Int64
+	retargets  atomic.Int64
 }
 
 type replicaState struct {
@@ -139,8 +145,40 @@ func NewReplica(exp *api.Explorer, primaryURL string, opt ReplicaOptions) *Repli
 	}
 }
 
-// Primary returns the primary base URL this replica tails.
-func (r *Replica) Primary() string { return r.primary }
+// Primary returns the primary base URL this replica currently tails.
+func (r *Replica) Primary() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary
+}
+
+func (r *Replica) generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Retarget points the replica at a new primary (the promotion protocol's
+// re-target step). Every dataset tailer observes the generation bump on its
+// next iteration and re-bootstraps from the new primary — its old position
+// belongs to the dead primary's feed and would fence there anyway. A no-op
+// when the URL already matches.
+func (r *Replica) Retarget(primaryURL string) {
+	primaryURL = strings.TrimRight(primaryURL, "/")
+	r.mu.Lock()
+	if r.primary == primaryURL {
+		r.mu.Unlock()
+		return
+	}
+	r.primary = primaryURL
+	r.gen++
+	for _, st := range r.states {
+		st.missing = 0
+	}
+	r.mu.Unlock()
+	r.retargets.Add(1)
+	r.opt.Logf("repl: re-targeted to primary %s", primaryURL)
+}
 
 // Run discovers datasets and tails each until ctx is canceled. It blocks;
 // run it on its own goroutine. Discovery failures are retried on the
@@ -157,7 +195,7 @@ func (r *Replica) Run(ctx context.Context) {
 				return
 			}
 			r.netErrors.Add(1)
-			r.opt.Logf("repl: discovery against %s: %v", r.primary, err)
+			r.opt.Logf("repl: discovery against %s: %v", r.Primary(), err)
 		}
 		for _, name := range names {
 			if r.claim(name) {
@@ -228,7 +266,7 @@ func (b *stalledBody) Read(p []byte) (int, error) {
 }
 
 func (r *Replica) discover(ctx context.Context) ([]string, error) {
-	resp, release, err := r.boundedGet(ctx, r.primary+"/api/v1/datasets", r.opt.HeaderTimeout)
+	resp, release, err := r.boundedGet(ctx, r.Primary()+"/api/v1/datasets", r.opt.HeaderTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +308,16 @@ func (r *Replica) tailDataset(ctx context.Context, name string) {
 		return true
 	}
 	needBootstrap := true
+	gen := r.generation()
 	for ctx.Err() == nil {
+		if g := r.generation(); g != gen {
+			// Re-targeted to a new primary: the tail position belongs to the
+			// old one. Start over against the new primary immediately.
+			gen = g
+			needBootstrap = true
+			backoff = r.opt.BackoffMin
+			r.setPhase(name, PhaseBootstrapping)
+		}
 		if needBootstrap {
 			if err := r.bootstrap(ctx, name); err != nil {
 				if ctx.Err() != nil {
@@ -366,7 +413,7 @@ func (r *Replica) unclaim(name string) {
 
 // bootstrap fetches the primary's snapshot and (re)registers the dataset.
 func (r *Replica) bootstrap(ctx context.Context, name string) error {
-	u := r.primary + "/api/v1/datasets/" + url.PathEscape(name) + "/snapshot"
+	u := r.Primary() + "/api/v1/datasets/" + url.PathEscape(name) + "/snapshot"
 	resp, release, err := r.boundedGet(ctx, u, r.opt.HeaderTimeout)
 	if err != nil {
 		return err
@@ -424,7 +471,7 @@ func (r *Replica) tailOnce(ctx context.Context, name string) (fenced bool, err e
 	r.mu.Unlock()
 
 	u := fmt.Sprintf("%s/api/v1/datasets/%s/journal?fromSeq=%d&epoch=%d&wait=%s&maxRecords=%d",
-		r.primary, url.PathEscape(name), applied+1, epoch, r.opt.PollWait, r.opt.MaxRecords)
+		r.Primary(), url.PathEscape(name), applied+1, epoch, r.opt.PollWait, r.opt.MaxRecords)
 	// The primary legitimately parks a long-poll for up to PollWait before
 	// the first header byte, so the header budget is PollWait plus the
 	// ordinary headroom; a blackholed primary still stalls the tailer for
@@ -573,6 +620,7 @@ type ReplicaStats struct {
 	Fences         int64  `json:"fences"`
 	NetErrors      int64  `json:"netErrors"`
 	Dropped        int64  `json:"dropped"` // datasets un-claimed after going missing at the primary
+	Retargets      int64  `json:"retargets"`
 	MaxLag         uint64 `json:"maxLag"`
 }
 
@@ -580,8 +628,9 @@ type ReplicaStats struct {
 // head−applied across datasets at snapshot time.
 func (r *Replica) Stats() ReplicaStats {
 	s := ReplicaStats{
-		Primary:        r.primary,
+		Primary:        r.Primary(),
 		AppliedRecords: r.applied.Load(),
+		Retargets:      r.retargets.Load(),
 		AppliedOps:     r.appliedOps.Load(),
 		Bootstraps:     r.bootstraps.Load(),
 		Fences:         r.fences.Load(),

@@ -3,6 +3,7 @@ package repl
 import (
 	"bytes"
 	"cmp"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -12,6 +13,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,6 +26,19 @@ type RouterOptions struct {
 	Logf         func(format string, args ...any)
 }
 
+// SelfHealOptions turn the router into the fleet's failure detector and
+// promotion coordinator (see the package doc's promotion protocol).
+type SelfHealOptions struct {
+	// Monitor tunes the health prober (probe interval, per-probe timeout,
+	// consecutive-failure threshold, open-state backoff cap).
+	Monitor MonitorOptions
+	// Promote enables automatic promotion of the most-caught-up replica
+	// when the primary's circuit opens. With Promote false the router
+	// still probes, drops dead nodes from the read ring, and answers
+	// writes with 503 no_primary — detection without the coup.
+	Promote bool
+}
+
 // Router is the version-aware front door of a replication fleet: a thin
 // HTTP layer that sends writes to the primary and fans dataset reads across
 // replicas by consistent hashing on the dataset name. Hashing gives every
@@ -33,11 +48,28 @@ type RouterOptions struct {
 // the X-CExplorer-Min-Version header passes through, a lagging replica
 // answers 503 replica_lagging, and the router walks the ring to the
 // primary, which is never behind.
+//
+// With self-healing enabled (EnableSelfHealing + Run) the router also owns
+// fleet membership: a Monitor keeps a circuit breaker per node so dead nodes
+// leave the read ring immediately, and a supervision loop promotes the
+// most-caught-up replica when the primary is declared down, re-targets the
+// survivors, and demotes a stale primary that comes back.
 type Router struct {
-	primary  string
-	replicas []string
-	ring     []ringPoint
-	opt      RouterOptions
+	opt     RouterOptions
+	started time.Time
+
+	// Topology is copy-on-write under mu: route() snapshots (primary,
+	// replicas, ring) per request; every change installs fresh slices.
+	mu         sync.Mutex
+	primary    string
+	replicas   []string
+	ring       []ringPoint
+	fleetEpoch uint64
+	electing   bool
+
+	heal    SelfHealOptions
+	healing bool
+	monitor *Monitor
 
 	reads       atomic.Int64
 	writes      atomic.Int64
@@ -46,7 +78,13 @@ type Router struct {
 	failovers   atomic.Int64
 	relayAborts atomic.Int64
 	errors      atomic.Int64
-	perNode     []nodeCounters // index-aligned with nodes(): replicas then primary
+	noPrimary   atomic.Int64
+	promotions  atomic.Int64
+	demotions   atomic.Int64
+	retargeted  atomic.Int64
+
+	nodeMu  sync.Mutex
+	perNode map[string]*nodeCounters
 }
 
 type nodeCounters struct {
@@ -76,46 +114,321 @@ func NewRouter(primary string, replicas []string, opt RouterOptions) *Router {
 		opt.Logf = func(string, ...any) {}
 	}
 	rt := &Router{
-		primary:  strings.TrimRight(primary, "/"),
-		replicas: make([]string, 0, len(replicas)),
-		opt:      opt,
+		opt:     opt,
+		started: time.Now(),
+		primary: strings.TrimRight(primary, "/"),
+		perNode: map[string]*nodeCounters{},
 	}
+	var reps []string
 	for _, rep := range replicas {
 		if rep = strings.TrimRight(rep, "/"); rep != "" {
-			rt.replicas = append(rt.replicas, rep)
+			reps = append(reps, rep)
 		}
 	}
-	for i, rep := range rt.replicas {
-		for v := 0; v < opt.VNodes; v++ {
+	rt.replicas = reps
+	rt.ring = buildRing(reps, opt.VNodes)
+	return rt
+}
+
+// buildRing hashes each replica onto vnodes virtual points, sorted.
+func buildRing(replicas []string, vnodes int) []ringPoint {
+	var ring []ringPoint
+	for i, rep := range replicas {
+		for v := 0; v < vnodes; v++ {
 			h := fnv.New32a()
 			fmt.Fprintf(h, "%s#%d", rep, v)
-			rt.ring = append(rt.ring, ringPoint{hash: h.Sum32(), node: i})
+			ring = append(ring, ringPoint{hash: h.Sum32(), node: i})
 		}
 	}
-	slices.SortFunc(rt.ring, func(a, b ringPoint) int {
+	slices.SortFunc(ring, func(a, b ringPoint) int {
 		if c := cmp.Compare(a.hash, b.hash); c != 0 {
 			return c
 		}
 		return cmp.Compare(a.node, b.node)
 	})
-	rt.perNode = make([]nodeCounters, len(rt.replicas)+1)
-	return rt
+	return ring
+}
+
+// topology snapshots the routing state. The returned slices are
+// copy-on-write: never mutated after publication.
+func (rt *Router) topology() (primary string, replicas []string, ring []ringPoint, fleetEpoch uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.primary, rt.replicas, rt.ring, rt.fleetEpoch
+}
+
+// setTopology installs a new (primary, replicas) pair and rebuilds the ring.
+func (rt *Router) setTopologyLocked(primary string, replicas []string) {
+	rt.primary = primary
+	rt.replicas = replicas
+	rt.ring = buildRing(replicas, rt.opt.VNodes)
+}
+
+// EnableSelfHealing attaches a health monitor over the current topology.
+// Call before Handler is serving and follow with Run (the monitor and the
+// supervision loop run inside it).
+func (rt *Router) EnableSelfHealing(opt SelfHealOptions) {
+	if opt.Monitor.Client == nil {
+		opt.Monitor.Client = rt.opt.Client
+	}
+	if opt.Monitor.Logf == nil {
+		opt.Monitor.Logf = rt.opt.Logf
+	}
+	m := NewMonitor(opt.Monitor)
+	primary, replicas, _, _ := rt.topology()
+	m.Add(primary)
+	for _, rep := range replicas {
+		m.Add(rep)
+	}
+	rt.mu.Lock()
+	rt.heal = opt
+	rt.healing = true
+	rt.monitor = m
+	rt.mu.Unlock()
+}
+
+// Monitor returns the health monitor (nil until EnableSelfHealing).
+func (rt *Router) Monitor() *Monitor {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.monitor
+}
+
+// Run drives self-healing until ctx is canceled: the probe loop plus a
+// supervision pass per probe interval (election when the primary's circuit
+// opens, re-targeting, demotion of stale primaries). A no-op without
+// EnableSelfHealing.
+func (rt *Router) Run(ctx context.Context) {
+	rt.mu.Lock()
+	m, healing := rt.monitor, rt.healing
+	rt.mu.Unlock()
+	if !healing || m == nil {
+		return
+	}
+	go m.Run(ctx)
+	tick := time.NewTicker(m.opt.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			rt.supervise(ctx)
+		}
+	}
+}
+
+// supervise is one reconciliation pass: adopt higher fleet epochs observed
+// in the wild, elect a new primary if the current one is declared down, and
+// steer every other node back into the topology (retarget replicas pointing
+// at a dead primary, demote a stale primary that came back). Every action
+// here is idempotent and retried next tick on failure.
+func (rt *Router) supervise(ctx context.Context) {
+	m := rt.Monitor()
+	if m == nil {
+		return
+	}
+	primary, replicas, _, epoch := rt.topology()
+
+	// Adopt: a node claiming primacy at a higher epoch than ours wins —
+	// this is how a restarted router rejoins a fleet that promoted while it
+	// was away (and how it learns the current epoch at all).
+	stats := m.Stats()
+	for node, np := range stats.Nodes {
+		h := np.Health
+		if h == nil {
+			continue
+		}
+		if h.FleetEpoch > epoch && h.Role == "primary" && node != primary {
+			rt.opt.Logf("router: adopting %s as primary (fleet epoch %d > %d)", node, h.FleetEpoch, epoch)
+			rt.commitPrimary(node, h.FleetEpoch)
+			primary, replicas, _, epoch = rt.topology()
+		} else if h.FleetEpoch > epoch {
+			rt.mu.Lock()
+			if h.FleetEpoch > rt.fleetEpoch {
+				rt.fleetEpoch = h.FleetEpoch
+			}
+			rt.mu.Unlock()
+			epoch = h.FleetEpoch
+		}
+	}
+
+	// Elect: primary declared down, promotion enabled, somebody to promote.
+	if rt.heal.Promote && m.State(primary) == StateOpen && len(replicas) > 0 {
+		rt.elect(ctx, primary, replicas, epoch)
+		primary, replicas, _, epoch = rt.topology()
+	}
+
+	// Reconcile every tracked node against the topology.
+	for node, np := range stats.Nodes {
+		if node == primary || np.Health == nil || !m.Available(node) {
+			continue
+		}
+		h := m.Health(node) // re-read: adoption/election may have refreshed it
+		if h == nil {
+			continue
+		}
+		switch h.Role {
+		case "primary":
+			// A stale primary (dead, promoted around, came back). Fence it:
+			// demotion carries our higher epoch; the node refuses anything
+			// not above its own, so a misconfigured twin primary at the same
+			// epoch is left alone (and logged) rather than clobbered.
+			if h.FleetEpoch >= epoch {
+				rt.opt.Logf("router: node %s claims primary at epoch %d ≥ ours %d; not demoting", node, h.FleetEpoch, epoch)
+				continue
+			}
+			dctx, cancel := context.WithTimeout(ctx, healthDeadline)
+			err := postControl(dctx, rt.opt.Client, node, "/api/v1/demote", demoteRequest{Epoch: epoch, Primary: primary})
+			cancel()
+			if err != nil {
+				rt.opt.Logf("router: demote %s: %v", node, err)
+				continue
+			}
+			rt.demotions.Add(1)
+			rt.opt.Logf("router: demoted stale primary %s (epoch %d → replica of %s)", node, epoch, primary)
+			rt.addReplica(node)
+		case "replica":
+			if !slices.Contains(replicas, node) {
+				rt.addReplica(node)
+			}
+			if h.Primary != "" && h.Primary != primary {
+				rctx, cancel := context.WithTimeout(ctx, healthDeadline)
+				err := postControl(rctx, rt.opt.Client, node, "/api/v1/retarget", retargetRequest{Epoch: epoch, Primary: primary})
+				cancel()
+				if err != nil {
+					rt.opt.Logf("router: retarget %s: %v", node, err)
+					continue
+				}
+				rt.retargeted.Add(1)
+				rt.opt.Logf("router: re-targeted %s to %s", node, primary)
+			}
+		}
+	}
+}
+
+// elect promotes the most-caught-up available replica to primary at epoch+1.
+// Candidates are tried in applied-order; a candidate that refuses (it found
+// a peer further ahead: 409 not_caught_up) or cannot be reached sends the
+// election to the next. On success the topology swaps atomically — writes
+// start flowing to the new primary on the next request.
+func (rt *Router) elect(ctx context.Context, deadPrimary string, replicas []string, epoch uint64) {
+	rt.mu.Lock()
+	if rt.electing {
+		rt.mu.Unlock()
+		return
+	}
+	rt.electing = true
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		rt.electing = false
+		rt.mu.Unlock()
+	}()
+
+	m := rt.Monitor()
+	type candidate struct {
+		url     string
+		applied uint64
+	}
+	var cands []candidate
+	for _, rep := range replicas {
+		if !m.Available(rep) {
+			continue
+		}
+		h := m.Health(rep)
+		if h == nil {
+			continue
+		}
+		cands = append(cands, candidate{url: rep, applied: h.AppliedTotal()})
+	}
+	if len(cands) == 0 {
+		rt.opt.Logf("router: primary %s down but no reachable replica to promote", deadPrimary)
+		return
+	}
+	slices.SortStableFunc(cands, func(a, b candidate) int {
+		return cmp.Compare(b.applied, a.applied) // most caught-up first
+	})
+	newEpoch := epoch + 1
+	for _, cand := range cands {
+		peers := make([]string, 0, len(cands)-1)
+		for _, other := range cands {
+			if other.url != cand.url {
+				peers = append(peers, other.url)
+			}
+		}
+		pctx, cancel := context.WithTimeout(ctx, 2*healthDeadline)
+		err := postControl(pctx, rt.opt.Client, cand.url, "/api/v1/promote", promoteRequest{Epoch: newEpoch, Peers: peers})
+		cancel()
+		if err != nil {
+			rt.opt.Logf("router: promote %s (applied %d): %v; trying next candidate", cand.url, cand.applied, err)
+			continue
+		}
+		rt.promotions.Add(1)
+		rt.opt.Logf("router: promoted %s to primary at fleet epoch %d (was %s)", cand.url, newEpoch, deadPrimary)
+		rt.commitPrimary(cand.url, newEpoch)
+		return
+	}
+	rt.opt.Logf("router: election at epoch %d failed: no candidate accepted", newEpoch)
+}
+
+// commitPrimary swaps node in as primary (removing it from the read ring)
+// and records the fleet epoch. The old primary stays known to the monitor;
+// if it ever comes back, supervision demotes it and re-adds it as a replica.
+func (rt *Router) commitPrimary(node string, epoch uint64) {
+	rt.mu.Lock()
+	reps := make([]string, 0, len(rt.replicas))
+	for _, rep := range rt.replicas {
+		if rep != node {
+			reps = append(reps, rep)
+		}
+	}
+	rt.setTopologyLocked(node, reps)
+	if epoch > rt.fleetEpoch {
+		rt.fleetEpoch = epoch
+	}
+	rt.mu.Unlock()
+	if m := rt.Monitor(); m != nil {
+		m.Add(node)
+	}
+}
+
+// addReplica adds node to the read ring (idempotent; never the primary).
+func (rt *Router) addReplica(node string) {
+	rt.mu.Lock()
+	if node == rt.primary || slices.Contains(rt.replicas, node) {
+		rt.mu.Unlock()
+		return
+	}
+	reps := append(slices.Clone(rt.replicas), node)
+	rt.setTopologyLocked(rt.primary, reps)
+	rt.mu.Unlock()
+	if m := rt.Monitor(); m != nil {
+		m.Add(node)
+	}
+}
+
+// replicaOrder resolves the dataset's preference list against the current
+// topology (test seam; the proxy path snapshots topology once per request).
+func (rt *Router) replicaOrder(dataset string) []int {
+	_, replicas, ring, _ := rt.topology()
+	return replicaOrder(dataset, replicas, ring)
 }
 
 // replicaOrder returns replica indexes in ring order starting at the
 // dataset's home position: the failover preference list.
-func (rt *Router) replicaOrder(dataset string) []int {
-	if len(rt.replicas) == 0 {
+func replicaOrder(dataset string, replicas []string, ring []ringPoint) []int {
+	if len(replicas) == 0 {
 		return nil
 	}
 	h := fnv.New32a()
 	io.WriteString(h, dataset)
 	key := h.Sum32()
-	start := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= key })
-	order := make([]int, 0, len(rt.replicas))
-	seen := make([]bool, len(rt.replicas))
-	for i := 0; i < len(rt.ring) && len(order) < len(rt.replicas); i++ {
-		p := rt.ring[(start+i)%len(rt.ring)]
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= key })
+	order := make([]int, 0, len(replicas))
+	seen := make([]bool, len(replicas))
+	for i := 0; i < len(ring) && len(order) < len(replicas); i++ {
+		p := ring[(start+i)%len(ring)]
 		if !seen[p.node] {
 			seen[p.node] = true
 			order = append(order, p.node)
@@ -144,6 +457,7 @@ func DatasetFromPath(p string) string {
 
 // route classifies a request into an ordered upstream preference list.
 func (rt *Router) route(r *http.Request) (targets []string, class string) {
+	primary, replicas, ring, _ := rt.topology()
 	p := r.URL.Path
 	dataset := DatasetFromPath(p)
 	sub := "" // sub-resource path after the dataset segment
@@ -160,39 +474,63 @@ func (rt *Router) route(r *http.Request) (targets []string, class string) {
 	isSession := sub == "/explore" || strings.HasPrefix(sub, "/explore/")
 	switch {
 	case isMutation, isUpload, isDelete:
-		return []string{rt.primary}, "write"
+		return []string{primary}, "write"
 	case isShipping:
 		// Replication-internal traffic: replicas must tail the primary's
 		// feed, never each other's.
-		return []string{rt.primary}, "passthrough"
-	case isSession && len(rt.replicas) > 0:
+		return []string{primary}, "passthrough"
+	case isSession && len(replicas) > 0:
 		// Exploration sessions are server-side state living on exactly one
 		// node. A ring walk here would be failover theater: the next replica
 		// never saw the session, so a briefly-down or lagging home node would
 		// turn every /step into a session_not_found 404 — worse than the
 		// honest 502/503 the client can retry against the same home once it
 		// recovers. Stick to the home node, no fallback.
-		order := rt.replicaOrder(dataset)
-		return []string{rt.replicas[order[0]]}, "session"
-	case dataset != "" && len(rt.replicas) > 0:
-		order := rt.replicaOrder(dataset)
+		order := replicaOrder(dataset, replicas, ring)
+		return []string{replicas[order[0]]}, "session"
+	case dataset != "" && len(replicas) > 0:
+		order := replicaOrder(dataset, replicas, ring)
 		targets = make([]string, 0, len(order)+1)
 		for _, i := range order {
-			targets = append(targets, rt.replicas[i])
+			targets = append(targets, replicas[i])
 		}
-		return append(targets, rt.primary), "read"
+		targets = rt.filterAvailable(targets)
+		return append(targets, primary), "read"
 	default:
 		// Dataset list, legacy flat endpoints (dataset named in the body),
 		// stats of the primary, UI assets: the primary serves them all.
-		return []string{rt.primary}, "passthrough"
+		return []string{primary}, "passthrough"
 	}
 }
 
+// filterAvailable drops open-circuit nodes from a read preference list, so
+// dead replicas stop costing a failover round trip per request. If the
+// monitor has everything open (or is absent), the original list survives —
+// the ring walk plus the primary fallback remain the last line of defense.
+func (rt *Router) filterAvailable(targets []string) []string {
+	m := rt.Monitor()
+	if m == nil {
+		return targets
+	}
+	avail := make([]string, 0, len(targets))
+	for _, t := range targets {
+		if m.Available(t) {
+			avail = append(avail, t)
+		}
+	}
+	if len(avail) == 0 {
+		return targets
+	}
+	return avail
+}
+
 // Handler returns the router's HTTP surface: /api/stats reports routing
-// counters; everything else proxies along the routed preference list.
+// counters, /api/v1/health identifies the router itself; everything else
+// proxies along the routed preference list.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/stats", rt.handleStats)
+	mux.HandleFunc("GET /api/v1/health", rt.handleHealth)
 	mux.HandleFunc("/", rt.proxy)
 	return mux
 }
@@ -208,11 +546,24 @@ func shouldFailover(status int) bool {
 
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	targets, class := rt.route(r)
+	var stampEpoch uint64
 	switch class {
 	case "read":
 		rt.reads.Add(1)
 	case "write":
 		rt.writes.Add(1)
+		if m := rt.Monitor(); m != nil {
+			// Fail fast during an election window: the primary's circuit is
+			// open, so forwarding would only burn a timeout. Reads keep
+			// flowing off the replicas; writers get a typed, retryable 503.
+			_, _, _, epoch := rt.topology()
+			if !m.Available(targets[0]) {
+				rt.noPrimary.Add(1)
+				writeRouterError(w, http.StatusServiceUnavailable, "no primary available (election pending or fleet headless)", CodeNoPrimary, 1)
+				return
+			}
+			stampEpoch = epoch
+		}
 	case "session":
 		rt.sessions.Add(1)
 	default:
@@ -225,27 +576,27 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		body, err = io.ReadAll(io.LimitReader(r.Body, rt.opt.MaxBodyBytes+1))
 		r.Body.Close()
 		if err != nil {
-			writeRouterError(w, http.StatusBadRequest, "read request body: "+err.Error(), "invalid_request")
+			writeRouterError(w, http.StatusBadRequest, "read request body: "+err.Error(), "invalid_request", 0)
 			return
 		}
 		if int64(len(body)) > rt.opt.MaxBodyBytes {
-			writeRouterError(w, http.StatusRequestEntityTooLarge, "request body exceeds router buffer", "invalid_request")
+			writeRouterError(w, http.StatusRequestEntityTooLarge, "request body exceeds router buffer", "invalid_request", 0)
 			return
 		}
 	}
 	for i, target := range targets {
-		resp, err := rt.forward(r, target, body)
-		node := rt.nodeIndex(target)
-		rt.perNode[node].requests.Add(1)
+		resp, err := rt.forward(r, target, body, stampEpoch)
+		node := rt.nodeCounter(target)
+		node.requests.Add(1)
 		if err != nil {
-			rt.perNode[node].errors.Add(1)
+			node.errors.Add(1)
 			rt.errors.Add(1)
 			if i < len(targets)-1 {
 				rt.failovers.Add(1)
 				rt.opt.Logf("router: %s %s: %s unreachable (%v); failing over", r.Method, r.URL.Path, target, err)
 				continue
 			}
-			writeRouterError(w, http.StatusBadGateway, "no upstream reachable", "bad_gateway")
+			writeRouterError(w, http.StatusBadGateway, "no upstream reachable", "bad_gateway", 0)
 			return
 		}
 		if shouldFailover(resp.StatusCode) && i < len(targets)-1 {
@@ -256,10 +607,10 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		rt.relay(w, resp, target)
 		return
 	}
-	writeRouterError(w, http.StatusBadGateway, "no upstream configured", "bad_gateway")
+	writeRouterError(w, http.StatusBadGateway, "no upstream configured", "bad_gateway", 0)
 }
 
-func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Response, error) {
+func (rt *Router) forward(r *http.Request, target string, body []byte, stampEpoch uint64) (*http.Response, error) {
 	u := target + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
@@ -274,6 +625,12 @@ func (rt *Router) forward(r *http.Request, target string, body []byte) (*http.Re
 			continue
 		}
 		req.Header[k] = vs
+	}
+	if stampEpoch > 0 {
+		// The split-brain guard: a write stamped with the fleet epoch is
+		// refused (409 epoch_fenced) by any node whose own epoch differs,
+		// so a stale primary can never acknowledge a routed write.
+		req.Header.Set(HeaderFleetEpoch, fmt.Sprintf("%d", stampEpoch))
 	}
 	return rt.opt.Client.Do(req)
 }
@@ -298,39 +655,68 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, target strin
 	}
 }
 
-func writeRouterError(w http.ResponseWriter, status int, msg, code string) {
+func writeRouterError(w http.ResponseWriter, status int, msg, code string, retryAfterSec int) {
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSec))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
 }
 
-// nodeIndex maps a target URL to its per-node counter slot (replicas in
-// order, then the primary last).
-func (rt *Router) nodeIndex(target string) int {
-	for i, rep := range rt.replicas {
-		if rep == target {
-			return i
-		}
+// nodeCounter returns the per-node counter slot for a target URL, creating
+// it on first sight (topology is mutable now; counters survive role swaps).
+func (rt *Router) nodeCounter(target string) *nodeCounters {
+	rt.nodeMu.Lock()
+	defer rt.nodeMu.Unlock()
+	nc := rt.perNode[target]
+	if nc == nil {
+		nc = &nodeCounters{}
+		rt.perNode[target] = nc
 	}
-	return len(rt.replicas)
+	return nc
+}
+
+// handleHealth identifies the router itself on the same endpoint every node
+// serves, so fleet tooling can probe a router URL without special-casing it.
+// (A health probe against a *routed* path would be proxied to the primary.)
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	primary, _, _, epoch := rt.topology()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(HealthStatus{
+		Role:       "router",
+		FleetEpoch: epoch,
+		Primary:    primary,
+		UptimeSec:  int64(time.Since(rt.started).Seconds()),
+		Promotions: uint64(rt.promotions.Load()),
+		Demotions:  uint64(rt.demotions.Load()),
+	})
 }
 
 // RouterStats is the router's /api/stats payload.
 type RouterStats struct {
-	Role      string   `json:"role"`
-	Primary   string   `json:"primary"`
-	Replicas  []string `json:"replicas"`
-	Reads     int64    `json:"reads"`
-	Writes    int64    `json:"writes"`
-	Sessions  int64    `json:"sessions"` // session-scoped requests pinned to the home node
-	Proxied   int64    `json:"proxied"`
-	Failovers int64    `json:"failovers"`
+	Role       string   `json:"role"`
+	Primary    string   `json:"primary"`
+	Replicas   []string `json:"replicas"`
+	FleetEpoch uint64   `json:"fleetEpoch,omitempty"`
+	Reads      int64    `json:"reads"`
+	Writes     int64    `json:"writes"`
+	Sessions   int64    `json:"sessions"` // session-scoped requests pinned to the home node
+	Proxied    int64    `json:"proxied"`
+	Failovers  int64    `json:"failovers"`
 	// RelayAborts counts responses killed mid-body because the upstream died
 	// while the router was relaying — torn connections, never silent
 	// truncated 200s.
-	RelayAborts int64                `json:"relayAborts"`
-	Errors      int64                `json:"errors"`
-	PerNode     map[string]NodeStats `json:"perNode"`
+	RelayAborts int64 `json:"relayAborts"`
+	Errors      int64 `json:"errors"`
+	// NoPrimary counts writes refused with 503 no_primary during election
+	// windows; Promotions/Demotions/Retargeted count supervision actions.
+	NoPrimary  int64                `json:"noPrimary,omitempty"`
+	Promotions int64                `json:"promotions,omitempty"`
+	Demotions  int64                `json:"demotions,omitempty"`
+	Retargeted int64                `json:"retargeted,omitempty"`
+	PerNode    map[string]NodeStats `json:"perNode"`
+	Monitor    *MonitorStats        `json:"monitor,omitempty"`
 }
 
 // NodeStats is one upstream's share of router traffic.
@@ -341,10 +727,12 @@ type NodeStats struct {
 
 // Stats snapshots routing counters.
 func (rt *Router) Stats() RouterStats {
+	primary, replicas, _, epoch := rt.topology()
 	s := RouterStats{
 		Role:        "router",
-		Primary:     rt.primary,
-		Replicas:    rt.replicas,
+		Primary:     primary,
+		Replicas:    replicas,
+		FleetEpoch:  epoch,
 		Reads:       rt.reads.Load(),
 		Writes:      rt.writes.Load(),
 		Sessions:    rt.sessions.Load(),
@@ -352,17 +740,23 @@ func (rt *Router) Stats() RouterStats {
 		Failovers:   rt.failovers.Load(),
 		RelayAborts: rt.relayAborts.Load(),
 		Errors:      rt.errors.Load(),
+		NoPrimary:   rt.noPrimary.Load(),
+		Promotions:  rt.promotions.Load(),
+		Demotions:   rt.demotions.Load(),
+		Retargeted:  rt.retargeted.Load(),
 		PerNode:     map[string]NodeStats{},
 	}
-	for i := range rt.perNode {
-		name := rt.primary
-		if i < len(rt.replicas) {
-			name = rt.replicas[i]
-		}
+	rt.nodeMu.Lock()
+	for name, nc := range rt.perNode {
 		s.PerNode[name] = NodeStats{
-			Requests: rt.perNode[i].requests.Load(),
-			Errors:   rt.perNode[i].errors.Load(),
+			Requests: nc.requests.Load(),
+			Errors:   nc.errors.Load(),
 		}
+	}
+	rt.nodeMu.Unlock()
+	if m := rt.Monitor(); m != nil {
+		ms := m.Stats()
+		s.Monitor = &ms
 	}
 	return s
 }

@@ -1,0 +1,350 @@
+package server
+
+// Fleet control: the node-side half of the self-healing protocol (the
+// router-side half lives in repl.Router). Every node serves GET
+// /api/v1/health; a node with fleet control enabled additionally accepts the
+// role-transition verbs the router's supervision loop issues —
+//
+//	POST /api/v1/promote  {epoch, peers}    replica → primary
+//	POST /api/v1/demote   {epoch, primary}  stale primary → replica
+//	POST /api/v1/retarget {epoch, primary}  replica → replica of a new primary
+//
+// — each fenced by the fleet epoch: a transition not strictly advancing the
+// node's own epoch is refused with 409 epoch_fenced, which makes every verb
+// idempotent and makes a partitioned router harmless (its stale epoch can
+// demote nobody). The same epoch fences data: writes the router forwards are
+// stamped with X-CExplorer-Fleet-Epoch, and fleetFence refuses a mismatch
+// before anything is applied — the guarantee that a stale primary never
+// acknowledges a routed write.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cexplorer/internal/repl"
+)
+
+// FleetControl wires the role transitions a self-healing fleet needs into
+// the server. The server cannot build its own tailer (that would invert the
+// package dependency and hardcode tailing options), so the command layer
+// hands it a factory.
+type FleetControl struct {
+	// StartTailer builds and starts a tailer against primaryURL, returning
+	// the replica source backing reads and a stop function that cancels
+	// the tailing goroutine. Called on demotion (and by StartFleetReplica
+	// at boot).
+	StartTailer func(primaryURL string) (ReplicaSource, func())
+	// Feed configures the journal feed a promotion opens.
+	Feed repl.FeedOptions
+	// ReplicaWait bounds read-your-writes gate waits after a demotion
+	// (default 2s).
+	ReplicaWait time.Duration
+}
+
+// EnableFleet arms the role-transition endpoints. Call before Handler, on
+// every node that may be promoted or demoted.
+func (s *Server) EnableFleet(fc FleetControl) {
+	s.mu.Lock()
+	s.fleet = &fc
+	s.mu.Unlock()
+}
+
+// StartFleetReplica boots the node as a fleet replica: the fleet's tailer
+// factory builds the tailer and the server registers it. EnableFleet first.
+func (s *Server) StartFleetReplica(primaryURL string) {
+	s.mu.RLock()
+	fc := s.fleet
+	s.mu.RUnlock()
+	src, stop := fc.StartTailer(primaryURL)
+	s.EnableReplicationReplica(src, fc.ReplicaWait)
+	s.mu.Lock()
+	s.tailerStop = stop
+	s.mu.Unlock()
+}
+
+// FleetEpoch reports the node's promotion counter (0 = never fenced).
+func (s *Server) FleetEpoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fleetEpoch
+}
+
+func (s *Server) fleetControl() *FleetControl {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fleet
+}
+
+// fleetFence is the split-brain guard on the write path: a request stamped
+// with a fleet epoch (the router stamps every routed write) is refused with
+// 409 epoch_fenced unless it matches this node's own epoch. Unstamped
+// requests pass — direct writes against a standalone server know nothing of
+// fleets — as does everything on a node that has no epoch yet. Returns true
+// when the request was refused.
+func (s *Server) fleetFence(w http.ResponseWriter, r *http.Request) bool {
+	hdr := r.Header.Get(repl.HeaderFleetEpoch)
+	if hdr == "" {
+		return false
+	}
+	stamped, err := strconv.ParseUint(hdr, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad %s header: %v", repl.HeaderFleetEpoch, err)
+		return true
+	}
+	own := s.FleetEpoch()
+	if own == 0 || stamped == own {
+		return false
+	}
+	writeEnvelope(w, http.StatusConflict,
+		"write stamped with fleet epoch "+hdr+" but node is at "+strconv.FormatUint(own, 10)+
+			": topology changed, retry through the router", repl.CodeEpochFenced)
+	return true
+}
+
+// healthStatus builds the node's health payload.
+func (s *Server) healthStatus() repl.HealthStatus {
+	role := s.Role()
+	if role == "" {
+		role = "standalone"
+	}
+	h := repl.HealthStatus{
+		Role:       role,
+		FleetEpoch: s.FleetEpoch(),
+		UptimeSec:  int64(time.Since(s.started).Seconds()),
+		Datasets:   map[string]repl.DatasetHealth{},
+		Promotions: uint64(s.stats.promotions.Load()),
+		Demotions:  uint64(s.stats.demotions.Load()),
+	}
+	src, _ := s.replicaSource()
+	feed := s.feed()
+	for _, name := range s.exp.Datasets() {
+		ds, ok := s.exp.Dataset(name)
+		if !ok {
+			continue
+		}
+		dh := repl.DatasetHealth{AppliedSeq: ds.Version, HeadSeq: ds.Version}
+		if src != nil {
+			if st, ok := src.Status(name); ok {
+				dh = repl.DatasetHealth{Epoch: st.Epoch, AppliedSeq: st.AppliedSeq, HeadSeq: st.HeadSeq, Phase: st.Phase}
+			}
+		} else if feed != nil {
+			if e, ok := feed.Epoch(name); ok {
+				dh.Epoch = e
+			}
+		}
+		h.Datasets[name] = dh
+	}
+	if src != nil {
+		h.Primary = src.Primary()
+	}
+	return h
+}
+
+// appliedTotal sums dataset versions: the node's position in the election
+// order. Versions are journal sequences, so this is comparable across nodes
+// tailing the same lineage.
+func (s *Server) appliedTotal() uint64 {
+	var total uint64
+	for _, name := range s.exp.Datasets() {
+		if ds, ok := s.exp.Dataset(name); ok {
+			total += ds.Version
+		}
+	}
+	return total
+}
+
+// v1Health serves GET /api/v1/health: role, fleet epoch, per-dataset applied
+// position, uptime. Cheap by design — the router probes it every second.
+func (s *Server) v1Health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.healthStatus())
+}
+
+// v1Promote serves POST /api/v1/promote: flip this replica to primary at the
+// given fleet epoch. The candidate re-verifies the router's choice — it must
+// be at least as caught up as every reachable peer — so an election based on
+// stale health data cannot promote a lagging node past a fresher one.
+func (s *Server) v1Promote(w http.ResponseWriter, r *http.Request) {
+	fc := s.fleetControl()
+	if fc == nil {
+		writeEnvelope(w, http.StatusForbidden, "fleet control not enabled on this node", "fleet_disabled")
+		return
+	}
+	var req struct {
+		Epoch uint64   `json:"epoch"`
+		Peers []string `json:"peers"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Epoch == 0 {
+		httpError(w, http.StatusBadRequest, "epoch must be positive")
+		return
+	}
+	own := s.FleetEpoch()
+	if s.Role() == "primary" {
+		if req.Epoch >= own {
+			// Idempotent retry (or an epoch refresh): already primary.
+			s.mu.Lock()
+			if req.Epoch > s.fleetEpoch {
+				s.fleetEpoch = req.Epoch
+			}
+			s.mu.Unlock()
+			writeJSON(w, s.healthStatus())
+			return
+		}
+		writeEnvelope(w, http.StatusConflict,
+			"already primary at higher fleet epoch "+strconv.FormatUint(own, 10), repl.CodeEpochFenced)
+		return
+	}
+	if req.Epoch <= own {
+		writeEnvelope(w, http.StatusConflict,
+			"promotion epoch "+strconv.FormatUint(req.Epoch, 10)+" not above own "+strconv.FormatUint(own, 10),
+			repl.CodeEpochFenced)
+		return
+	}
+	// Catch-up verification: every reachable peer must be at or behind us.
+	// Unreachable peers are skipped — they are the nodes the fleet is
+	// healing around, and blocking the election on them would deadlock it.
+	local := s.appliedTotal()
+	for _, peer := range req.Peers {
+		ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+		ph, err := repl.FetchHealth(ctx, nil, peer)
+		cancel()
+		if err != nil {
+			s.logf("fleet: promote: peer %s unreachable (%v); skipping", peer, err)
+			continue
+		}
+		if pa := ph.AppliedTotal(); pa > local {
+			writeEnvelope(w, http.StatusConflict,
+				"peer "+peer+" has applied "+strconv.FormatUint(pa, 10)+" > own "+strconv.FormatUint(local, 10),
+				repl.CodeNotCaughtUp)
+			return
+		}
+	}
+	// Transition: stop tailing first — from here no record of the old
+	// lineage is applied — then open our own feed and flip to primary.
+	// Writes stay refused (read_only) until replSrc clears, so there is no
+	// window where a write is accepted but not published.
+	s.mu.Lock()
+	stop := s.tailerStop
+	s.tailerStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	s.EnableReplicationPrimary(fc.Feed)
+	s.mu.Lock()
+	s.replSrc = nil
+	s.fleetEpoch = req.Epoch
+	s.mu.Unlock()
+	s.stats.promotions.Add(1)
+	s.logf("fleet: promoted to primary at fleet epoch %d (applied %d)", req.Epoch, local)
+	writeJSON(w, s.healthStatus())
+}
+
+// v1Demote serves POST /api/v1/demote: fence this (stale) primary and turn
+// it into a replica of the given primary. Only an epoch strictly above the
+// node's own can demote it — the guarantee that the current primary can
+// never be clobbered by a partitioned router replaying old state.
+func (s *Server) v1Demote(w http.ResponseWriter, r *http.Request) {
+	fc := s.fleetControl()
+	if fc == nil {
+		writeEnvelope(w, http.StatusForbidden, "fleet control not enabled on this node", "fleet_disabled")
+		return
+	}
+	var req struct {
+		Epoch   uint64 `json:"epoch"`
+		Primary string `json:"primary"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Primary == "" {
+		httpError(w, http.StatusBadRequest, "missing primary")
+		return
+	}
+	own := s.FleetEpoch()
+	if s.Role() == "replica" && req.Epoch >= own {
+		// Idempotent retry: already demoted. Re-point the tailer if needed.
+		s.mu.Lock()
+		if req.Epoch > s.fleetEpoch {
+			s.fleetEpoch = req.Epoch
+		}
+		src := s.replSrc
+		s.mu.Unlock()
+		if src != nil && src.Primary() != req.Primary {
+			src.Retarget(req.Primary)
+		}
+		writeJSON(w, s.healthStatus())
+		return
+	}
+	if req.Epoch <= own {
+		writeEnvelope(w, http.StatusConflict,
+			"demotion epoch "+strconv.FormatUint(req.Epoch, 10)+" not above own "+strconv.FormatUint(own, 10),
+			repl.CodeEpochFenced)
+		return
+	}
+	// Fence the old lineage: detach the publish hook and the feed so no
+	// further write is acknowledged or shipped, release parked pollers,
+	// then start tailing the new primary.
+	s.exp.SetMutateHook(nil)
+	s.mu.Lock()
+	feed := s.replFeed
+	s.replFeed = nil
+	stop := s.tailerStop
+	s.tailerStop = nil
+	s.mu.Unlock()
+	if feed != nil {
+		feed.Drain()
+	}
+	if stop != nil {
+		stop()
+	}
+	src, stopNew := fc.StartTailer(req.Primary)
+	s.EnableReplicationReplica(src, fc.ReplicaWait)
+	s.mu.Lock()
+	s.tailerStop = stopNew
+	s.fleetEpoch = req.Epoch
+	s.mu.Unlock()
+	s.stats.demotions.Add(1)
+	s.logf("fleet: demoted to replica of %s at fleet epoch %d", req.Primary, req.Epoch)
+	writeJSON(w, s.healthStatus())
+}
+
+// v1Retarget serves POST /api/v1/retarget: point this replica's tailer at a
+// new primary (after a promotion elsewhere). Requires epoch ≥ own; the node
+// adopts a higher epoch.
+func (s *Server) v1Retarget(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch   uint64 `json:"epoch"`
+		Primary string `json:"primary"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Primary == "" {
+		httpError(w, http.StatusBadRequest, "missing primary")
+		return
+	}
+	src, _ := s.replicaSource()
+	if src == nil {
+		writeEnvelope(w, http.StatusConflict, "node is not a replica", "invalid_role")
+		return
+	}
+	own := s.FleetEpoch()
+	if req.Epoch < own {
+		writeEnvelope(w, http.StatusConflict,
+			"retarget epoch "+strconv.FormatUint(req.Epoch, 10)+" below own "+strconv.FormatUint(own, 10),
+			repl.CodeEpochFenced)
+		return
+	}
+	s.mu.Lock()
+	if req.Epoch > s.fleetEpoch {
+		s.fleetEpoch = req.Epoch
+	}
+	s.mu.Unlock()
+	src.Retarget(req.Primary)
+	writeJSON(w, s.healthStatus())
+}

@@ -1,0 +1,433 @@
+package server
+
+// Node-side fleet-control tests: the health payload per role, the epoch
+// fencing matrix of the promote/demote/retarget verbs, the split-brain write
+// fence, the Retry-After funnel, and graceful shutdown releasing parked
+// journal long-polls. The fleet-wide behavior (election, convergence after
+// failover) lives in internal/repl's failover suite; these tests pin the
+// single-node contracts it builds on.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cexplorer/internal/api"
+	"cexplorer/internal/gen"
+	"cexplorer/internal/repl"
+)
+
+// fakeTailer is a ReplicaSource test double recording retargets.
+type fakeTailer struct {
+	mu      sync.Mutex
+	primary string
+	stopped bool
+}
+
+func (f *fakeTailer) WaitVersion(ctx context.Context, dataset string, version uint64) error {
+	return nil
+}
+func (f *fakeTailer) Status(dataset string) (repl.DatasetStatus, bool) {
+	return repl.DatasetStatus{}, false
+}
+func (f *fakeTailer) Stats() repl.ReplicaStats { return repl.ReplicaStats{} }
+func (f *fakeTailer) Primary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+func (f *fakeTailer) Retarget(primaryURL string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primary = primaryURL
+}
+
+// fleetTestControl is a FleetControl whose tailer factory hands out
+// fakeTailers and records every (re)start.
+func fleetTestControl() (FleetControl, *[]*fakeTailer) {
+	var mu sync.Mutex
+	var made []*fakeTailer
+	fc := FleetControl{
+		StartTailer: func(primaryURL string) (ReplicaSource, func()) {
+			f := &fakeTailer{primary: primaryURL}
+			mu.Lock()
+			made = append(made, f)
+			mu.Unlock()
+			return f, func() {
+				f.mu.Lock()
+				f.stopped = true
+				f.mu.Unlock()
+			}
+		},
+		Feed: repl.FeedOptions{},
+	}
+	return fc, &made
+}
+
+func getHealth(t *testing.T, baseURL string) repl.HealthStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/api/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health: status %d", resp.StatusCode)
+	}
+	var h repl.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHealthEndpointPerRole(t *testing.T) {
+	// Standalone: role named, epoch zero, positions = dataset versions.
+	_, ts := testServer(t)
+	h := getHealth(t, ts.URL)
+	if h.Role != "standalone" || h.FleetEpoch != 0 {
+		t.Fatalf("standalone health: role %q epoch %d", h.Role, h.FleetEpoch)
+	}
+	d, ok := h.Datasets["fig5"]
+	if !ok || d.AppliedSeq != d.HeadSeq {
+		t.Fatalf("standalone health datasets: %+v", h.Datasets)
+	}
+
+	// Primary: epoch 1 by definition, per-dataset snapshot epoch stamped.
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, nil)
+	s.EnableReplicationPrimary(repl.FeedOptions{})
+	pts := httptest.NewServer(s.Handler())
+	defer pts.Close()
+	h = getHealth(t, pts.URL)
+	if h.Role != "primary" || h.FleetEpoch != 1 {
+		t.Fatalf("primary health: role %q epoch %d", h.Role, h.FleetEpoch)
+	}
+	if d := h.Datasets["fig5"]; d.Epoch == 0 {
+		t.Fatalf("primary health carries no snapshot epoch: %+v", h.Datasets)
+	}
+}
+
+// TestFleetFenceOnWrites pins the split-brain guard: a primary at fleet
+// epoch 1 refuses writes stamped with any other epoch before applying
+// anything, accepts matching or unstamped writes, and 400s garbage.
+func TestFleetFenceOnWrites(t *testing.T) {
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, nil)
+	s.EnableReplicationPrimary(repl.FeedOptions{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(epochHdr string) (int, string) {
+		t.Helper()
+		req, _ := http.NewRequest("POST", ts.URL+"/api/v1/datasets/fig5/mutations",
+			jsonBody(t, api.Mutation{Op: api.OpAddVertex, Name: "fence-probe"}))
+		req.Header.Set("Content-Type", "application/json")
+		if epochHdr != "" {
+			req.Header.Set(repl.HeaderFleetEpoch, epochHdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Code string `json:"code"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		return resp.StatusCode, env.Code
+	}
+
+	ds, _ := exp.Dataset("fig5")
+	before := ds.Version
+	if status, code := post("2"); status != http.StatusConflict || code != repl.CodeEpochFenced {
+		t.Fatalf("mismatched stamp: status %d code %q, want 409 %q", status, code, repl.CodeEpochFenced)
+	}
+	if ds, _ := exp.Dataset("fig5"); ds.Version != before {
+		t.Fatal("fenced write was applied")
+	}
+	if status, _ := post("junk"); status != http.StatusBadRequest {
+		t.Fatalf("garbage stamp: status %d, want 400", status)
+	}
+	if status, _ := post("1"); status != http.StatusOK {
+		t.Fatalf("matching stamp: status %d, want 200", status)
+	}
+	if status, _ := post(""); status != http.StatusOK {
+		t.Fatalf("unstamped write: status %d, want 200", status)
+	}
+}
+
+// TestFleetVerbsRequireEnable: promote/demote are 403 fleet_disabled until
+// the command layer arms fleet control.
+func TestFleetVerbsRequireEnable(t *testing.T) {
+	_, ts := testServer(t)
+	for _, path := range []string{"/api/v1/promote", "/api/v1/demote"} {
+		resp, err := http.Post(ts.URL+path, "application/json",
+			jsonBody(t, map[string]any{"epoch": 2, "primary": "http://x"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Code string `json:"code"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden || env.Code != "fleet_disabled" {
+			t.Fatalf("%s without fleet control: status %d code %q", path, resp.StatusCode, env.Code)
+		}
+	}
+}
+
+// TestPromoteDemoteRetargetMatrix drives one node through the full role
+// cycle over HTTP and pins the epoch fencing on every edge: only strictly
+// advancing epochs transition, replays are idempotent 200s, stale epochs
+// are 409 epoch_fenced, and a candidate behind a reachable peer refuses
+// promotion with 409 not_caught_up.
+func TestPromoteDemoteRetargetMatrix(t *testing.T) {
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, t.Logf)
+	fc, made := fleetTestControl()
+	s.EnableFleet(fc)
+	s.StartFleetReplica("http://old-primary")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", jsonBody(t, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Code string `json:"code"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		return resp.StatusCode, env.Code
+	}
+
+	// Retarget while a replica: tailer re-pointed, epoch adopted.
+	if status, code := post("/api/v1/retarget", map[string]any{"epoch": 0, "primary": "http://other-primary"}); status != http.StatusOK {
+		t.Fatalf("retarget: status %d code %q", status, code)
+	}
+	if got := (*made)[0].Primary(); got != "http://other-primary" {
+		t.Fatalf("retarget did not re-point the tailer: %q", got)
+	}
+
+	// Promotion needs a positive epoch.
+	if status, _ := post("/api/v1/promote", map[string]any{"epoch": 0}); status != http.StatusBadRequest {
+		t.Fatalf("promote epoch 0: status %d, want 400", status)
+	}
+
+	// A reachable peer further ahead vetoes the promotion.
+	ahead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(repl.HealthStatus{
+			Role:     "replica",
+			Datasets: map[string]repl.DatasetHealth{"fig5": {AppliedSeq: 1000, HeadSeq: 1000}},
+		})
+	}))
+	defer ahead.Close()
+	if status, code := post("/api/v1/promote", map[string]any{"epoch": 5, "peers": []string{ahead.URL}}); status != http.StatusConflict || code != repl.CodeNotCaughtUp {
+		t.Fatalf("promote behind a peer: status %d code %q, want 409 %q", status, code, repl.CodeNotCaughtUp)
+	}
+	if s.Role() != "replica" {
+		t.Fatalf("vetoed promotion changed role to %q", s.Role())
+	}
+
+	// Unreachable peers are skipped (they are what the fleet heals around).
+	if status, code := post("/api/v1/promote", map[string]any{"epoch": 5, "peers": []string{"http://127.0.0.1:1"}}); status != http.StatusOK {
+		t.Fatalf("promote: status %d code %q", status, code)
+	}
+	if s.Role() != "primary" || s.FleetEpoch() != 5 {
+		t.Fatalf("after promote: role %q epoch %d, want primary 5", s.Role(), s.FleetEpoch())
+	}
+	if !(*made)[0].stopped {
+		t.Fatal("promotion did not stop the old tailer")
+	}
+	// Promotion replay is idempotent; a stale epoch is fenced.
+	if status, _ := post("/api/v1/promote", map[string]any{"epoch": 5}); status != http.StatusOK {
+		t.Fatalf("promote replay: status %d, want 200", status)
+	}
+	if status, code := post("/api/v1/promote", map[string]any{"epoch": 4}); status != http.StatusConflict || code != repl.CodeEpochFenced {
+		t.Fatalf("stale promote: status %d code %q, want 409 %q", status, code, repl.CodeEpochFenced)
+	}
+
+	// The promoted node serves writes and ships its own journal.
+	resp := postJSON(t, ts.URL+"/api/v1/datasets/fig5/mutations", api.Mutation{Op: api.OpAddEdge, U: 0, V: 5}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("write on promoted node: status %d", resp.StatusCode)
+	}
+
+	// Retarget is a replica verb: a primary refuses with 409 invalid_role.
+	if status, code := post("/api/v1/retarget", map[string]any{"epoch": 5, "primary": "http://x"}); status != http.StatusConflict || code != "invalid_role" {
+		t.Fatalf("retarget on primary: status %d code %q, want 409 invalid_role", status, code)
+	}
+
+	// Demotion: only a strictly higher epoch fences the primary.
+	if status, code := post("/api/v1/demote", map[string]any{"epoch": 5, "primary": "http://new-primary"}); status != http.StatusConflict || code != repl.CodeEpochFenced {
+		t.Fatalf("same-epoch demote: status %d code %q, want 409 %q", status, code, repl.CodeEpochFenced)
+	}
+	if status, code := post("/api/v1/demote", map[string]any{"epoch": 6, "primary": "http://new-primary"}); status != http.StatusOK {
+		t.Fatalf("demote: status %d code %q", status, code)
+	}
+	if s.Role() != "replica" || s.FleetEpoch() != 6 {
+		t.Fatalf("after demote: role %q epoch %d, want replica 6", s.Role(), s.FleetEpoch())
+	}
+	if len(*made) != 2 || (*made)[1].Primary() != "http://new-primary" {
+		t.Fatalf("demotion did not start a tailer against the new primary: %d tailers", len(*made))
+	}
+	// Demote replay with a newer target re-points instead of erroring.
+	if status, _ := post("/api/v1/demote", map[string]any{"epoch": 6, "primary": "http://newer-primary"}); status != http.StatusOK {
+		t.Fatal("demote replay failed")
+	}
+	if got := (*made)[1].Primary(); got != "http://newer-primary" {
+		t.Fatalf("demote replay did not retarget: %q", got)
+	}
+	// Retarget fencing on the demoted replica: a target is required, and an
+	// epoch below the node's own cannot move its tailer.
+	if status, _ := post("/api/v1/retarget", map[string]any{"epoch": 6}); status != http.StatusBadRequest {
+		t.Fatalf("retarget without a primary: status %d, want 400", status)
+	}
+	if status, code := post("/api/v1/retarget", map[string]any{"epoch": 5, "primary": "http://stale"}); status != http.StatusConflict || code != repl.CodeEpochFenced {
+		t.Fatalf("stale retarget: status %d code %q, want 409 %q", status, code, repl.CodeEpochFenced)
+	}
+	if got := (*made)[1].Primary(); got != "http://newer-primary" {
+		t.Fatalf("fenced retarget moved the tailer: %q", got)
+	}
+
+	// Demoted node: writes 403 read_only, journal shipping 503 no_primary.
+	resp = postJSON(t, ts.URL+"/api/v1/datasets/fig5/mutations", api.Mutation{Op: api.OpAddEdge, U: 1, V: 4}, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("write on demoted node: status %d, want 403", resp.StatusCode)
+	}
+	shipResp, err := http.Get(ts.URL + "/api/v1/datasets/fig5/journal?fromSeq=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Code string `json:"code"`
+	}
+	json.NewDecoder(shipResp.Body).Decode(&env)
+	shipResp.Body.Close()
+	if shipResp.StatusCode != http.StatusServiceUnavailable || env.Code != repl.CodeNoPrimary {
+		t.Fatalf("journal ship on demoted node: status %d code %q, want 503 %q",
+			shipResp.StatusCode, env.Code, repl.CodeNoPrimary)
+	}
+
+	// Health reflects the journey.
+	h := getHealth(t, ts.URL)
+	if h.Role != "replica" || h.FleetEpoch != 6 || h.Promotions != 1 || h.Demotions != 1 {
+		t.Fatalf("health after the cycle: %+v", h)
+	}
+}
+
+// TestRetryAfterFunnel: every 429/503 envelope carries Retry-After so
+// clients can back off instead of hammering, and explicit values win.
+func TestRetryAfterFunnel(t *testing.T) {
+	cases := []struct {
+		status int
+		preset string
+		want   string
+	}{
+		{http.StatusTooManyRequests, "", "1"},
+		{http.StatusServiceUnavailable, "", "1"},
+		{http.StatusServiceUnavailable, "7", "7"},
+		{http.StatusForbidden, "", ""},
+		{http.StatusConflict, "", ""},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		if tc.preset != "" {
+			rec.Header().Set("Retry-After", tc.preset)
+		}
+		writeEnvelope(rec, tc.status, "msg", "some_code")
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("status %d (preset %q): Retry-After %q, want %q", tc.status, tc.preset, got, tc.want)
+		}
+	}
+}
+
+// TestShutdownReleasesJournalLongPoll: graceful shutdown drains the feed, so
+// a parked journal long-poll returns promptly instead of riding out its full
+// wait (which would hold the listener open past any drain budget).
+func TestShutdownReleasesJournalLongPoll(t *testing.T) {
+	exp := api.NewExplorer()
+	if _, err := exp.AddGraph("fig5", gen.Figure5()); err != nil {
+		t.Fatal(err)
+	}
+	s := New(exp, t.Logf)
+	feed := s.EnableReplicationPrimary(repl.FeedOptions{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	epoch, ok := feed.Epoch("fig5")
+	if !ok {
+		t.Fatal("feed does not know fig5")
+	}
+	type pollResult struct {
+		status  int
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		start := time.Now()
+		url := ts.URL + "/api/v1/datasets/fig5/journal?fromSeq=1&epoch=" +
+			strconv.FormatUint(epoch, 10) + "&wait=25s"
+		resp, err := http.Get(url)
+		if err != nil {
+			done <- pollResult{err: err, elapsed: time.Since(start)}
+			return
+		}
+		resp.Body.Close()
+		done <- pollResult{status: resp.StatusCode, elapsed: time.Since(start)}
+	}()
+
+	// Give the poll time to park, then shut down.
+	time.Sleep(200 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("long-poll errored: %v", res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("long-poll status %d", res.status)
+		}
+		if res.elapsed > 5*time.Second {
+			t.Fatalf("long-poll held for %s; drain did not release it", res.elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long-poll never returned after shutdown")
+	}
+}
+
+// jsonBody marshals a value into a request body reader.
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}

@@ -58,6 +58,14 @@ func errStatus(err error) int {
 // clients (and the embedded UI) that surface it directly.
 func writeEnvelope(w http.ResponseWriter, status int, msg, code string) {
 	w.Header().Set("Content-Type", "application/json")
+	// Every retryable degradation (429 overloaded, 503 replica_lagging /
+	// no_primary / unavailable) carries Retry-After, so well-behaved clients
+	// back off instead of hammering a node that is protecting itself.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "code": code})
 }

@@ -39,6 +39,9 @@ type ReplicaSource interface {
 	Status(dataset string) (repl.DatasetStatus, bool)
 	Stats() repl.ReplicaStats
 	Primary() string
+	// Retarget re-points the tailer at a new primary (the promotion
+	// protocol's re-target step); tailers re-bootstrap from it.
+	Retarget(primaryURL string)
 }
 
 // EnableReplicationPrimary makes this server a replication primary: every
@@ -59,6 +62,11 @@ func (s *Server) EnableReplicationPrimary(opt repl.FeedOptions) *repl.Feed {
 	s.mu.Lock()
 	s.role = "primary"
 	s.replFeed = feed
+	if s.fleetEpoch == 0 {
+		// A primary is fleet epoch 1 by definition; promotions go up from
+		// here. (A promoted replica sets its epoch explicitly afterward.)
+		s.fleetEpoch = 1
+	}
 	s.mu.Unlock()
 	return feed
 }
@@ -109,12 +117,30 @@ func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
 	return true
 }
 
-// registerRepl adds the role-specific routes to the v1 tree.
+// registerRepl adds the replication and fleet routes to the v1 tree. The
+// shipping endpoints register unconditionally — roles change at runtime now
+// (promotion, demotion), so a node without a feed answers 503 no_primary
+// (retryable: a tailing replica backs off and retries, and succeeds once
+// this node is promoted) rather than being a route-table hole.
 func (s *Server) registerRepl(mux *http.ServeMux) {
-	if s.feed() != nil {
-		mux.HandleFunc("GET /api/v1/datasets/{name}/journal", s.v1JournalShip)
-		mux.HandleFunc("GET /api/v1/datasets/{name}/snapshot", s.v1SnapshotShip)
+	mux.HandleFunc("GET /api/v1/datasets/{name}/journal", s.v1JournalShip)
+	mux.HandleFunc("GET /api/v1/datasets/{name}/snapshot", s.v1SnapshotShip)
+	mux.HandleFunc("GET /api/v1/health", s.v1Health)
+	mux.HandleFunc("POST /api/v1/promote", s.v1Promote)
+	mux.HandleFunc("POST /api/v1/demote", s.v1Demote)
+	mux.HandleFunc("POST /api/v1/retarget", s.v1Retarget)
+}
+
+// requireFeed answers 503 no_primary when this node hosts no feed (it is a
+// replica or was demoted); true when the request may proceed.
+func (s *Server) requireFeed(w http.ResponseWriter) (*repl.Feed, bool) {
+	feed := s.feed()
+	if feed == nil {
+		writeEnvelope(w, http.StatusServiceUnavailable,
+			"this node hosts no journal feed (not a primary)", repl.CodeNoPrimary)
+		return nil, false
 	}
+	return feed, true
 }
 
 // minVersionGate is the replica's read-your-writes middleware: a dataset
@@ -163,7 +189,10 @@ func (s *Server) minVersionGate(next http.Handler) http.Handler {
 // epoch_fenced: throw away the position and re-bootstrap from the snapshot
 // endpoint.
 func (s *Server) v1JournalShip(w http.ResponseWriter, r *http.Request) {
-	feed := s.feed()
+	feed, ok := s.requireFeed(w)
+	if !ok {
+		return
+	}
 	name := r.PathValue("name")
 	if _, ok := s.exp.Dataset(name); !ok {
 		writeEnvelope(w, http.StatusNotFound, "dataset not found: "+name, "dataset_not_found")
@@ -233,7 +262,10 @@ func (s *Server) v1JournalShip(w http.ResponseWriter, r *http.Request) {
 // concurrent re-upload cannot pair the new lineage's bytes with the old
 // lineage's epoch (or vice versa); a mismatch simply retries.
 func (s *Server) v1SnapshotShip(w http.ResponseWriter, r *http.Request) {
-	feed := s.feed()
+	feed, ok := s.requireFeed(w)
+	if !ok {
+		return
+	}
 	name := r.PathValue("name")
 	var (
 		ds    *api.Dataset
@@ -279,6 +311,11 @@ func (s *Server) v1SnapshotShip(w http.ResponseWriter, r *http.Request) {
 // ReplInfo is the replication block of /api/stats.
 type ReplInfo struct {
 	Role string `json:"role"`
+	// FleetEpoch is the promotion counter; Promotions/Demotions count this
+	// node's role transitions since boot.
+	FleetEpoch uint64 `json:"fleetEpoch,omitempty"`
+	Promotions int64  `json:"promotions,omitempty"`
+	Demotions  int64  `json:"demotions,omitempty"`
 	// Primary-side: the feed counters plus bootstrap-snapshot traffic.
 	Feed              *repl.FeedStats `json:"feed,omitempty"`
 	ShipRequests      int64           `json:"shipRequests,omitempty"`
@@ -296,6 +333,9 @@ func (s *Server) replInfo() *ReplInfo {
 		fs := s.feed().Stats()
 		return &ReplInfo{
 			Role:              "primary",
+			FleetEpoch:        s.FleetEpoch(),
+			Promotions:        s.stats.promotions.Load(),
+			Demotions:         s.stats.demotions.Load(),
 			Feed:              &fs,
 			ShipRequests:      s.stats.replShipRequests.Load(),
 			ShipBytes:         s.stats.replShipBytes.Load(),
@@ -305,7 +345,13 @@ func (s *Server) replInfo() *ReplInfo {
 	case "replica":
 		src, _ := s.replicaSource()
 		rs := src.Stats()
-		return &ReplInfo{Role: "replica", Replica: &rs}
+		return &ReplInfo{
+			Role:       "replica",
+			FleetEpoch: s.FleetEpoch(),
+			Promotions: s.stats.promotions.Load(),
+			Demotions:  s.stats.demotions.Load(),
+			Replica:    &rs,
+		}
 	default:
 		return nil
 	}

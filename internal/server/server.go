@@ -95,6 +95,19 @@ type Server struct {
 	replSrc     ReplicaSource
 	replicaWait time.Duration
 
+	// Fleet wiring (see health.go): fleetEpoch is the promotion counter a
+	// stamped write must match (0 = never fenced); fleet holds the
+	// transition hooks EnableFleet installed; tailerStop cancels the
+	// running tailer (set on replicas, swapped on demotion).
+	fleetEpoch uint64
+	fleet      *FleetControl
+	tailerStop func()
+
+	// started anchors the health endpoint's uptime; httpSrv is the
+	// listener ListenAndServe built, kept so Shutdown can drain it.
+	started time.Time
+	httpSrv *http.Server
+
 	stats serverStats
 }
 
@@ -132,6 +145,10 @@ type serverStats struct {
 	replShipBytes     atomic.Int64
 	replSnapshotShips atomic.Int64
 	replSnapshotBytes atomic.Int64
+
+	// Fleet role transitions (see health.go).
+	promotions atomic.Int64
+	demotions  atomic.Int64
 }
 
 // StatsSnapshot is the /api/stats payload.
@@ -212,6 +229,7 @@ func New(exp *api.Explorer, logf func(string, ...any)) *Server {
 		profiles:  make(map[string]map[int32]gen.Profile),
 		logf:      logf,
 		searchSem: make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
+		started:   time.Now(),
 	}
 }
 
@@ -390,7 +408,8 @@ func (s *Server) Handler() http.Handler {
 	return s.logging(s.minVersionGate(mux))
 }
 
-// ListenAndServe runs the server until the listener fails.
+// ListenAndServe runs the server until the listener fails or Shutdown
+// drains it (a drained shutdown returns nil, not http.ErrServerClosed).
 func (s *Server) ListenAndServe(addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
@@ -399,8 +418,39 @@ func (s *Server) ListenAndServe(addr string) error {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
 	s.logf("C-Explorer listening on %s", addr)
-	return srv.ListenAndServe()
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server gracefully within ctx's deadline: the tailer
+// stops first (a replica un-claims its position cleanly instead of dying
+// mid-apply), the feed's parked long-polls are released (replicas tailing us
+// return within one round trip instead of waiting out their poll), and then
+// the HTTP listener stops accepting and waits for in-flight requests.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	stop := s.tailerStop
+	s.tailerStop = nil
+	feed := s.replFeed
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+	if feed != nil {
+		feed.Drain()
+	}
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 func (s *Server) logging(next http.Handler) http.Handler {
@@ -579,7 +629,7 @@ type compareRow struct {
 // --- handlers ---
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.fleetFence(w, r) || s.rejectReadOnly(w) {
 		return
 	}
 	var req uploadRequest

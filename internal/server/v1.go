@@ -76,7 +76,7 @@ func (s *Server) v1GetDataset(w http.ResponseWriter, r *http.Request) {
 // ghost forever. Replicas refuse the call — dataset lifecycle is the
 // primary's to decide and replicate, never a per-node edit.
 func (s *Server) v1DeleteDataset(w http.ResponseWriter, r *http.Request) {
-	if s.rejectReadOnly(w) {
+	if s.fleetFence(w, r) || s.rejectReadOnly(w) {
 		return
 	}
 	name := r.PathValue("name")
